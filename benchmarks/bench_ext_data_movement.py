@@ -1,0 +1,70 @@
+"""Extension bench — the data-movement hierarchy behind the speedups.
+
+Quantifies Section IV-A's filtering claim on real workload traffic:
+how many bytes cross each boundary per platform, and the multi-LUN
+search workflow's bus-byte reduction versus multi-LUN read (paper:
+result lists can be as little as ~1/32 of the page traffic).
+"""
+
+from repro.analysis.datamovement import filtering_factor, movement_of
+from repro.analysis.reporting import format_table
+from repro.core.config import NDSearchConfig
+from repro.experiments.common import get_workload, run_platform
+from repro.flash.channel import ChannelSimulator
+
+
+def _collect():
+    workload = get_workload("sift-1b", "hnsw")
+    results = {
+        p: run_platform(p, workload, batch=512)
+        for p in ("cpu", "smartssd", "ds-cp", "ndsearch")
+    }
+    movements = {p: movement_of(r) for p, r in results.items()}
+    config = NDSearchConfig.scaled()
+    channel = ChannelSimulator(
+        geometry=config.geometry, timing=config.timing
+    )
+    workflow_ratio = channel.filtering_ratio(
+        list(range(4)), results_per_lun=4, dim=workload.dataset.dim
+    )
+    return results, movements, workflow_ratio
+
+
+def test_ext_data_movement(benchmark, record_table):
+    results, movements, workflow_ratio = benchmark.pedantic(
+        _collect, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            p,
+            f"{m.host_pcie_bytes / 1e6:.2f} MB",
+            f"{m.private_pcie_bytes / 1e6:.2f} MB",
+            f"{m.internal_bytes / 1e6:.2f} MB",
+            f"{m.per_query(512) / 1e3:.1f} KB",
+        ]
+        for p, m in movements.items()
+    ]
+    table = format_table(
+        ["platform", "host PCIe", "private PCIe", "internal buses",
+         "total / query"],
+        rows,
+        title="Extension — bytes moved per 512-query batch (sift-1b, HNSW)",
+    )
+    table += (
+        f"\n\nmulti-LUN search vs read bus bytes: {workflow_ratio:.0f}x "
+        "reduction (paper: as low as ~32x)"
+    )
+    record_table("ext_data_movement", table)
+
+    # The hierarchy: every NDP design moves less than the CPU deployment,
+    # and NDSearch moves the least.
+    assert movements["ndsearch"].total_bytes < movements["ds-cp"].total_bytes
+    assert movements["ds-cp"].total_bytes < movements["cpu"].total_bytes
+    assert movements["smartssd"].total_bytes < movements["cpu"].total_bytes
+
+    # The command-workflow filtering factor reaches the paper's ~32x.
+    assert workflow_ratio >= 30.0
+
+    # End-to-end, NDSearch ships an order of magnitude less than the
+    # page-shipping in-storage design.
+    assert filtering_factor(results["ndsearch"], results["ds-cp"]) > 5.0

@@ -1,0 +1,28 @@
+"""Fig. 2 — PCIe utilisation saturation and the roofline lift."""
+
+from repro.experiments import fig02_pcie_roofline
+
+
+def test_fig02a_pcie_utilization(benchmark, record_table):
+    util = benchmark.pedantic(
+        fig02_pcie_roofline.collect_utilization, rounds=1, iterations=1
+    )
+    # Monotonic ramp saturating near 83% (paper Fig. 2a).
+    values = [r["utilization"] for r in util]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    assert values[-1] > 0.82
+    by_batch = {r["batch"]: r["utilization"] for r in util}
+    assert by_batch[1024] > 0.79  # saturated past batch 1024
+    record_table("fig02_pcie_roofline", fig02_pcie_roofline.run())
+
+
+def test_fig02b_roofline_bounds_speedup(benchmark):
+    rows = benchmark.pedantic(
+        fig02_pcie_roofline.collect_roofline, rounds=1, iterations=1
+    )
+    for row in rows:
+        # The measured speedup must stay under the bandwidth-ceiling
+        # lift of the *scaled* machine (Fig. 2b's headroom argument).
+        assert row["measured_speedup_vs_cpu"] < row["scaled_lift"], row
+        # Paper-scale machine: ~53x lift (819.2 / 15.4 GB/s).
+        assert 40 < row["paper_scale_lift"] < 70

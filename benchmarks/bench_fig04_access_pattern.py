@@ -1,0 +1,20 @@
+"""Fig. 4 — page/LUN access pattern of the search phase."""
+
+from repro.experiments import fig04_access_pattern
+
+
+def test_fig04_access_pattern(benchmark, record_table):
+    data = benchmark.pedantic(
+        fig04_access_pattern.collect, rounds=1, iterations=1
+    )
+    record_table("fig04_access_pattern", fig04_access_pattern.run())
+
+    # (a) Scattered accesses: each page access returns few needed
+    # vectors — the ratio is far above the perfect-locality floor and
+    # the useful fraction of fetched page bytes is small.
+    assert data["mean_page_access_ratio"] > 0.5
+    assert data["mean_vector_fraction"] < 0.5
+
+    # (b) Each batch touches most LUNs (paper: > 82%).
+    for coverage in data["lun_coverage_per_batch"]:
+        assert coverage > 0.82

@@ -1,0 +1,22 @@
+"""Fig. 6 — padded slice-layout overhead vs LUNCSR."""
+
+import pytest
+
+from repro.experiments import fig06_layout_overhead
+
+
+def test_fig06_layout_overhead(benchmark, record_table):
+    rows = benchmark.pedantic(
+        fig06_layout_overhead.collect, rounds=1, iterations=1
+    )
+    record_table("fig06_layout_overhead", fig06_layout_overhead.run())
+
+    # The paper's headline number, exactly.
+    assert fig06_layout_overhead.paper_example() == pytest.approx(
+        0.469, abs=0.001
+    )
+    # Every dataset wastes page bytes on irrelevant IDs under the slice
+    # layout, and CSR always shrinks the footprint.
+    for row in rows[1:]:
+        assert row["id_waste"] > 0.0
+        assert row["csr_saving"] > 0.0

@@ -1,0 +1,61 @@
+"""Fig. 13 — throughput and speedup across all six platforms."""
+
+from repro.experiments import fig13_throughput
+
+
+def _index(rows):
+    return {
+        (r["algorithm"], r["dataset"], r["platform"]): r for r in rows
+    }
+
+
+def test_fig13_throughput(benchmark, record_table):
+    rows = benchmark.pedantic(
+        fig13_throughput.collect, rounds=1, iterations=1
+    )
+    record_table("fig13_throughput", fig13_throughput.run())
+    by = _index(rows)
+    big = ("sift-1b", "deep-1b", "spacev-1b")
+    small = ("glove-100", "fashion-mnist")
+
+    for algo in ("hnsw", "diskann"):
+        for ds in big + small:
+            nd = by[(algo, ds, "ndsearch")]
+            # NDSearch wins on every dataset/algorithm pair.
+            for platform in ("cpu", "gpu", "smartssd", "ds-c", "ds-cp"):
+                assert nd["qps"] > by[(algo, ds, platform)]["qps"], (
+                    algo, ds, platform
+                )
+        for ds in big:
+            # Big datasets: in-storage ordering NDSearch > DS-cp > DS-c
+            # and every NDP design beats the CPU.
+            assert by[(algo, ds, "ds-cp")]["qps"] > by[(algo, ds, "ds-c")]["qps"]
+            for platform in ("smartssd", "ds-c", "ds-cp"):
+                assert by[(algo, ds, platform)]["speedup_vs_cpu"] > 1.0, (
+                    algo, ds, platform
+                )
+            # NDSearch vs DS-cp lands near the paper's 2.8-2.9x band.
+            ratio = by[(algo, ds, "ndsearch")]["qps"] / by[(algo, ds, "ds-cp")]["qps"]
+            assert 1.5 < ratio < 5.0, (algo, ds, ratio)
+        for ds in small:
+            # Small (in-memory) datasets: plain NDP designs can hardly
+            # beat the CPU; NDSearch still does.
+            assert by[(algo, ds, "smartssd")]["speedup_vs_cpu"] < 1.5
+            assert by[(algo, ds, "ndsearch")]["speedup_vs_cpu"] > 1.0
+
+
+def test_fig13_speedup_larger_on_out_of_core_data(benchmark):
+    rows = benchmark.pedantic(fig13_throughput.collect, rounds=1, iterations=1)
+    by = _index(rows)
+    for algo in ("hnsw", "diskann"):
+        big_nd = min(
+            by[(algo, ds, "ndsearch")]["speedup_vs_cpu"]
+            for ds in ("sift-1b", "deep-1b", "spacev-1b")
+        )
+        small_nd = max(
+            by[(algo, ds, "ndsearch")]["speedup_vs_cpu"]
+            for ds in ("glove-100", "fashion-mnist")
+        )
+        # The paper's key contrast: the CPU pays SSD I/O only on the
+        # out-of-core datasets, so NDSearch's advantage is larger there.
+        assert big_nd > small_nd * 0.9, (algo, big_nd, small_nd)

@@ -1,0 +1,30 @@
+"""Fig. 15 — dynamic scheduling: page accesses and speedup."""
+
+from repro.experiments import fig15_dynamic_scheduling
+
+
+def test_fig15_dynamic_scheduling(benchmark, record_table):
+    rows = benchmark.pedantic(
+        fig15_dynamic_scheduling.collect, rounds=1, iterations=1
+    )
+    record_table(
+        "fig15_dynamic_scheduling", fig15_dynamic_scheduling.run()
+    )
+    by = {(r["algorithm"], r["dataset"], r["setting"]): r for r in rows}
+    for algo in ("hnsw", "diskann"):
+        for ds in ("glove-100", "fashion-mnist", "sift-1b", "deep-1b",
+                   "spacev-1b"):
+            da = by[(algo, ds, "da")]
+            sp = by[(algo, ds, "da+sp")]
+            # Dynamic allocating cuts page accesses sharply (paper: up
+            # to -73%) and speeds the system up (paper: up to 2.67x).
+            assert da["page_accesses_norm"] < 0.85, (algo, ds)
+            assert da["speedup_vs_wo_ds"] > 1.2, (algo, ds)
+            # Speculation *raises* page accesses (over half of the
+            # prefetches go unused) yet adds speedup (paper: up to 1.27x).
+            assert sp["page_accesses_norm"] > da["page_accesses_norm"]
+            assert sp["speedup_vs_wo_ds"] > da["speedup_vs_wo_ds"]
+    best_da = max(
+        r["speedup_vs_wo_ds"] for r in rows if r["setting"] == "da"
+    )
+    assert best_da > 1.8

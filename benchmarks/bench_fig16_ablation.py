@@ -1,0 +1,26 @@
+"""Fig. 16 — full ablation of the proposed techniques on spacev-1b."""
+
+from repro.experiments import fig16_ablation
+
+
+def test_fig16_ablation(benchmark, record_table):
+    rows = benchmark.pedantic(fig16_ablation.collect, rounds=1, iterations=1)
+    record_table("fig16_ablation", fig16_ablation.run())
+    by = {r["setting"]: r for r in rows}
+
+    # Bare NDSearch already beats the CPU (paper: > 4x; scaled machine
+    # compresses the factor but the win must be clear).
+    assert by["Bare"]["speedup_vs_cpu"] > 1.5
+
+    # Each added technique is monotonic non-hurting, and the full stack
+    # is a large multiple of Bare (paper: 4.1x).
+    order = ["Bare", "re", "re+mp", "re+mp+da", "re+mp+da+sp"]
+    qps = [by[s]["qps"] for s in order]
+    for a, b in zip(qps, qps[1:]):
+        assert b >= a * 0.98
+    assert qps[-1] / qps[0] > 2.5
+
+    # Without dynamic allocating, NDSearch can hardly beat DS-cp.
+    assert by["re+mp"]["qps"] < by["DS-cp"]["qps"] * 1.5
+    # With everything on, it clearly does.
+    assert by["re+mp+da+sp"]["qps"] > by["DS-cp"]["qps"] * 1.5

@@ -1,0 +1,30 @@
+"""Fig. 18 — ECC: BER distribution and hard-decode-failure latency."""
+
+from repro.experiments import fig18_ecc
+
+
+def test_fig18a_ber_distribution(benchmark):
+    data = benchmark.pedantic(fig18_ecc.collect_ber, rounds=1, iterations=1)
+    s = data["summary"]
+    # Centered near the 1e-6 typical raw BER with a worse-plane tail.
+    assert 5e-7 < s["median"] < 2e-6
+    assert s["p95"] > 1.5 * s["median"]
+    assert data["counts"].sum() == 512
+
+
+def test_fig18b_latency_vs_failure_prob(benchmark, record_table):
+    rows = benchmark.pedantic(
+        fig18_ecc.collect_latency, rounds=1, iterations=1
+    )
+    record_table("fig18_ecc", fig18_ecc.run())
+    by = {(r["dataset"], r["failure_prob"]): r for r in rows}
+    for ds in fig18_ecc.DATASETS:
+        # Latency grows monotonically with failure probability.
+        lat = [by[(ds, p)]["norm_latency"] for p in (0.01, 0.05, 0.10, 0.30)]
+        for a, b in zip(lat, lat[1:]):
+            assert b >= a * 0.999, (ds, lat)
+        # At the default 1% the slowdown is negligible; at 30% it is
+        # tangible but bounded (paper: 1.23-1.66x).
+        assert by[(ds, 0.01)]["norm_latency"] < 1.10
+        assert 1.05 < by[(ds, 0.30)]["norm_latency"] < 2.0
+        assert by[(ds, 0.30)]["soft_decodes"] > by[(ds, 0.01)]["soft_decodes"]

@@ -1,0 +1,33 @@
+"""Fig. 20 — energy efficiency (QPS/W) across platforms."""
+
+from repro.experiments import fig20_energy
+
+
+def test_fig20_energy(benchmark, record_table):
+    rows = benchmark.pedantic(fig20_energy.collect, rounds=1, iterations=1)
+    record_table("fig20_energy", fig20_energy.run())
+    by = {
+        (r["algorithm"], r["dataset"], r["platform"]): r for r in rows
+    }
+    for algo in ("hnsw", "diskann"):
+        for ds in ("glove-100", "fashion-mnist", "sift-1b", "deep-1b",
+                   "spacev-1b"):
+            nd = by[(algo, ds, "ndsearch")]["qps_per_watt"]
+            # NDSearch is the most efficient platform everywhere.
+            for p in ("cpu", "gpu", "smartssd", "ds-c", "ds-cp"):
+                assert nd > by[(algo, ds, p)]["qps_per_watt"], (algo, ds, p)
+        for ds in ("sift-1b", "deep-1b", "spacev-1b"):
+            # Orders of magnitude over the hosts (paper: up to
+            # 178.7x / 120.9x over CPU / GPU).
+            assert by[(algo, ds, "ndsearch")]["qps_per_watt"] > (
+                20 * by[(algo, ds, "cpu")]["qps_per_watt"]
+            )
+            assert by[(algo, ds, "ndsearch")]["qps_per_watt"] > (
+                10 * by[(algo, ds, "gpu")]["qps_per_watt"]
+            )
+            # Modest factor over the closest NDP competitor (paper: up
+            # to 3.48x over DS-cp).
+            ratio = by[(algo, ds, "ndsearch")]["qps_per_watt"] / by[
+                (algo, ds, "ds-cp")
+            ]["qps_per_watt"]
+            assert 1.2 < ratio < 10.0, (algo, ds, ratio)

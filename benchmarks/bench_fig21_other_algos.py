@@ -1,0 +1,21 @@
+"""Fig. 21 — HCNNG and TOGG on sift-1b across platforms."""
+
+from repro.experiments import fig21_other_algos
+
+
+def test_fig21_other_algos(benchmark, record_table):
+    rows = benchmark.pedantic(
+        fig21_other_algos.collect, rounds=1, iterations=1
+    )
+    record_table("fig21_other_algos", fig21_other_algos.run())
+    by = {(r["algorithm"], r["platform"]): r for r in rows}
+    for algo in ("hcnng", "togg"):
+        nd = by[(algo, "ndsearch")]
+        # NDSearch still outperforms every platform on the emerging
+        # directional algorithms.
+        for p in ("cpu", "cpu-t", "smartssd", "ds-cp"):
+            assert nd["qps"] > by[(algo, p)]["qps"], (algo, p)
+        # Terabyte DRAM accelerates the CPU (paper: up to 5.3x)...
+        assert by[(algo, "cpu-t")]["speedup_vs_cpu"] > 1.5
+        # ...but cannot beat the in-storage designs.
+        assert by[(algo, "cpu-t")]["qps"] < nd["qps"]

@@ -1,0 +1,20 @@
+"""Table I — power and area breakdown of SearSSD."""
+
+import pytest
+
+from repro.experiments import table1_power_area
+
+
+def test_table1_power_area(benchmark, record_table):
+    data = benchmark.pedantic(table1_power_area.collect, rounds=1, iterations=1)
+    record_table("table1_power_area", table1_power_area.run())
+
+    assert data["logic_power_w"] == pytest.approx(18.82)
+    assert data["total_power_w"] == pytest.approx(26.32)
+    assert data["total_power_w"] < data["power_budget_w"]
+    assert data["total_area_mm2"] == pytest.approx(43.09)
+    assert data["saving_vs_ds_cp"] == pytest.approx(0.82, abs=0.01)
+    assert data["saving_vs_ds_c"] == pytest.approx(0.87, abs=0.01)
+    assert data["storage_density"] == pytest.approx(5.64, abs=0.03)
+    assert 0.04 < data["density_degradation"] < 0.08
+    assert len(data["rows"]) == 8

@@ -1,0 +1,37 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+runs the matching :mod:`repro.experiments` driver under
+pytest-benchmark (one round — these are end-to-end experiment drivers,
+not microbenchmarks), prints the series the paper reports, writes the
+table to ``benchmarks/results/`` and asserts the reproduction's
+acceptance criteria (the relative shapes from DESIGN.md).
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_table(results_dir):
+    """Print a driver's table and persist it under results/."""
+
+    def _record(name: str, table: str) -> None:
+        print("\n" + table)
+        (results_dir / f"{name}.txt").write_text(table + "\n")
+
+    return _record

@@ -1,0 +1,49 @@
+"""Quickstart: build an index, wrap it in NDSearch, search a batch.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.ann import BruteForceIndex, HNSWIndex, HNSWParams, recall_at_k
+from repro.core import NDSearch, NDSearchConfig
+from repro.data.synthetic import clustered_gaussian, split_queries
+
+
+def main() -> None:
+    # 1. A synthetic embedding corpus (swap in your own (n, d) float32).
+    vectors = clustered_gaussian(4000, 64, seed=7)
+    queries = split_queries(vectors, 128, seed=8)
+
+    # 2. Build a graph-traversal index (HNSW here; DiskANN/HCNNG/TOGG
+    #    share the same interface).
+    print("building HNSW index ...")
+    index = HNSWIndex(vectors, HNSWParams(M=12, ef_construction=64))
+
+    # 3. Deploy it on NDSearch: static scheduling reorders the graph,
+    #    maps it onto the SearSSD flash array, and the searches replay
+    #    through the timing simulator.
+    system = NDSearch(index=index, config=NDSearchConfig.scaled())
+
+    ids, dists, sim = system.search_batch(queries, k=10, ef=64)
+
+    # 4. Results are ordinary top-k answers ...
+    gt, _ = BruteForceIndex(vectors).search_batch(queries, 10)
+    print(f"recall@10      : {recall_at_k(ids, gt):.3f}")
+    print(f"first query    : ids={ids[0][:5]} dists={np.round(dists[0][:5], 3)}")
+
+    # 5. ... plus the simulated hardware telemetry.
+    print(f"simulated time : {sim.sim_time_s * 1e3:.2f} ms for {sim.batch_size} queries")
+    print(f"throughput     : {sim.qps / 1e3:.1f} K queries/s")
+    print(f"average power  : {sim.power_w:.1f} W  ->  {sim.qps_per_watt:.0f} QPS/W")
+    print(f"NAND page reads: {sim.counters['page_reads']}")
+    print(f"multi-plane ops: {sim.counters['multiplane_reads']}")
+    print(
+        "speculative    : "
+        f"{sim.counters['speculative_hits']} hits / "
+        f"{sim.counters['speculative_page_reads']} prefetched reads"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""RAG retrieval: passage search for LLM context assembly.
+
+The paper's motivating application: retrieval-augmented generation
+fetches the top-k most relevant passage embeddings for every prompt.
+The corpus (here a scaled stand-in for a multi-hundred-GB embedding
+store) exceeds host memory, so a conventional deployment pays SSD I/O
+on every hop of the graph traversal — NDSearch moves the traversal
+into the SSD instead.
+
+Run:  python examples/rag_retrieval.py
+"""
+
+import numpy as np
+
+from repro.ann import DiskANNIndex, DiskANNParams
+from repro.analysis.reporting import format_table
+from repro.baselines import CPUModel, GPUModel
+from repro.baselines.common import DatasetProfile
+from repro.core import NDSearch, NDSearchConfig
+from repro.data.synthetic import split_queries, unit_normalized
+
+
+def main() -> None:
+    # Passage embeddings: unit-normalized, like sentence-transformer
+    # output; DiskANN is the SSD-resident index DiskANN-style RAG uses.
+    corpus = unit_normalized(8000, 96, seed=11)
+    prompts = split_queries(corpus, 256, seed=12)
+
+    print("building DiskANN (Vamana) index over the passage store ...")
+    index = DiskANNIndex(corpus, DiskANNParams(R=24, L=64, alpha=1.2))
+
+    config = NDSearchConfig.scaled()
+    system = NDSearch(index=index, config=config)
+    ids, dists, nd = system.search_batch(prompts, k=5, ef=64)
+    print(f"retrieved 5 passages per prompt; example: prompt 0 -> {ids[0]}")
+
+    # Replay the same traces on host baselines for comparison.
+    _, _, traces = index.search_batch(prompts, 5, ef=64)
+    profile = DatasetProfile(
+        name="rag-passages",
+        num_vectors=corpus.shape[0],
+        dim=corpus.shape[1],
+        vector_bytes=corpus.shape[1] * 4,
+        footprint_bytes=corpus.shape[0] * (corpus.shape[1] * 4 + 64),
+    )
+    cpu = CPUModel(timing=config.timing, host=config.host).run_batch(
+        traces, profile, algorithm="diskann",
+        cached_vertices=index.hot_vertices(0.05),
+    )
+    gpu = GPUModel(timing=config.timing, host=config.host).run_batch(
+        traces, profile, algorithm="diskann"
+    )
+
+    rows = []
+    for label, r in (("CPU + SSD", cpu), ("GPU (sharded)", gpu),
+                     ("NDSearch", nd)):
+        rows.append([
+            label,
+            f"{r.sim_time_s * 1e3:.1f} ms",
+            f"{r.qps / 1e3:.1f} K",
+            f"{1e6 / max(r.qps, 1):.0f} us",
+            f"{r.qps_per_watt:.0f}",
+        ])
+    print()
+    print(format_table(
+        ["platform", "batch latency", "QPS", "per-prompt latency", "QPS/W"],
+        rows,
+        title="RAG retrieval: 256 prompts, top-5 passages",
+    ))
+    print(
+        f"\nNDSearch speedup: {nd.speedup_over(cpu):.1f}x over CPU, "
+        f"{nd.speedup_over(gpu):.1f}x over GPU"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+the legacy ``pip install -e .`` path on minimal offline installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — a from-scratch reproduction of NDSEARCH (ISCA 2024).
+
+NDSearch accelerates graph-traversal-based approximate nearest
+neighbor search by moving graph traversal and distance computation
+into the SSD (near-data processing at NAND LUN granularity).  The
+package layout mirrors the system:
+
+* :mod:`repro.ann` — the ANNS algorithms (HNSW, DiskANN, HCNNG, TOGG,
+  plus the IVF-Flat extension).
+* :mod:`repro.flash` — the NAND-flash SSD substrate.
+* :mod:`repro.core` — the paper's contribution: LUNCSR, two-level
+  scheduling, the SearSSD architecture and the NDSearch system.
+* :mod:`repro.sorting` — the FPGA bitonic sorting kernel.
+* :mod:`repro.baselines` — CPU / CPU-T / GPU / SmartSSD / DeepStore.
+* :mod:`repro.sim`, :mod:`repro.data`, :mod:`repro.workloads`,
+  :mod:`repro.analysis`, :mod:`repro.experiments` — simulation core,
+  datasets, trace sets, analysis and the per-figure experiment drivers.
+
+Typical use::
+
+    from repro.ann import HNSWIndex, HNSWParams
+    from repro.core import NDSearch, NDSearchConfig
+
+    index = HNSWIndex(vectors, HNSWParams())
+    system = NDSearch(index=index, config=NDSearchConfig.scaled())
+    ids, dists, telemetry = system.search_batch(queries, k=10)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import NDSearch, NDSearchConfig, SchedulingFlags
+
+__all__ = ["NDSearch", "NDSearchConfig", "SchedulingFlags", "__version__"]

@@ -1,0 +1,21 @@
+"""Analysis utilities: locality metrics, breakdowns, roofline, tables."""
+
+from repro.analysis.locality import (
+    accessed_vector_fraction,
+    lun_coverage,
+    page_access_ratio,
+)
+from repro.analysis.breakdown import cpu_breakdown, ndsearch_breakdown
+from repro.analysis.roofline import RooflinePoint, roofline_model
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "page_access_ratio",
+    "accessed_vector_fraction",
+    "lun_coverage",
+    "cpu_breakdown",
+    "ndsearch_breakdown",
+    "RooflinePoint",
+    "roofline_model",
+    "format_table",
+]

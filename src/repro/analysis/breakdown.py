@@ -1,0 +1,44 @@
+"""Execution-time breakdowns (paper Figs. 1 and 17)."""
+
+from __future__ import annotations
+
+from repro.sim.stats import SimResult
+
+#: Fig. 1 groups the CPU's time into two bars.
+CPU_GROUPS = {
+    "ssd_io_read": ("ssd_io_read",),
+    "compute_and_sort": ("host_memory", "compute", "sort"),
+}
+
+#: Fig. 17 component order for NDSearch.
+NDSEARCH_GROUPS = {
+    "nand_read": ("nand_read",),
+    "channel_bus": ("channel_bus",),
+    "dram_access": ("dram",),
+    "embedded_cores": ("embedded_cores",),
+    "allocating": ("vgenerator", "allocator"),
+    "bitonic_fpga": ("fpga_sort",),
+    "ssd_io_read": ("pcie_host",),
+}
+
+
+def _grouped(result: SimResult, groups: dict[str, tuple[str, ...]]) -> dict[str, float]:
+    busy = result.component_busy_s
+    raw = {
+        label: sum(busy.get(key, 0.0) for key in keys)
+        for label, keys in groups.items()
+    }
+    total = sum(raw.values())
+    if total <= 0:
+        return {label: 0.0 for label in groups}
+    return {label: value / total for label, value in raw.items()}
+
+
+def cpu_breakdown(result: SimResult) -> dict[str, float]:
+    """CPU execution-time shares: SSD I/O read vs compute-and-sort."""
+    return _grouped(result, CPU_GROUPS)
+
+
+def ndsearch_breakdown(result: SimResult) -> dict[str, float]:
+    """NDSearch execution-time shares (the Fig. 17 stacked bar)."""
+    return _grouped(result, NDSEARCH_GROUPS)

@@ -1,0 +1,61 @@
+"""Data-movement accounting across platforms (Section IV-A / IX).
+
+The qualitative core of the paper is a data-movement hierarchy: the
+less feature-vector traffic a design ships, and the closer its compute
+sits to the NAND arrays, the faster and more efficient it is.  This
+module tallies bytes moved per boundary for each simulated platform
+(host PCIe, private PCIe, SSD-internal buses) and computes the
+filtering factor of SearSSD's ``<SearchPage>`` workflow versus a
+page-shipping design — the paper's "as low as 1/32 of the data
+transferred via PCIe link in [47]".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import SimResult
+
+
+@dataclass(frozen=True)
+class DataMovement:
+    """Bytes crossing each boundary for one simulated batch."""
+
+    platform: str
+    host_pcie_bytes: int
+    private_pcie_bytes: int
+    internal_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.host_pcie_bytes + self.private_pcie_bytes + self.internal_bytes
+
+    def per_query(self, batch_size: int) -> float:
+        if batch_size <= 0:
+            return 0.0
+        return self.total_bytes / batch_size
+
+
+def movement_of(result: SimResult) -> DataMovement:
+    """Extract the boundary-crossing byte counts from a SimResult."""
+    c = result.counters
+    return DataMovement(
+        platform=result.platform,
+        host_pcie_bytes=int(c["pcie_bytes"]),
+        private_pcie_bytes=int(c["pcie_private_bytes"] + c["private_pcie_bytes"]),
+        internal_bytes=int(c["internal_bytes"]),
+    )
+
+
+def filtering_factor(ndsearch: SimResult, page_shipping: SimResult) -> float:
+    """How many fewer bytes NDSearch ships than a page-shipping design.
+
+    Compares total off-chip traffic (everything that leaves the NAND
+    dies) — for NDSearch that is distances plus host I/O; for a
+    SmartSSD/DeepStore-style design it is whole pages.
+    """
+    nd = movement_of(ndsearch).total_bytes
+    other = movement_of(page_shipping).total_bytes
+    if nd <= 0:
+        return float("inf")
+    return other / nd

@@ -1,0 +1,41 @@
+"""Exact nearest neighbor search (ground truth for recall)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.distance import DistanceMetric, pairwise_distances
+
+
+class BruteForceIndex:
+    """Exact top-k search by full scan; the NNS the paper approximates."""
+
+    def __init__(
+        self, vectors: np.ndarray, metric: DistanceMetric = DistanceMetric.EUCLIDEAN
+    ) -> None:
+        if vectors.ndim != 2 or vectors.shape[0] == 0:
+            raise ValueError("vectors must be a non-empty (n, d) array")
+        self.vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        self.metric = metric
+
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact top-k of one query: (ids, distances) ascending."""
+        ids, dists = self.search_batch(query[None, :], k)
+        return ids[0], dists[0]
+
+    def search_batch(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact top-k for a (b, d) batch: (b, k) ids and distances."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, self.vectors.shape[0])
+        dmat = pairwise_distances(
+            np.ascontiguousarray(queries, dtype=np.float32), self.vectors, self.metric
+        )
+        part = np.argpartition(dmat, k - 1, axis=1)[:, :k]
+        part_d = np.take_along_axis(dmat, part, axis=1)
+        order = np.argsort(part_d, axis=1, kind="stable")
+        ids = np.take_along_axis(part, order, axis=1).astype(np.int64)
+        dists = np.take_along_axis(part_d, order, axis=1).astype(np.float64)
+        return ids, dists

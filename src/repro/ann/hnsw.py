@@ -1,0 +1,238 @@
+"""HNSW: Hierarchical Navigable Small World graphs (Malkov & Yashunin).
+
+From-scratch implementation of construction and search, following the
+original paper's Algorithms 1-5: exponential level sampling, per-layer
+greedy insertion with ``ef_construction`` beams, the neighbor-selection
+heuristic (Algorithm 4) and Mmax/Mmax0 degree capping.  The search path
+descends the hierarchy greedily then runs an ``ef``-wide beam on layer
+0; trace recording covers the layer-0 beam, which is where the flash
+traffic happens (upper layers are tiny and cached in the paper's
+setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ann.distance import DistanceMetric, distances_to_query
+from repro.ann.graph import ProximityGraph
+from repro.ann.search import greedy_beam_search, top_k_from_results
+from repro.ann.trace import SearchTrace, TraceRecorder
+
+
+@dataclass(frozen=True)
+class HNSWParams:
+    """Construction parameters (hnswlib naming)."""
+
+    M: int = 12
+    ef_construction: int = 64
+    seed: int = 1234
+    use_heuristic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.M < 2:
+            raise ValueError("M must be >= 2")
+        if self.ef_construction < self.M:
+            raise ValueError("ef_construction must be >= M")
+
+    @property
+    def max_degree(self) -> int:
+        """Mmax for upper layers."""
+        return self.M
+
+    @property
+    def max_degree0(self) -> int:
+        """Mmax0 for the base layer (2M as in hnswlib)."""
+        return 2 * self.M
+
+    @property
+    def level_multiplier(self) -> float:
+        return 1.0 / np.log(self.M)
+
+
+class HNSWIndex:
+    """A fully built HNSW index over a dataset."""
+
+    def __init__(self, vectors: np.ndarray, params: HNSWParams | None = None,
+                 metric: DistanceMetric = DistanceMetric.EUCLIDEAN) -> None:
+        self.params = params or HNSWParams()
+        self.metric = metric
+        self.vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        n = self.vectors.shape[0]
+        if n == 0:
+            raise ValueError("cannot build an index over an empty dataset")
+        self._rng = np.random.default_rng(self.params.seed)
+        # layers[l][v] -> list[int]; vertex present iff level(v) >= l.
+        self.layers: list[dict[int, list[int]]] = [dict()]
+        self.levels = np.zeros(n, dtype=np.int32)
+        self.entry_point = 0
+        self._build()
+
+    # ---- construction ------------------------------------------------------
+    def _sample_level(self) -> int:
+        u = self._rng.random()
+        return int(-np.log(max(u, 1e-12)) * self.params.level_multiplier)
+
+    def _build(self) -> None:
+        n = self.vectors.shape[0]
+        self.levels[0] = self._sample_level()
+        for _ in range(self.levels[0] + 1 - len(self.layers)):
+            self.layers.append(dict())
+        for layer in range(self.levels[0] + 1):
+            self.layers[layer][0] = []
+        for v in range(1, n):
+            self._insert(v)
+
+    def _search_layer(
+        self, query: np.ndarray, entries: list[int], ef: int, layer: int
+    ) -> list[tuple[float, int]]:
+        adj = self.layers[layer]
+        return greedy_beam_search(
+            self.vectors,
+            lambda v: np.asarray(adj.get(v, ()), dtype=np.int64),
+            query,
+            entries,
+            ef,
+            self.metric,
+        )
+
+    def _insert(self, v: int) -> None:
+        level = self._sample_level()
+        self.levels[v] = level
+        while len(self.layers) <= level:
+            self.layers.append(dict())
+        query = self.vectors[v]
+        top = self.levels[self.entry_point]
+        entry = self.entry_point
+        # Greedy descent through layers above the insertion level.
+        for layer in range(int(top), level, -1):
+            nearest = self._search_layer(query, [entry], 1, layer)
+            entry = nearest[0][1]
+        # Insert with ef_construction beams from min(level, top) down to 0.
+        entries = [entry]
+        for layer in range(min(level, int(top)), -1, -1):
+            found = self._search_layer(query, entries, self.params.ef_construction, layer)
+            m_cap = self.params.max_degree0 if layer == 0 else self.params.max_degree
+            selected = self._select_neighbors(query, found, self.params.M)
+            adj = self.layers[layer]
+            adj[v] = [u for _, u in selected]
+            for dist_vu, u in selected:
+                adj.setdefault(u, []).append(v)
+                if len(adj[u]) > m_cap:
+                    self._shrink(u, layer, m_cap)
+            entries = [u for _, u in found]
+        for layer in range(int(top) + 1, level + 1):
+            self.layers[layer][v] = []
+        if level > top:
+            self.entry_point = v
+
+    def _select_neighbors(
+        self, query: np.ndarray, candidates: list[tuple[float, int]], m: int
+    ) -> list[tuple[float, int]]:
+        """Algorithm 4 heuristic (or plain closest-m when disabled)."""
+        if not self.params.use_heuristic or len(candidates) <= m:
+            return sorted(candidates)[:m]
+        selected: list[tuple[float, int]] = []
+        selected_ids: list[int] = []
+        for dist_q, u in sorted(candidates):
+            if len(selected) >= m:
+                break
+            if selected_ids:
+                d_us = distances_to_query(
+                    self.vectors[np.asarray(selected_ids, dtype=np.int64)],
+                    self.vectors[u],
+                    self.metric,
+                )
+                if float(d_us.min()) < dist_q:
+                    continue
+            selected.append((dist_q, u))
+            selected_ids.append(u)
+        # Fill up with skipped candidates if the heuristic was too strict.
+        if len(selected) < m:
+            chosen = {u for _, u in selected}
+            for dist_q, u in sorted(candidates):
+                if len(selected) >= m:
+                    break
+                if u not in chosen:
+                    selected.append((dist_q, u))
+        return selected
+
+    def _shrink(self, u: int, layer: int, m_cap: int) -> None:
+        adj = self.layers[layer]
+        neigh = np.asarray(adj[u], dtype=np.int64)
+        dists = distances_to_query(self.vectors[neigh], self.vectors[u], self.metric)
+        candidates = [(float(d), int(x)) for d, x in zip(dists, neigh)]
+        kept = self._select_neighbors(self.vectors[u], candidates, m_cap)
+        adj[u] = [x for _, x in kept]
+
+    # ---- search ----------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        recorder: TraceRecorder | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k search; optionally records the layer-0 access trace."""
+        if ef is None:
+            ef = max(k, self.params.ef_construction // 2)
+        if ef < k:
+            raise ValueError("ef must be >= k")
+        entry = self.entry_point
+        for layer in range(int(self.levels[self.entry_point]), 0, -1):
+            nearest = self._search_layer(query, [entry], 1, layer)
+            entry = nearest[0][1]
+        adj = self.layers[0]
+        results = greedy_beam_search(
+            self.vectors,
+            lambda v: np.asarray(adj.get(v, ()), dtype=np.int64),
+            query,
+            [entry],
+            ef,
+            self.metric,
+            recorder=recorder,
+        )
+        ids, dists = top_k_from_results(results, k)
+        if recorder is not None:
+            recorder.record_result(ids, dists)
+        return ids, dists
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, ef: int | None = None, record: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, list[SearchTrace]]:
+        """Batch search returning ids, distances and per-query traces."""
+        n = queries.shape[0]
+        all_ids = np.full((n, k), -1, dtype=np.int64)
+        all_dists = np.full((n, k), np.inf, dtype=np.float64)
+        traces: list[SearchTrace] = []
+        for i in range(n):
+            recorder = TraceRecorder(query_id=i) if record else None
+            ids, dists = self.search(queries[i], k, ef=ef, recorder=recorder)
+            all_ids[i, : ids.size] = ids
+            all_dists[i, : dists.size] = dists
+            if recorder is not None:
+                traces.append(recorder.finish())
+        return all_ids, all_dists, traces
+
+    # ---- export --------------------------------------------------------------------
+    def base_graph(self) -> ProximityGraph:
+        """The layer-0 graph: what NDSearch stores in the flash array."""
+        n = self.vectors.shape[0]
+        adjacency = [self.layers[0].get(v, []) for v in range(n)]
+        return ProximityGraph.from_adjacency(
+            self.vectors, adjacency, metric=self.metric, entry_point=self.entry_point
+        )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def memory_per_vertex_bytes(self) -> float:
+        """Average per-vertex footprint (paper: 60-450 B/vertex)."""
+        edge_bytes = sum(
+            4 * len(neigh) for layer in self.layers for neigh in layer.values()
+        )
+        vec_bytes = self.vectors.size * self.vectors.itemsize
+        return (edge_bytes + vec_bytes) / self.vectors.shape[0]

@@ -1,0 +1,120 @@
+"""The shared greedy best-first (beam) search kernel.
+
+All four graph-traversal ANNS algorithms in the paper run the same
+inner loop (Section II-A): keep a candidate list, repeatedly pop the
+candidate nearest to the query, terminate when it is farther than the
+worst of the current top results, otherwise compute distances to its
+unvisited neighbors and push them.  The kernel optionally records an
+access trace (one :class:`IterationRecord` per pop) for the simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.ann.distance import DistanceMetric, distances_to_query
+from repro.ann.trace import TraceRecorder
+
+
+def greedy_beam_search(
+    vectors: np.ndarray,
+    neighbors_of,
+    query: np.ndarray,
+    entry_points: list[int],
+    ef: int,
+    metric: DistanceMetric,
+    recorder: TraceRecorder | None = None,
+    neighbor_filter=None,
+    max_iterations: int | None = None,
+) -> list[tuple[float, int]]:
+    """Beam search over an arbitrary adjacency function.
+
+    Parameters
+    ----------
+    vectors:
+        (n, d) dataset.
+    neighbors_of:
+        Callable ``vertex -> ndarray of neighbor IDs`` (lets HNSW pass a
+        per-layer adjacency and TOGG pass a filtered one).
+    entry_points:
+        Initial candidate vertices.
+    ef:
+        Beam width — size of the dynamic result list.
+    recorder:
+        Optional :class:`TraceRecorder`; one iteration is recorded per
+        expanded vertex, carrying the newly computed neighbor IDs.
+    neighbor_filter:
+        Optional callable ``(current_vertex, neighbor_ids) -> neighbor_ids``
+        applied before distance computation (TOGG's guided stage).
+    max_iterations:
+        Optional safety cap on expansions.
+
+    Returns
+    -------
+    list of (distance, vertex) pairs, ascending by distance, length <= ef.
+    """
+    if ef < 1:
+        raise ValueError("ef must be >= 1")
+    if not entry_points:
+        raise ValueError("need at least one entry point")
+
+    visited: set[int] = set(int(e) for e in entry_points)
+    entry_array = np.fromiter(visited, dtype=np.int64, count=len(visited))
+    entry_dists = distances_to_query(vectors[entry_array], query, metric)
+
+    # candidates: min-heap by distance; results: max-heap (negated).
+    candidates: list[tuple[float, int]] = []
+    results: list[tuple[float, int]] = []
+    for dist, vid in zip(entry_dists, entry_array):
+        heapq.heappush(candidates, (float(dist), int(vid)))
+        heapq.heappush(results, (-float(dist), int(vid)))
+    while len(results) > ef:
+        heapq.heappop(results)
+    if recorder is not None:
+        recorder.record_iteration(int(entry_array[0]), entry_array.tolist())
+
+    iterations = 0
+    while candidates:
+        dist, vertex = heapq.heappop(candidates)
+        worst = -results[0][0]
+        if dist > worst and len(results) >= ef:
+            break
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        iterations += 1
+
+        neigh = np.asarray(neighbors_of(vertex))
+        if neighbor_filter is not None and neigh.size:
+            neigh = np.asarray(neighbor_filter(vertex, neigh))
+        fresh = [int(u) for u in neigh if int(u) not in visited]
+        if recorder is not None:
+            recorder.record_iteration(vertex, fresh)
+        if not fresh:
+            continue
+        visited.update(fresh)
+        fresh_arr = np.asarray(fresh, dtype=np.int64)
+        dists = distances_to_query(vectors[fresh_arr], query, metric)
+        worst = -results[0][0]
+        for d, u in zip(dists, fresh_arr):
+            d = float(d)
+            if len(results) < ef or d < worst:
+                heapq.heappush(candidates, (d, int(u)))
+                heapq.heappush(results, (-d, int(u)))
+                if len(results) > ef:
+                    heapq.heappop(results)
+                worst = -results[0][0]
+
+    ordered = sorted(((-d, v) for d, v in results))
+    return [(d, v) for d, v in ordered]
+
+
+def top_k_from_results(
+    results: list[tuple[float, int]], k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split the (distance, id) beam output into top-k arrays."""
+    top = results[: max(k, 0)]
+    ids = np.asarray([v for _, v in top], dtype=np.int64)
+    dists = np.asarray([d for d, _ in top], dtype=np.float64)
+    return ids, dists

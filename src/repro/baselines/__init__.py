@@ -1,0 +1,22 @@
+"""Baseline platform models the paper compares against (Section VII).
+
+All baselines are trace-driven: they replay the same per-query access
+traces as NDSearch on an analytic+event timing model of the platform:
+
+* :class:`repro.baselines.cpu.CPUModel` — 2x Xeon host with SSD-backed
+  storage (hnswlib / DiskANN style), including the CPU-T variant with
+  terabyte-class DRAM (Section VIII).
+* :class:`repro.baselines.gpu.GPUModel` — Titan-RTX-class GPU with
+  k-means-sharded VRAM residency (cuhnsw style).
+* :class:`repro.baselines.smartssd.SmartSSDModel` — the SmartSSD-only
+  design [47]: FPGA over a private PCIe x4, no in-storage logic.
+* :class:`repro.baselines.deepstore.DeepStoreModel` — DeepStore-style
+  channel-level (DS-c) and chip-level (DS-cp) in-storage accelerators.
+"""
+
+from repro.baselines.cpu import CPUModel
+from repro.baselines.gpu import GPUModel
+from repro.baselines.smartssd import SmartSSDModel
+from repro.baselines.deepstore import DeepStoreModel
+
+__all__ = ["CPUModel", "GPUModel", "SmartSSDModel", "DeepStoreModel"]

@@ -1,0 +1,104 @@
+"""GPU baseline: cuhnsw on a Titan-RTX-class device (Fig. 13).
+
+* **In-memory datasets**: accesses hit VRAM at high bandwidth; the
+  per-iteration kernel-launch/synchronisation overhead (batched beam
+  search advances all queries one hop per kernel) is what keeps the
+  GPU's advantage over the CPU at the modest factor Fig. 13 shows.
+* **Out-of-memory datasets**: the dataset is k-means-sharded; shards
+  stream from the SSD over PCIe via P2P DMA at high queue depth, so
+  the effective utilisation is better than the host-managed CPU path,
+  but the traffic itself is the same per-access page reads — PCIe
+  remains the bottleneck, which is why the paper's GPU is only ~2x the
+  CPU on billion-scale datasets while NDSearch is an order of
+  magnitude faster still.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.common import DatasetProfile, WorkloadStats
+from repro.core.config import HostConfig
+from repro.flash.timing import FlashTiming
+from repro.sim.energy import EnergyModel
+from repro.sim.stats import Counters, SimResult
+
+
+@dataclass
+class GPUModel:
+    """Trace-driven GPU model."""
+
+    timing: FlashTiming
+    host: HostConfig
+    vram_bandwidth: float = 600e9
+    vram_access_s: float = 90e-9
+    """Effective per-vertex cost of the in-VRAM traversal: divergent
+    gathers plus the serial candidate-heap work of each query's
+    thread block (cuhnsw is latency-bound, not bandwidth-bound)."""
+
+    gpu_util_max: float = 0.85
+    shard_routing_overhead_s: float = 0.1e-6
+    """Host-side k-means shard routing bookkeeping per access."""
+
+    sort_list_length: int = 64
+
+    platform: str = "gpu"
+
+    def run_batch(
+        self,
+        traces,
+        profile: DatasetProfile,
+        algorithm: str = "hnsw",
+        cached_vertices: np.ndarray | None = None,
+    ) -> SimResult:
+        stats = WorkloadStats.from_traces(traces)
+        timing = self.timing
+        counters = Counters()
+        busy: dict[str, float] = {}
+
+        fits = profile.fits_in(self.host.vram_capacity_bytes)
+        accesses = stats.total_accesses
+
+        # VRAM traffic for vectors + neighbor lists: divergent gathers
+        # bounded by access latency, plus the streaming floor.
+        slice_bytes = profile.vector_bytes + 4 * 16
+        t_vram = accesses * max(
+            self.vram_access_s, slice_bytes / self.vram_bandwidth
+        )
+        # Distance kernels are throughput-bound; add per-access scheduling.
+        t_compute = accesses * profile.dim * 3.0 / timing.gpu_distance_flops
+        t_compute += accesses * 5e-9
+        # One kernel launch + sync per search hop, all queries together.
+        t_launch = stats.max_iterations * timing.gpu_kernel_launch_s
+        t_sort = stats.batch_size * self.sort_list_length * 1e-9
+        counters["distance_computations"] += accesses
+
+        t_io = 0.0
+        if not fits:
+            io_bytes = accesses * timing.os_page_size
+            effective_bw = timing.pcie_host_bw * self.gpu_util_max
+            t_io = io_bytes / effective_bw
+            t_io += accesses * self.shard_routing_overhead_s
+            counters["pcie_bytes"] += io_bytes
+            counters["ssd_page_reads"] += accesses
+
+        busy["ssd_io_read"] = t_io
+        busy["vram"] = t_vram
+        busy["compute"] = t_compute
+        busy["kernel_launch"] = t_launch
+        busy["sort"] = t_sort
+        total = t_io + t_vram + t_compute + t_launch + t_sort
+
+        result = SimResult(
+            platform=self.platform,
+            algorithm=algorithm,
+            dataset=profile.name,
+            batch_size=stats.batch_size,
+            sim_time_s=total,
+            counters=counters,
+            component_busy_s=busy,
+        )
+        EnergyModel.for_platform(self.platform).attach(result)
+        return result

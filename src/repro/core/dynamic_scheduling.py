@@ -1,0 +1,104 @@
+"""Dynamic scheduling: batch-wise dynamic allocating (Section VI-B1).
+
+At runtime, the Allocator gathers, per search iteration, every
+(query, candidate-vertex) pair in the batch and groups the pairs by the
+candidate's LUN (then by plane).  All queries whose candidates live in
+the same LUN are dispatched to that LUN's accelerator *together*, so a
+page holding candidates of several queries is sensed once and reused
+from the page buffer — the temporal-locality win that cuts page
+accesses by up to 73% (Fig. 15).
+
+Without dynamic allocating ("w/o ds"), queries are processed
+sequentially: each query's candidate pages are sensed on demand and a
+page needed by a later query has typically been evicted (page buffers
+hold a single page), so cross-query sharing is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.placement import VertexPlacement
+
+
+@dataclass
+class LunWorklist:
+    """Work assigned to one LUN accelerator for one iteration round."""
+
+    lun: int
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    """(query ID, vertex ID) pairs to compute in this LUN."""
+
+    def queries(self) -> set[int]:
+        return {q for q, _ in self.pairs}
+
+    def vertices(self) -> list[int]:
+        return [v for _, v in self.pairs]
+
+
+def allocate_batch_to_luns(
+    pairs: list[tuple[int, int]], placement: VertexPlacement
+) -> dict[int, LunWorklist]:
+    """Group (query, vertex) pairs by the vertex's LUN.
+
+    This is the Dispatcher of Fig. 7(b): the Alloc Buffer is
+    horizontally partitioned by LUN ID, each partition holding the
+    queries and neighbor IDs bound for that LUN.
+    """
+    worklists: dict[int, LunWorklist] = {}
+    for query, vertex in pairs:
+        lun = int(placement.lun[vertex])
+        worklist = worklists.get(lun)
+        if worklist is None:
+            worklist = LunWorklist(lun=lun)
+            worklists[lun] = worklist
+        worklist.pairs.append((query, vertex))
+    return worklists
+
+
+def page_loads_with_sharing(
+    vertices: np.ndarray, placement: VertexPlacement
+) -> tuple[int, int]:
+    """Page loads needed to serve ``vertices`` with buffer sharing.
+
+    Returns ``(loads, multiplane_merged)``: distinct pages to sense,
+    and how many of those senses can pair into multi-plane operations
+    (same LUN, same block+page, different plane — the ONFI
+    restrictions the Fig. 11 mapping is designed to satisfy).
+    """
+    if len(vertices) == 0:
+        return 0, 0
+    vertices = np.asarray(vertices, dtype=np.int64)
+    keys = placement.page_keys(vertices)
+    unique_keys = np.unique(keys)
+    loads = int(unique_keys.size)
+    # A page key encodes (lun, plane, block, page).  Two keys merge if
+    # they differ only in the plane field.
+    g = placement.geometry
+    pages_per_plane_span = g.blocks_per_plane * g.pages_per_block
+    plane_field = (unique_keys // pages_per_plane_span) % g.planes_per_lun
+    # Key with the plane field zeroed out:
+    without_plane = unique_keys - plane_field * pages_per_plane_span
+    _, counts = np.unique(without_plane, return_counts=True)
+    merged = int(np.sum(counts - 1))
+    return loads, merged
+
+
+def page_loads_without_sharing(
+    per_query_vertices: list[np.ndarray], placement: VertexPlacement
+) -> tuple[int, int]:
+    """Page loads when each query is served independently (w/o ds).
+
+    Pages shared *within* one query's candidate list still count once
+    (they arrive in one request), but sharing *across* queries is lost.
+    Multi-plane merging applies within a query only.
+    """
+    loads = 0
+    merged = 0
+    for vertices in per_query_vertices:
+        l, m = page_loads_with_sharing(vertices, placement)
+        loads += l
+        merged += m
+    return loads, merged

@@ -1,0 +1,202 @@
+"""NDSearch: the complete system and its public API.
+
+An :class:`NDSearch` instance wraps a built ANNS index (HNSW, DiskANN,
+HCNNG or TOGG — anything exposing ``search_batch`` and ``base_graph``),
+applies static scheduling (degree-ascending BFS reordering when
+enabled), maps the reordered graph onto the SearSSD flash array, and
+offers two execution paths:
+
+* :meth:`search_batch` — the fast path used by experiments: the search
+  runs functionally on the host index (recording access traces), the
+  traces are remapped to the reordered/physical vertex IDs and replayed
+  on the :class:`~repro.core.searssd.SearSSDModel` timing simulator.
+  Returns real top-k results *and* a :class:`~repro.sim.stats.SimResult`
+  with simulated latency, counters and energy.
+
+* :meth:`search_batch_functional` — the validation path: Algorithm 1
+  executed end-to-end through the functional SearSSD device (NAND page
+  buffers, SiN MACs, FPGA bitonic sorter).  Bit-identical to a host
+  beam search over the same graph; integration tests rely on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ann.graph import ProximityGraph
+from repro.ann.trace import SearchTrace, remap_trace
+from repro.core.config import NDSearchConfig
+from repro.core.placement import map_vertices
+from repro.core.processing_model import NDPProcessingModel
+from repro.core.searssd import SearSSDDevice, SearSSDModel
+from repro.core.speculative import select_speculative_candidates
+from repro.core.static_scheduling import degree_ascending_bfs, random_bfs
+from repro.flash.ecc import LDPCModel
+from repro.sim.energy import EnergyModel
+from repro.sim.stats import SimResult
+
+
+def precompute_speculative_sets(
+    traces: list[SearchTrace], graph: ProximityGraph, width: int
+) -> list[list[np.ndarray]]:
+    """Per-query, per-iteration speculative candidate sets.
+
+    ``sets[q][i]`` is what the Pref Unit would prefetch during query
+    ``q``'s iteration ``i`` (second-order neighbors of that iteration's
+    computed vertices, ranked by connectivity back into the set).
+    Depends only on the graph and traces, so experiments compute it
+    once and reuse it across scheduling-flag configurations.
+    """
+    out: list[list[np.ndarray]] = []
+    for trace in traces:
+        per_iter: list[np.ndarray] = []
+        for record in trace.iterations:
+            first_order = np.asarray(record.computed, dtype=np.int64)
+            if first_order.size == 0:
+                per_iter.append(np.empty(0, dtype=np.int64))
+                continue
+            per_iter.append(
+                select_speculative_candidates(graph, first_order, width)
+            )
+        out.append(per_iter)
+    return out
+
+
+@dataclass
+class NDSearch:
+    """The NDSearch system: index + static scheduling + SearSSD.
+
+    Parameters
+    ----------
+    index:
+        A built ANNS index (e.g. :class:`repro.ann.hnsw.HNSWIndex`).
+    config:
+        System configuration; ``config.flags`` selects which of the
+        paper's techniques are active.
+    reorder_seed:
+        Seed for the ``random_bfs`` alternative (``reorder_mode``).
+    reorder_mode:
+        ``"ours"`` (degree-ascending BFS, the paper's method),
+        ``"random_bfs"`` (prior-work baseline) or ``"none"``.
+        Only consulted when ``config.flags.reorder`` is set.
+    """
+
+    index: object
+    config: NDSearchConfig
+    reorder_mode: str = "ours"
+    reorder_seed: int = 0
+    hard_failure_prob: float = 0.01
+
+    graph: ProximityGraph = field(init=False)
+    order: np.ndarray = field(init=False)
+    new_id: np.ndarray = field(init=False)
+    _model: SearSSDModel = field(init=False, repr=False)
+    _device: SearSSDDevice | None = field(default=None, init=False, repr=False)
+    _spec_cache: dict = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        base = self.index.base_graph()
+        n = base.num_vertices
+        if self.config.flags.reorder:
+            if self.reorder_mode == "ours":
+                self.order = degree_ascending_bfs(base)
+            elif self.reorder_mode == "random_bfs":
+                self.order = random_bfs(base, seed=self.reorder_seed)
+            elif self.reorder_mode == "none":
+                self.order = np.arange(n, dtype=np.int64)
+            else:
+                raise ValueError(f"unknown reorder mode {self.reorder_mode!r}")
+        else:
+            self.order = np.arange(n, dtype=np.int64)
+        self.new_id = np.empty(n, dtype=np.int64)
+        self.new_id[self.order] = np.arange(n)
+        self.graph = base.relabeled(self.order)
+        vector_bytes = self.graph.dim * self.graph.vectors.itemsize
+        scheme = "multiplane" if self.config.flags.multiplane else "interleaved"
+        placement = map_vertices(
+            n, self.config.geometry, vector_bytes, scheme=scheme
+        )
+        cached = self._cached_vertices()
+        self._model = SearSSDModel(
+            config=self.config,
+            placement=placement,
+            dim=self.graph.dim,
+            graph=self.graph,
+            ldpc=LDPCModel(hard_failure_prob=self.hard_failure_prob),
+            cached_vertices=cached,
+        )
+
+    def _cached_vertices(self) -> np.ndarray | None:
+        """Hot vertices cacheable in internal DRAM (DiskANN mode)."""
+        hot = getattr(self.index, "hot_vertices", None)
+        if hot is None:
+            return None
+        vertices = hot(self.config.hot_cache_fraction)
+        return self.new_id[vertices]
+
+    # ---- fast (trace-replay) path ----------------------------------------------
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        dataset: str = "synthetic",
+        algorithm: str | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, SimResult]:
+        """Search a batch; returns (ids, distances, SimResult).
+
+        IDs are in the *original* dataset numbering (the reordering is
+        an internal physical-layout concern, invisible to callers).
+        """
+        ids, dists, traces = self.index.search_batch(queries, k, ef=ef)
+        result = self.simulate_traces(
+            traces,
+            dataset=dataset,
+            algorithm=algorithm or type(self.index).__name__.lower(),
+        )
+        return ids, dists, result
+
+    def simulate_traces(
+        self,
+        traces: list[SearchTrace],
+        dataset: str = "synthetic",
+        algorithm: str = "hnsw",
+    ) -> SimResult:
+        """Replay pre-recorded traces on the SearSSD timing model."""
+        remapped = [remap_trace(t, self.new_id) for t in traces]
+        spec_sets = None
+        if self.config.flags.speculative:
+            cache_key = (id(traces[0]) if traces else 0, len(traces))
+            spec_sets = self._spec_cache.get(cache_key)
+            if spec_sets is None:
+                spec_sets = precompute_speculative_sets(
+                    remapped, self.graph, self.config.speculative_width
+                )
+                self._spec_cache[cache_key] = spec_sets
+        result = self._model.run_batch(
+            remapped, speculative_sets=spec_sets,
+            algorithm=algorithm, dataset=dataset,
+        )
+        EnergyModel.ndsearch().attach(result)
+        return result
+
+    # ---- functional (hardware datapath) path ----------------------------------------
+    def device(self) -> SearSSDDevice:
+        """Lazily build the functional SearSSD device."""
+        if self._device is None:
+            self._device = SearSSDDevice(self.graph, self.config)
+        return self._device
+
+    def search_batch_functional(
+        self, queries: np.ndarray, k: int, ef: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run Algorithm 1 through the functional hardware path.
+
+        Results come back in original dataset numbering.
+        """
+        model = NDPProcessingModel(self.device(), ef=ef, k=k)
+        ids, dists = model.run_batch(np.ascontiguousarray(queries, dtype=np.float32))
+        mapped = np.where(ids >= 0, self.order[np.clip(ids, 0, None)], -1)
+        return mapped, dists

@@ -1,0 +1,274 @@
+"""The NDP processing model (Section V, Algorithm 1) — functional path.
+
+The paper replaces the GraphMat-style Scatter/Apply model with one
+tailored to NDP: Scatter decouples into **Allocating** (batch-wise
+dynamic allocation of queries to LUN accelerators) and **Searching**
+(multi-LUN distance computation); Apply decouples into **Gathering**
+(query-property-table updates) and **Sorting** (bitonic top-k on the
+FPGA).
+
+This module *executes* that model functionally against a real
+:class:`~repro.core.searssd.SearSSDDevice`: graph traversal runs on the
+"embedded cores" (this class), neighbor fetch on the Vgenerator,
+dispatch on the Allocator, distance computation inside the SiN
+engines reading bytes out of simulated NAND page buffers, and final
+sorting on the FPGA model.  The integration tests assert the results
+are identical to the host-side reference search — the co-designed
+hardware computes the same answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allocator import LunDispatch
+from repro.flash.commands import DistanceType, SearchPage, encode_dim, encode_precision
+from repro.sim.stats import Counters
+from repro.sorting.fpga import FPGASorter
+
+_DISTANCE_CODE = {
+    "euclidean": DistanceType.EUCLIDEAN,
+    "angular": DistanceType.ANGULAR,
+    "inner_product": DistanceType.INNER_PRODUCT,
+}
+
+
+@dataclass
+class QueryProperty:
+    """One row of the Query Property Table (kept in internal DRAM)."""
+
+    query_id: int
+    vector: np.ndarray
+    entry_vertex: int
+    candidates: list[tuple[float, int]] = field(default_factory=list)
+    results: list[tuple[float, int]] = field(default_factory=list)  # max-heap
+    visited: set[int] = field(default_factory=set)
+    spec_distances: dict[int, float] = field(default_factory=dict)
+    done: bool = False
+    iterations: int = 0
+
+    def worst_result(self) -> float:
+        return -self.results[0][0] if self.results else float("inf")
+
+
+class NDPProcessingModel:
+    """Algorithm 1, executed over a SearSSD device."""
+
+    def __init__(self, device, ef: int, k: int) -> None:
+        if ef < k:
+            raise ValueError("ef must be >= k")
+        self.device = device
+        self.ef = ef
+        self.k = k
+        self.counters = Counters()
+
+    # ---- public entry point --------------------------------------------------
+    def run_batch(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Search a batch; returns (ids, distances) of shape (b, k)."""
+        device = self.device
+        table = self._init_query_property_table(queries)
+        self._seed_entries(table)
+
+        while any(not q.done for q in table):
+            active = [q for q in table if not q.done]
+            # Entry selection: pop the nearest candidate per query.
+            fetch_list: list[tuple[int, int]] = []
+            for q in active:
+                entry = self._select_entry(q)
+                if entry is None:
+                    continue
+                fetch_list.append((q.query_id, entry))
+            if not fetch_list:
+                break
+
+            # Scatter / Allocating: Vgenerator + Allocator.
+            nbr_entries = device.vgenerator.fetch_batch(fetch_list)
+            fresh_entries = []
+            for entry in nbr_entries:
+                q = table[entry.query_id]
+                mask = [int(u) not in q.visited for u in entry.neighbor_ids]
+                entry.neighbor_ids = entry.neighbor_ids[mask]
+                entry.lun_ids = entry.lun_ids[mask]
+                q.visited.update(int(u) for u in entry.neighbor_ids)
+                fresh_entries.append(entry)
+            if device.config.flags.dynamic_alloc:
+                dispatches = list(device.allocator.dispatch(fresh_entries).values())
+            else:
+                dispatches = device.allocator.dispatch_sequential(fresh_entries)
+
+            # Scatter / Searching: SiN engines compute distances.
+            for dispatch in dispatches:
+                for result in self._execute_dispatch(table, dispatch):
+                    self._reduce(table[result.query_id], result.vertex_id,
+                                 result.distance)
+
+            # Apply / Gathering: update the QPT.
+            for q in active:
+                q.iterations += 1
+                self.counters["qpt_updates"] += 1
+
+            if device.config.flags.speculative:
+                self._speculate(table, fresh_entries)
+
+        # Apply / Sorting: bitonic top-k on the FPGA.
+        return self._sort_results(table)
+
+    # ---- stages ------------------------------------------------------------------
+    def _init_query_property_table(self, queries: np.ndarray) -> list[QueryProperty]:
+        entry = self.device.graph.entry_point
+        return [
+            QueryProperty(query_id=i, vector=queries[i], entry_vertex=entry)
+            for i in range(queries.shape[0])
+        ]
+
+    def _seed_entries(self, table: list[QueryProperty]) -> None:
+        """Compute the entry vertex's distance for every query (via SiN)."""
+        entry = self.device.graph.entry_point
+        dispatch = LunDispatch(lun=self.device.luncsr.lun_of(entry))
+        for q in table:
+            q.visited.add(entry)
+            dispatch.query_ids.append(q.query_id)
+            dispatch.vertex_ids.append(entry)
+            dispatch.addresses.append(self.device.allocator.generate_address(entry))
+        for result in self._execute_dispatch(table, dispatch):
+            q = table[result.query_id]
+            heapq.heappush(q.candidates, (result.distance, result.vertex_id))
+            heapq.heappush(q.results, (-result.distance, result.vertex_id))
+
+    def _select_entry(self, q: QueryProperty) -> int | None:
+        """Pop the nearest candidate; apply the termination condition."""
+        if not q.candidates:
+            q.done = True
+            return None
+        dist, vertex = heapq.heappop(q.candidates)
+        if dist > q.worst_result() and len(q.results) >= self.ef:
+            q.done = True
+            return None
+        return vertex
+
+    def _execute_dispatch(self, table, dispatch: LunDispatch):
+        """Run one LUN's worth of <SearchPage> commands, honouring
+        multi-plane grouping when the flags and addresses allow it."""
+        device = self.device
+        accelerator = device.accelerator_of(dispatch.lun)
+        code = _DISTANCE_CODE[device.graph.metric.value]
+        results = []
+        pending: dict[tuple[int, int, int], list[int]] = {}
+        for idx, address in enumerate(dispatch.addresses):
+            key = (address.block, address.page, address.plane)
+            pending.setdefault(key, []).append(idx)
+
+        handled: set[int] = set()
+        if device.config.flags.multiplane:
+            # Pair up same-(block, page) groups across distinct planes.
+            by_page: dict[tuple[int, int], list[tuple[int, int]]] = {}
+            for (block, page, plane), idxs in pending.items():
+                by_page.setdefault((block, page), []).append((plane, idxs[0]))
+            for (block, page), plane_list in by_page.items():
+                if len(plane_list) < 2:
+                    continue
+                commands, work = [], []
+                for plane, idx in plane_list:
+                    address = dispatch.addresses[idx]
+                    commands.append(self._command(address, code))
+                    q = table[dispatch.query_ids[idx]]
+                    work.append((q.query_id, dispatch.vertex_ids[idx], q.vector))
+                    handled.add(idx)
+                results.extend(accelerator.execute_multi_plane(commands, work))
+                self.counters["multiplane_groups"] += 1
+
+        for idx, address in enumerate(dispatch.addresses):
+            if idx in handled:
+                continue
+            q = table[dispatch.query_ids[idx]]
+            vertex = dispatch.vertex_ids[idx]
+            if vertex in q.spec_distances:
+                # Speculative hit: distance already computed last round.
+                results.append(
+                    _SpecResult(q.query_id, vertex, q.spec_distances[vertex])
+                )
+                self.counters["speculative_hits"] += 1
+                continue
+            command = self._command(
+                address, code, page_loc=len(pending[(address.block, address.page,
+                                                     address.plane)]) > 1
+            )
+            results.append(
+                accelerator.execute_search_page(command, q.query_id, vertex, q.vector)
+            )
+        return results
+
+    def _command(self, address, code, page_loc: bool = False) -> SearchPage:
+        return SearchPage(
+            address=address,
+            distance=code,
+            fv_dim_code=encode_dim(self.device.graph.dim),
+            fv_prec_code=encode_precision(4),
+            page_loc_bit=page_loc,
+        )
+
+    def _reduce(self, q: QueryProperty, vertex: int, dist: float) -> None:
+        """Reduce operator: fold one computed distance into the QPT."""
+        if len(q.results) < self.ef or dist < q.worst_result():
+            heapq.heappush(q.candidates, (dist, vertex))
+            heapq.heappush(q.results, (-dist, vertex))
+            if len(q.results) > self.ef:
+                heapq.heappop(q.results)
+
+    def _speculate(self, table, fresh_entries) -> None:
+        """Prefetch second-order neighbors and precompute distances."""
+        device = self.device
+        width = device.config.speculative_width
+        for entry in fresh_entries:
+            if entry.neighbor_ids.size == 0:
+                continue
+            q = table[entry.query_id]
+            if q.done:
+                continue
+            candidates = device.vgenerator.prefetch(
+                device.graph, entry.neighbor_ids, width
+            )
+            q.spec_distances.clear()
+            for vertex in candidates:
+                vertex = int(vertex)
+                if vertex in q.visited:
+                    continue
+                accelerator = device.accelerator_of(device.luncsr.lun_of(vertex))
+                address = device.allocator.generate_address(vertex)
+                code = _DISTANCE_CODE[device.graph.metric.value]
+                result = accelerator.execute_search_page(
+                    self._command(address, code), q.query_id, vertex, q.vector
+                )
+                q.spec_distances[vertex] = result.distance
+                self.counters["speculative_page_reads"] += 1
+
+    def _sort_results(self, table) -> tuple[np.ndarray, np.ndarray]:
+        sorter: FPGASorter = self.device.fpga
+        distances = []
+        ids = []
+        for q in table:
+            pairs = sorted((-d, v) for d, v in q.results)
+            distances.append(np.asarray([d for d, _ in pairs]))
+            ids.append(np.asarray([v for _, v in pairs], dtype=np.int64))
+        top_d, top_i, _latency = sorter.sort_result_lists(distances, ids, self.k)
+        n = len(table)
+        out_ids = np.full((n, self.k), -1, dtype=np.int64)
+        out_dists = np.full((n, self.k), np.inf, dtype=np.float64)
+        for i, (d, v) in enumerate(zip(top_d, top_i)):
+            out_ids[i, : v.size] = v
+            out_dists[i, : d.size] = d
+        return out_ids, out_dists
+
+
+@dataclass(frozen=True)
+class _SpecResult:
+    """A distance served from the speculative buffer (no NAND access)."""
+
+    query_id: int
+    vertex_id: int
+    distance: float

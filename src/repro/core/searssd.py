@@ -1,0 +1,480 @@
+"""SearSSD: the modified SSD device and its timing simulator.
+
+Two layers:
+
+* :class:`SearSSDDevice` — the *functional* device: a real
+  :class:`repro.flash.ssd.SSD` with the graph's feature vectors
+  programmed into NAND pages per the placement, LUNCSR built and
+  mirrored to the FTL, one LUN-level accelerator per LUN, plus the
+  Vgenerator, Allocator and FPGA sorter.  Used by the processing model
+  (Algorithm 1) to compute real search results through the hardware
+  path.
+
+* :class:`SearSSDModel` — the *timing* simulator: a trace-driven,
+  round-based replay in the style of the paper's SSD-Sim-based
+  in-house simulator.  Each round advances every active query by one
+  search iteration; page senses, multi-plane merges, channel-bus
+  readouts, controller work, ECC faults and speculative prefetches are
+  booked per component, and the round's critical path accumulates into
+  the batch makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ann.graph import ProximityGraph
+from repro.ann.trace import SearchTrace
+from repro.core.allocator import Allocator
+from repro.core.config import NDSearchConfig
+from repro.core.luncsr import LUNCSR
+from repro.core.placement import VertexPlacement, map_vertices
+from repro.core.sin import LunAccelerator, SiNEngine
+from repro.core.vgenerator import Vgenerator
+from repro.flash.ecc import LDPCModel
+from repro.flash.geometry import PhysicalAddress
+from repro.flash.ssd import SSD
+from repro.sim.stats import Counters, SimResult
+from repro.sorting.fpga import FPGASorter
+
+
+# =============================================================================
+# Functional device
+# =============================================================================
+class SearSSDDevice:
+    """A fully assembled, functional SearSSD holding one graph."""
+
+    def __init__(self, graph: ProximityGraph, config: NDSearchConfig) -> None:
+        self.config = config
+        self.graph = graph
+        self.ssd = SSD(geometry=config.geometry, timing=config.timing)
+        self.vector_bytes = graph.dim * graph.vectors.itemsize
+        scheme = "multiplane" if config.flags.multiplane else "interleaved"
+        self.placement = map_vertices(
+            graph.num_vertices, config.geometry, self.vector_bytes, scheme=scheme
+        )
+        self._program_vectors()
+        self.luncsr = LUNCSR.build(graph, self.placement, self.vector_bytes)
+        self.luncsr.attach_to_ftl(self.ssd.ftl)
+        self.vgenerator = Vgenerator(self.luncsr, config.vgen_buffer_bytes)
+        self.allocator = Allocator(self.luncsr, config.alloc_buffer_bytes)
+        self.fpga = FPGASorter(timing=config.timing)
+        self._accelerators: dict[int, LunAccelerator] = {}
+        self.sin_engines: list[SiNEngine] = []
+        self._build_sins()
+
+    def _program_vectors(self) -> None:
+        """Write every vertex's vector bytes into its flash page slot."""
+        placement, geometry = self.placement, self.config.geometry
+        page_bytes: dict[tuple[int, int, int, int], np.ndarray] = {}
+        for v in range(self.graph.num_vertices):
+            key = placement.page_key(v)
+            buf = page_bytes.get(key)
+            if buf is None:
+                buf = np.zeros(geometry.page_size, dtype=np.uint8)
+                page_bytes[key] = buf
+            start = int(placement.slot[v]) * self.vector_bytes
+            buf[start : start + self.vector_bytes] = np.frombuffer(
+                self.graph.vectors[v].tobytes(), dtype=np.uint8
+            )
+        for (lun, plane, block, page), buf in page_bytes.items():
+            self.ssd.program(
+                PhysicalAddress(lun=lun, plane=plane, block=block, page=page), buf
+            )
+
+    def _build_sins(self) -> None:
+        geometry = self.config.geometry
+        for chip in self.ssd.chips:
+            accelerators = []
+            for lun in chip.luns:
+                acc = LunAccelerator(
+                    lun=lun,
+                    geometry=geometry,
+                    dim=self.graph.dim,
+                    query_queue_capacity=self.config.max_queries_per_lun,
+                )
+                self._accelerators[lun.lun_index] = acc
+                accelerators.append(acc)
+            self.sin_engines.append(SiNEngine(accelerators=accelerators))
+
+    def accelerator_of(self, lun: int) -> LunAccelerator:
+        return self._accelerators[lun]
+
+    def total_counters(self) -> Counters:
+        total = Counters()
+        total.update(self.vgenerator.counters)
+        total.update(self.allocator.counters)
+        total.update(self.fpga.counters)
+        for engine in self.sin_engines:
+            total.update(engine.counters)
+        return total
+
+
+# =============================================================================
+# Timing simulator
+# =============================================================================
+@dataclass
+class _RoundWork:
+    """Demand work of one iteration round, grouped for the LUN model."""
+
+    n_active: int = 0
+    n_pairs: int = 0
+    # lun -> list of page-key arrays; with dynamic alloc there is a
+    # single pooled array per LUN, without it one array per query.
+    lun_page_groups: dict[int, list[np.ndarray]] = field(default_factory=dict)
+    lun_vector_counts: dict[int, int] = field(default_factory=dict)
+    cached_accesses: int = 0
+
+
+class SearSSDModel:
+    """Trace-driven timing simulation of one batch on SearSSD."""
+
+    def __init__(
+        self,
+        config: NDSearchConfig,
+        placement: VertexPlacement,
+        dim: int,
+        graph: ProximityGraph | None = None,
+        ldpc: LDPCModel | None = None,
+        cached_vertices: np.ndarray | None = None,
+    ) -> None:
+        self.config = config
+        self.placement = placement
+        self.dim = dim
+        self.graph = graph
+        self.ldpc = ldpc or LDPCModel(hard_failure_prob=0.01)
+        self.cached = (
+            frozenset(int(v) for v in cached_vertices)
+            if cached_vertices is not None
+            else frozenset()
+        )
+        g = config.geometry
+        self._plane_span = g.blocks_per_plane * g.pages_per_block
+        self._lun_span = self._plane_span * g.planes_per_lun
+
+    # ---- helpers ---------------------------------------------------------------
+    def _page_keys(self, vertices: np.ndarray) -> np.ndarray:
+        return self.placement.page_keys(vertices)
+
+    def _lun_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        return keys // self._lun_span
+
+    def _loads_and_merges(self, keys: np.ndarray) -> tuple[int, int]:
+        """Distinct page senses and multi-plane merge count for keys."""
+        unique = np.unique(keys)
+        loads = int(unique.size)
+        plane = (unique // self._plane_span) % self.config.geometry.planes_per_lun
+        without_plane = unique - plane * self._plane_span
+        _, counts = np.unique(without_plane, return_counts=True)
+        merged = int(np.sum(counts - 1))
+        return loads, merged
+
+    # ---- main entry ----------------------------------------------------------------
+    def run_batch(
+        self,
+        traces: list[SearchTrace],
+        speculative_sets: list[list[np.ndarray]] | None = None,
+        algorithm: str = "hnsw",
+        dataset: str = "synthetic",
+    ) -> SimResult:
+        """Simulate a full batch, splitting into sub-batches if needed."""
+        batch = len(traces)
+        # Deterministic fault injection: the same batch always sees the
+        # same hard-decode failure stream.
+        self.ldpc.reset()
+        capacity = self.config.max_batch_capacity
+        counters = Counters()
+        busy: dict[str, float] = {}
+        makespan = 0.0
+        for start in range(0, batch, capacity):
+            sub = traces[start : start + capacity]
+            spec = (
+                speculative_sets[start : start + capacity]
+                if speculative_sets is not None
+                else None
+            )
+            t, c, b = self._run_sub_batch(sub, spec)
+            makespan += t
+            counters.update(c)
+            for key, val in b.items():
+                busy[key] = busy.get(key, 0.0) + val
+        result = SimResult(
+            platform="ndsearch",
+            algorithm=algorithm,
+            dataset=dataset,
+            batch_size=batch,
+            sim_time_s=makespan,
+            counters=counters,
+            component_busy_s=busy,
+        )
+        return result
+
+    # ---- one sub-batch ---------------------------------------------------------------
+    def _run_sub_batch(
+        self,
+        traces: list[SearchTrace],
+        speculative_sets: list[list[np.ndarray]] | None,
+    ):
+        timing = self.config.timing
+        flags = self.config.flags
+        geometry = self.config.geometry
+        counters = Counters()
+        busy: dict[str, float] = {
+            "pcie_host": 0.0,
+            "vgenerator": 0.0,
+            "allocator": 0.0,
+            "nand_read": 0.0,
+            "channel_bus": 0.0,
+            "dram": 0.0,
+            "embedded_cores": 0.0,
+            "fpga_sort": 0.0,
+            "sin_macs_busy": 0.0,
+            "nand_busy": 0.0,
+            "lun_queues_busy": 0.0,
+            "ecc_busy": 0.0,
+        }
+        batch = len(traces)
+        if batch == 0:
+            return 0.0, counters, busy
+
+        # 1. Host sends the query batch over PCIe (Fig. 5 step 1).
+        query_bytes = batch * (self.dim * 4 + 16)
+        t_in = timing.host_transfer_s(query_bytes)
+        counters["pcie_bytes"] += query_bytes
+        busy["pcie_host"] += t_in
+        makespan = t_in
+
+        max_rounds = max(t.num_iterations for t in traces)
+        prefetched: list[set[int]] = [set() for _ in range(batch)]
+
+        for round_idx in range(max_rounds):
+            work = self._collect_round(
+                traces, round_idx, prefetched, counters
+            )
+            if work.n_active == 0:
+                continue
+
+            # Scheduling stage: Vgenerator pipeline + Allocator dispatch.
+            t_vgen = (work.n_active + 2) * timing.vgen_stage_s
+            t_alloc = work.n_pairs * timing.alloc_dispatch_s
+            dram_ops = 3 * work.n_active + 2 * work.n_pairs + work.cached_accesses
+            t_dram_sched = dram_ops * timing.dram_access_s
+            counters["dram_accesses"] += dram_ops
+            t_sched = max(t_vgen + t_alloc, t_dram_sched)
+            # Speculative searching launches the next iteration's
+            # Allocating stage during the current Searching stage
+            # (Fig. 12), hiding the scheduling latency of every round
+            # after the first behind the previous round's search.
+            if flags.speculative and round_idx > 0:
+                t_sched = 0.0
+            busy["vgenerator"] += t_vgen
+            busy["allocator"] += t_alloc
+            busy["dram"] += t_dram_sched
+
+            # Searching stage: every LUN works in parallel (multi-LUN).
+            t_search, search_busy = self._search_stage(work, counters)
+            for key, val in search_busy.items():
+                busy[key] = busy.get(key, 0.0) + val
+
+            # Gathering stage: Reduce/Apply on the QPT.
+            gather_ops = work.n_pairs + work.n_active
+            t_gather = (
+                work.n_pairs * timing.dram_access_s
+                + work.n_active * timing.embedded_core_op_s
+            )
+            counters["dram_accesses"] += gather_ops
+            busy["embedded_cores"] += work.n_active * timing.embedded_core_op_s
+            busy["dram"] += work.n_pairs * timing.dram_access_s
+
+            # Speculative searching overlaps the next round's
+            # scheduling window; it only adds NAND activity + counters.
+            if flags.speculative and speculative_sets is not None:
+                self._speculative_stage(
+                    traces, round_idx, speculative_sets, prefetched,
+                    counters, busy,
+                )
+
+            makespan += t_sched + t_search + t_gather
+
+        # Sorting stage: result lists to the FPGA, top-k back to host.
+        list_len = int(np.mean([max(t.trace_length, 1) for t in traces]))
+        list_len = min(list_len, 256)
+        t_sort = FPGASorter(timing=timing).sort_latency_s(batch, list_len)
+        counters["sorted_elements"] += batch * list_len
+        busy["fpga_sort"] += t_sort
+        out_bytes = batch * 10 * 8
+        t_out = timing.host_transfer_s(out_bytes)
+        counters["pcie_bytes"] += out_bytes
+        busy["pcie_host"] += t_out
+        makespan += t_sort + t_out
+        return makespan, counters, busy
+
+    # ---- round decomposition -------------------------------------------------------
+    def _collect_round(
+        self,
+        traces: list[SearchTrace],
+        round_idx: int,
+        prefetched: list[set[int]],
+        counters: Counters,
+    ) -> _RoundWork:
+        flags = self.config.flags
+        work = _RoundWork()
+        pooled: dict[int, list[np.ndarray]] = {}
+        for qid, trace in enumerate(traces):
+            if round_idx >= trace.num_iterations:
+                continue
+            record = trace.iterations[round_idx]
+            work.n_active += 1
+            computed = np.asarray(record.computed, dtype=np.int64)
+            if computed.size == 0:
+                continue
+            # Speculative hits: already computed during the previous
+            # round's overlap window.
+            if flags.speculative and prefetched[qid]:
+                hit_mask = np.fromiter(
+                    (int(v) in prefetched[qid] for v in computed),
+                    dtype=bool,
+                    count=computed.size,
+                )
+                hits = int(hit_mask.sum())
+                if hits:
+                    counters["speculative_hits"] += hits
+                    computed = computed[~hit_mask]
+            # Internal-DRAM cache (DiskANN hot vertices).
+            if self.cached and computed.size:
+                cache_mask = np.fromiter(
+                    (int(v) in self.cached for v in computed),
+                    dtype=bool,
+                    count=computed.size,
+                )
+                n_cached = int(cache_mask.sum())
+                if n_cached:
+                    counters["cache_hits"] += n_cached
+                    work.cached_accesses += n_cached
+                    computed = computed[~cache_mask]
+            work.n_pairs += int(computed.size)
+            counters["distance_computations"] += int(computed.size)
+            if computed.size == 0:
+                continue
+            keys = self._page_keys(computed)
+            luns = self._lun_of_keys(keys)
+            for lun in np.unique(luns):
+                lun_keys = keys[luns == lun]
+                if flags.dynamic_alloc:
+                    pooled.setdefault(int(lun), []).append(lun_keys)
+                else:
+                    work.lun_page_groups.setdefault(int(lun), []).append(lun_keys)
+                work.lun_vector_counts[int(lun)] = (
+                    work.lun_vector_counts.get(int(lun), 0) + lun_keys.size
+                )
+        if flags.dynamic_alloc:
+            for lun, groups in pooled.items():
+                work.lun_page_groups[lun] = [np.concatenate(groups)]
+        return work
+
+    # ---- searching stage -------------------------------------------------------------
+    def _search_stage(self, work: _RoundWork, counters: Counters):
+        timing = self.config.timing
+        geometry = self.config.geometry
+        flags = self.config.flags
+        busy = {
+            "nand_read": 0.0,
+            "channel_bus": 0.0,
+            "embedded_cores": 0.0,
+            "sin_macs_busy": 0.0,
+            "nand_busy": 0.0,
+            "lun_queues_busy": 0.0,
+            "ecc_busy": 0.0,
+        }
+        channel_compute: dict[int, float] = {}
+        channel_readout: dict[int, float] = {}
+        soft_stall = 0.0
+        for lun, groups in work.lun_page_groups.items():
+            loads = 0
+            merged = 0
+            for keys in groups:
+                l, m = self._loads_and_merges(keys)
+                loads += l
+                if flags.multiplane:
+                    merged += m
+            effective_ops = loads - merged
+            counters["page_reads"] += loads
+            counters["multiplane_reads"] += merged
+            counters["ecc_hard_decodes"] += loads
+            n_vectors = work.lun_vector_counts.get(lun, 0)
+            t_mac = n_vectors * timing.distance_mac_s(self.dim)
+            t_nand = effective_ops * (timing.read_page_s + timing.ecc_hard_decode_s)
+            # ECC fault injection: failed hard decodes fall back to the
+            # soft decoder on the embedded cores and stall this LUN.
+            failures = sum(1 for _ in range(loads) if not self.ldpc.decode_page())
+            if failures:
+                counters["ecc_soft_decodes"] += failures
+                t_soft = failures * timing.ecc_soft_decode_s
+                t_nand += t_soft
+                soft_stall += t_soft
+            lun_time = t_nand + t_mac
+            busy["nand_busy"] += t_nand
+            busy["sin_macs_busy"] += t_mac
+            busy["ecc_busy"] += loads * timing.ecc_hard_decode_s
+            busy["lun_queues_busy"] += lun_time
+            channel = lun // geometry.luns_per_channel
+            channel_compute[channel] = max(channel_compute.get(channel, 0.0), lun_time)
+            # Output-buffer readout over the shared channel bus.
+            readout_bytes = n_vectors * 8 + 16
+            counters["internal_bytes"] += readout_bytes
+            channel_readout[channel] = channel_readout.get(channel, 0.0) + (
+                readout_bytes / timing.channel_bus_bw + 0.5e-6
+            )
+        if not channel_compute:
+            return 0.0, busy
+        t_search = max(
+            channel_compute[ch] + channel_readout.get(ch, 0.0)
+            for ch in channel_compute
+        )
+        # Critical-path attribution: the slowest channel's compute time
+        # counts as NAND read, the remainder as channel-bus readout.
+        t_compute_crit = max(channel_compute.values())
+        busy["nand_read"] += t_compute_crit
+        busy["channel_bus"] += t_search - t_compute_crit
+        busy["embedded_cores"] += soft_stall
+        return t_search, busy
+
+    # ---- speculative stage ------------------------------------------------------------
+    def _speculative_stage(
+        self,
+        traces: list[SearchTrace],
+        round_idx: int,
+        speculative_sets: list[list[np.ndarray]],
+        prefetched: list[set[int]],
+        counters: Counters,
+        busy: dict[str, float],
+    ) -> None:
+        timing = self.config.timing
+        spec_vertices: list[np.ndarray] = []
+        for qid, trace in enumerate(traces):
+            prefetched[qid] = set()
+            if round_idx >= trace.num_iterations - 1:
+                continue
+            sets = speculative_sets[qid]
+            if round_idx >= len(sets):
+                continue
+            vertices = sets[round_idx]
+            if vertices.size == 0:
+                continue
+            prefetched[qid] = set(int(v) for v in vertices)
+            spec_vertices.append(vertices)
+        if not spec_vertices:
+            return
+        all_spec = np.concatenate(spec_vertices)
+        keys = self._page_keys(all_spec)
+        loads, merged = self._loads_and_merges(keys)
+        effective = loads - (merged if self.config.flags.multiplane else 0)
+        counters["speculative_page_reads"] += loads
+        counters["page_reads"] += loads
+        counters["ecc_hard_decodes"] += loads
+        # Overlapped with the next round's scheduling window: adds NAND
+        # busy time (and energy) but not critical-path latency.
+        busy["nand_busy"] += effective * timing.read_page_s
+        busy["sin_macs_busy"] += all_spec.size * timing.distance_mac_s(self.dim)

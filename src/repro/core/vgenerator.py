@@ -1,0 +1,84 @@
+"""Vgenerator: the graph-traversal fetch engine (Section IV-C2, Fig. 7a).
+
+The Vgenerator sits next to the SSD controller.  Its Vgen Buffer is
+partitioned into Query / NBR / Pref regions; the QP Reader pulls each
+query's current entry vertex from the Query Property Table, and a
+three-stage pipeline — OFS Fetcher, NBR Fetcher, LUN Fetcher — walks
+the LUNCSR arrays to produce, for each entry vertex, its neighbor IDs
+(written to the NBR buffer's Nid field) and their LUN IDs (the Lid
+field).  The Pref Unit reuses the same pipeline to assemble speculative
+second-order candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.luncsr import LUNCSR
+from repro.core.speculative import select_speculative_candidates
+from repro.ann.graph import ProximityGraph
+from repro.sim.stats import Counters
+
+
+@dataclass
+class NbrBufferEntry:
+    """One NBR-buffer row: a query's neighbor IDs and their LUN IDs."""
+
+    query_id: int
+    entry_vertex: int
+    neighbor_ids: np.ndarray
+    lun_ids: np.ndarray
+
+
+@dataclass
+class Vgenerator:
+    """Functional model of the Vgenerator pipeline."""
+
+    luncsr: LUNCSR
+    buffer_bytes: int = 2 * 1024**2
+    counters: Counters = field(default_factory=Counters)
+
+    def fetch(self, query_id: int, entry_vertex: int) -> NbrBufferEntry:
+        """Run the OFS -> NBR -> LUN pipeline for one entry vertex.
+
+        Each stage is one LUNCSR array lookup; the counters record the
+        DRAM traffic the timing model charges for.
+        """
+        # Stage 1: OFS Fetcher reads offset[v] and offset[v+1].
+        self.counters["dram_accesses"] += 2
+        # Stage 2: NBR Fetcher reads the neighbor slice.
+        neighbor_ids = self.luncsr.neighbors_of(entry_vertex)
+        self.counters["dram_accesses"] += max(1, int(neighbor_ids.size))
+        # Stage 3: LUN Fetcher reads the LUN array entries.
+        lun_ids = self.luncsr.lun[neighbor_ids]
+        self.counters["dram_accesses"] += max(1, int(neighbor_ids.size))
+        self.counters["vgen_fetches"] += 1
+        return NbrBufferEntry(
+            query_id=query_id,
+            entry_vertex=entry_vertex,
+            neighbor_ids=np.asarray(neighbor_ids, dtype=np.int64),
+            lun_ids=np.asarray(lun_ids, dtype=np.int64),
+        )
+
+    def fetch_batch(
+        self, entries: list[tuple[int, int]]
+    ) -> list[NbrBufferEntry]:
+        """Pipeline a batch of (query, entry-vertex) fetches."""
+        return [self.fetch(q, v) for q, v in entries]
+
+    def prefetch(
+        self, graph: ProximityGraph, first_order: np.ndarray, width: int
+    ) -> np.ndarray:
+        """Pref Unit: select second-order candidates for speculation."""
+        candidates = select_speculative_candidates(graph, first_order, width)
+        self.counters["dram_accesses"] += max(1, int(first_order.size))
+        self.counters["prefetch_selections"] += int(candidates.size)
+        return candidates
+
+    def pipeline_latency_s(self, n_fetches: int, stage_s: float) -> float:
+        """Three-stage pipeline fill + drain latency for n fetches."""
+        if n_fetches <= 0:
+            return 0.0
+        return (n_fetches + 2) * stage_s

@@ -1,0 +1,91 @@
+"""Synthetic vector generators matching the benchmark families.
+
+Three generators cover the paper's datasets:
+
+* :func:`clustered_gaussian` — a mixture of Gaussians, the standard
+  model for learned embeddings (glove, deep, spacev).  Cluster
+  structure matters: it is what gives graph traversal its locality.
+* :func:`quantized_descriptors` — non-negative integer-valued vectors
+  (SIFT descriptors are uint8 histograms; spacev is int8).
+* :func:`unit_normalized` — rows scaled to unit L2 norm (deep1b stores
+  normalized CNN descriptors; glove is used under angular distance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clustered_gaussian(
+    n: int,
+    dim: int,
+    n_clusters: int = 64,
+    cluster_std: float = 0.7,
+    seed: int = 0,
+) -> np.ndarray:
+    """A Gaussian-mixture point cloud of shape (n, dim), float32.
+
+    Cluster centers are standard normal; points scatter around their
+    center with ``cluster_std``.  Cluster sizes follow a multinomial
+    with mild imbalance, mimicking real embedding corpora.
+    """
+    if n <= 0 or dim <= 0:
+        raise ValueError("n and dim must be positive")
+    if n_clusters < 1:
+        raise ValueError("need at least one cluster")
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_clusters, dim))
+    weights = rng.dirichlet(np.full(n_clusters, 5.0))
+    assignment = rng.choice(n_clusters, size=n, p=weights)
+    points = centers[assignment] + cluster_std * rng.normal(size=(n, dim))
+    return points.astype(np.float32)
+
+
+def quantized_descriptors(
+    n: int,
+    dim: int,
+    n_clusters: int = 64,
+    max_value: int = 255,
+    seed: int = 0,
+) -> np.ndarray:
+    """Non-negative integer-valued descriptors (SIFT/spacev style).
+
+    Generated as a clipped, scaled Gaussian mixture then rounded —
+    float32 storage with integral values, like sift-1b's uint8
+    histograms promoted to float for distance computation.
+    """
+    base = clustered_gaussian(n, dim, n_clusters=n_clusters, seed=seed)
+    lo, hi = base.min(), base.max()
+    scaled = (base - lo) / max(hi - lo, 1e-9) * max_value
+    return np.round(scaled).astype(np.float32)
+
+
+def unit_normalized(
+    n: int,
+    dim: int,
+    n_clusters: int = 64,
+    seed: int = 0,
+) -> np.ndarray:
+    """Unit-L2-norm rows (deep1b-style normalized CNN descriptors)."""
+    base = clustered_gaussian(n, dim, n_clusters=n_clusters, seed=seed)
+    norms = np.linalg.norm(base, axis=1, keepdims=True)
+    norms = np.where(norms == 0.0, 1.0, norms)
+    return (base / norms).astype(np.float32)
+
+
+def split_queries(
+    vectors: np.ndarray, n_queries: int, seed: int = 1, perturb: float = 0.05
+) -> np.ndarray:
+    """Derive a query set from the corpus distribution.
+
+    Queries are perturbed copies of random corpus points — the standard
+    benchmark construction (query distribution matches the corpus) —
+    never exact duplicates, so recall is non-trivial.
+    """
+    if n_queries <= 0:
+        raise ValueError("n_queries must be positive")
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(vectors.shape[0], size=n_queries, replace=True)
+    scale = float(vectors.std()) * perturb
+    noise = rng.normal(scale=scale or 1e-3, size=(n_queries, vectors.shape[1]))
+    return (vectors[picks] + noise).astype(np.float32)

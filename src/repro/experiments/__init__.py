@@ -1,0 +1,7 @@
+"""End-to-end experiment drivers: one module per paper table/figure.
+
+Each driver exposes ``run(...) -> str`` (a formatted table) plus a
+structured ``collect(...)`` returning the raw numbers; benchmarks wrap
+the drivers, and EXPERIMENTS.md records their output against the
+paper's reported values.
+"""

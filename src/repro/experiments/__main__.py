@@ -1,0 +1,79 @@
+"""Command-line runner for the experiment drivers.
+
+Regenerate any paper table/figure from the terminal::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig13
+    python -m repro.experiments fig16 table1 --scale 0.5
+
+The first invocation builds and caches the workloads (minutes); later
+runs replay from ``.expcache/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+
+DRIVERS = {
+    "fig01": "repro.experiments.fig01_cpu_breakdown",
+    "fig02": "repro.experiments.fig02_pcie_roofline",
+    "fig04": "repro.experiments.fig04_access_pattern",
+    "fig06": "repro.experiments.fig06_layout_overhead",
+    "fig10": "repro.experiments.fig10_reordering_beta",
+    "fig13": "repro.experiments.fig13_throughput",
+    "fig14": "repro.experiments.fig14_static_scheduling",
+    "fig15": "repro.experiments.fig15_dynamic_scheduling",
+    "fig16": "repro.experiments.fig16_ablation",
+    "fig17": "repro.experiments.fig17_ndsearch_breakdown",
+    "fig18": "repro.experiments.fig18_ecc",
+    "fig19": "repro.experiments.fig19_batch_size",
+    "fig20": "repro.experiments.fig20_energy",
+    "fig21": "repro.experiments.fig21_other_algos",
+    "table1": "repro.experiments.table1_power_area",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate NDSEARCH paper tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"one or more of: {', '.join(DRIVERS)} (default: all)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset scale factor (default 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, module in DRIVERS.items():
+            doc = importlib.import_module(module).__doc__ or ""
+            print(f"{name:8s} {doc.strip().splitlines()[0]}")
+        return 0
+
+    targets = args.experiments or list(DRIVERS)
+    unknown = [t for t in targets if t not in DRIVERS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    for name in targets:
+        module = importlib.import_module(DRIVERS[name])
+        run = module.run
+        kwargs = {}
+        if "scale" in inspect.signature(run).parameters:
+            kwargs["scale"] = args.scale
+        print(run(**kwargs))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Fig. 2: (a) PCIe utilisation vs batch size; (b) roofline lift.
+
+Paper: utilisation saturates to ~83% past batch 1024; the internal
+bandwidth ceiling (819.2 GB/s) sits ~53x above the PCIe ceiling
+(15.4 GB/s), bounding NDSearch's speedup from above.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.analysis.roofline import roofline_model
+from repro.core.config import NDSearchConfig
+from repro.experiments.common import get_workload, run_platform
+
+
+def collect_utilization(batch_sizes=(64, 128, 256, 512, 1024, 2048, 4096, 8192)):
+    host = NDSearchConfig.scaled().host
+    return [
+        {"batch": b, "utilization": host.pcie_utilization(b)}
+        for b in batch_sizes
+    ]
+
+
+def collect_roofline(scale: float = 1.0, batch: int = 512) -> list[dict]:
+    paper_cfg = NDSearchConfig.paper()
+    scaled_cfg = NDSearchConfig.scaled()
+    rows = []
+    for dataset in ("glove-100", "sift-1b", "deep-1b", "spacev-1b"):
+        workload = get_workload(dataset, "hnsw", scale=scale)
+        point = roofline_model(paper_cfg, workload.dataset.dim, label=dataset)
+        cpu = run_platform("cpu", workload, batch=batch)
+        nd = run_platform("ndsearch", workload, batch=batch)
+        rows.append(
+            {
+                "dataset": dataset,
+                "oi_flops_per_byte": point.operational_intensity,
+                "paper_scale_lift": point.lift,
+                "scaled_lift": scaled_cfg.internal_bandwidth
+                / scaled_cfg.timing.pcie_host_bw,
+                "measured_speedup_vs_cpu": nd.speedup_over(cpu),
+            }
+        )
+    return rows
+
+
+def run(scale: float = 1.0) -> str:
+    util = collect_utilization()
+    part_a = format_table(
+        ["batch", "PCIe utilization"],
+        [[r["batch"], f"{100 * r['utilization']:.0f}%"] for r in util],
+        title="Fig. 2a — PCIe bandwidth utilisation (saturates ~83%)",
+    )
+    roof = collect_roofline(scale=scale)
+    part_b = format_table(
+        ["dataset", "OI (FLOP/B)", "lift (paper cfg)", "lift (scaled)",
+         "measured NDSearch/CPU"],
+        [
+            [
+                r["dataset"],
+                r["oi_flops_per_byte"],
+                f"{r['paper_scale_lift']:.1f}x",
+                f"{r['scaled_lift']:.1f}x",
+                f"{r['measured_speedup_vs_cpu']:.2f}x",
+            ]
+            for r in roof
+        ],
+        title="Fig. 2b — roofline lift vs measured speedup (speedup < lift)",
+    )
+    return part_a + "\n\n" + part_b

@@ -1,0 +1,71 @@
+"""Fig. 10: bandwidth beta of original vs random-BFS vs our reordering.
+
+Paper's 8-vertex example: beta drops from 5.875 (original) through
+5.125/3.625 (two random BFS runs) to 4 (ours, deterministic, one run).
+We reproduce the example and extend it to the real workload graphs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.static_scheduling import (
+    bandwidth_beta,
+    degree_ascending_bfs,
+    figure10_example_graph,
+    random_bfs,
+)
+from repro.experiments.common import get_workload
+
+
+def collect_example(random_runs: int = 4) -> dict:
+    graph = figure10_example_graph()
+    return {
+        "original": bandwidth_beta(graph),
+        "random_bfs": [
+            bandwidth_beta(graph, random_bfs(graph, seed=s))
+            for s in range(random_runs)
+        ],
+        "ours": bandwidth_beta(graph, degree_ascending_bfs(graph)),
+    }
+
+
+def collect_workloads(scale: float = 1.0, datasets=("glove-100", "sift-1b")):
+    rows = []
+    for dataset in datasets:
+        graph = get_workload(dataset, "hnsw", scale=scale).graph
+        rows.append(
+            {
+                "dataset": dataset,
+                "original": bandwidth_beta(graph),
+                "random_bfs": bandwidth_beta(graph, random_bfs(graph, seed=0)),
+                "ours": bandwidth_beta(graph, degree_ascending_bfs(graph)),
+            }
+        )
+    return rows
+
+
+def run(scale: float = 1.0) -> str:
+    ex = collect_example()
+    part_a = format_table(
+        ["labeling", "beta"],
+        [
+            ["original", f"{ex['original']:.3f}"],
+            *[
+                [f"random BFS (run {i})", f"{b:.3f}"]
+                for i, b in enumerate(ex["random_bfs"])
+            ],
+            ["ours (1 deterministic run)", f"{ex['ours']:.3f}"],
+        ],
+        title="Fig. 10 — example graph (paper: 5.875 / 5.125 / 3.625 / 4)",
+    )
+    rows = collect_workloads(scale=scale)
+    part_b = format_table(
+        ["dataset", "original", "random BFS", "ours"],
+        [
+            [r["dataset"], f"{r['original']:.0f}", f"{r['random_bfs']:.0f}",
+             f"{r['ours']:.0f}"]
+            for r in rows
+        ],
+        title="Fig. 10 (extended) — beta on workload graphs",
+    )
+    return part_a + "\n\n" + part_b

@@ -1,0 +1,73 @@
+"""Fig. 13: throughput (QPS) and speedup across all platforms.
+
+Paper: CPU / GPU / SmartSSD-only / DS-c / DS-cp / NDSearch on five
+datasets x {HNSW, DiskANN}, batch 2048.  Expected shape: NDSearch wins
+everywhere; on billion-class datasets the ordering is
+NDSearch > DS-cp > DS-c ~ SmartSSD > GPU > CPU with NDSearch up to
+31.7x / 14.6x / 7.4x / 2.9x over CPU / GPU / SmartSSD / DS-cp; on the
+in-memory datasets the NDP designs barely beat CPU/GPU while NDSearch
+still leads (up to 5.06x / 2.12x over CPU / GPU).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import (
+    ALGORITHMS,
+    PLATFORMS,
+    get_workload,
+    run_platform,
+)
+
+DATASETS = ("glove-100", "fashion-mnist", "sift-1b", "deep-1b", "spacev-1b")
+
+
+def collect(
+    scale: float = 1.0,
+    batch: int = 512,
+    datasets=DATASETS,
+    algorithms=ALGORITHMS,
+    platforms=PLATFORMS,
+) -> list[dict]:
+    rows = []
+    for algorithm in algorithms:
+        for dataset in datasets:
+            workload = get_workload(dataset, algorithm, scale=scale)
+            cpu = None
+            for platform in platforms:
+                result = run_platform(platform, workload, batch=batch)
+                if platform == "cpu":
+                    cpu = result
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "dataset": dataset,
+                        "platform": platform,
+                        "qps": result.qps,
+                        "speedup_vs_cpu": result.speedup_over(cpu),
+                        "sim_time_s": result.sim_time_s,
+                    }
+                )
+    return rows
+
+
+def run(scale: float = 1.0, batch: int = 512, **kwargs) -> str:
+    rows = collect(scale=scale, batch=batch, **kwargs)
+    table = [
+        [
+            r["algorithm"],
+            r["dataset"],
+            r["platform"],
+            f"{r['qps'] / 1e3:.2f}K",
+            f"{r['speedup_vs_cpu']:.2f}x",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["algo", "dataset", "platform", "QPS", "speedup vs CPU"],
+        table,
+        title=(
+            "Fig. 13 — throughput and normalised speedup "
+            "(paper: NDSearch up to 31.7x CPU / 14.6x GPU / 2.9x DS-cp)"
+        ),
+    )

@@ -1,0 +1,77 @@
+"""Fig. 15: dynamic scheduling evaluation.
+
+Paper: with static scheduling on, comparing no dynamic scheduling
+("w/o ds"), dynamic allocating ("da") and dynamic allocating plus
+speculative searching ("da+sp"): da cuts page accesses by up to 73%
+and yields up to 2.67x speedup; sp *increases* page accesses (over
+half of speculated reads go unused) yet adds up to 1.27x more speedup.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.config import NDSearchConfig, SchedulingFlags
+from repro.experiments.common import ALGORITHMS, get_workload, run_platform
+
+DATASETS = ("glove-100", "fashion-mnist", "sift-1b", "deep-1b", "spacev-1b")
+
+SETTINGS = (
+    ("w/o ds", SchedulingFlags(True, True, False, False)),
+    ("da", SchedulingFlags(True, True, True, False)),
+    ("da+sp", SchedulingFlags(True, True, True, True)),
+)
+
+
+def collect(
+    scale: float = 1.0,
+    batch: int = 512,
+    datasets=DATASETS,
+    algorithms=ALGORITHMS,
+) -> list[dict]:
+    rows = []
+    for algorithm in algorithms:
+        for dataset in datasets:
+            workload = get_workload(dataset, algorithm, scale=scale)
+            base_pages = base_qps = None
+            for label, flags in SETTINGS:
+                result = run_platform(
+                    "ndsearch", workload,
+                    config=NDSearchConfig.scaled(flags), batch=batch,
+                )
+                pages = result.counters["page_reads"]
+                if base_pages is None:
+                    base_pages, base_qps = pages, result.qps
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "dataset": dataset,
+                        "setting": label,
+                        "page_accesses_norm": pages / base_pages,
+                        "speedup_vs_wo_ds": result.qps / base_qps,
+                        "speculative_hits": result.counters["speculative_hits"],
+                    }
+                )
+    return rows
+
+
+def run(scale: float = 1.0, batch: int = 512, **kwargs) -> str:
+    rows = collect(scale=scale, batch=batch, **kwargs)
+    table = [
+        [
+            r["algorithm"],
+            r["dataset"],
+            r["setting"],
+            f"{r['page_accesses_norm']:.2f}",
+            f"{r['speedup_vs_wo_ds']:.2f}x",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["algo", "dataset", "setting", "norm. page accesses",
+         "speedup vs w/o ds"],
+        table,
+        title=(
+            "Fig. 15 — dynamic scheduling (paper: da -73% pages / 2.67x; "
+            "sp raises pages, +1.27x)"
+        ),
+    )

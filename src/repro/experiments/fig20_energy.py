@@ -1,0 +1,71 @@
+"""Fig. 20: energy efficiency (QPS/W) across platforms.
+
+Paper: NDSearch reaches up to 178.68x / 120.87x / 30.06x / 3.48x
+higher QPS/W than CPU / GPU / SmartSSD-only / DS-cp — two orders of
+magnitude over CPU and GPU — because it moves the least data (in-LUN
+computing ships only scalar distances) at the lowest platform power
+(26.32 W total vs. a ~55 W PCIe budget).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import (
+    ALGORITHMS,
+    PLATFORMS,
+    get_workload,
+    run_platform,
+)
+
+DATASETS = ("glove-100", "fashion-mnist", "sift-1b", "deep-1b", "spacev-1b")
+
+
+def collect(
+    scale: float = 1.0,
+    batch: int = 512,
+    datasets=DATASETS,
+    algorithms=ALGORITHMS,
+) -> list[dict]:
+    rows = []
+    for algorithm in algorithms:
+        for dataset in datasets:
+            workload = get_workload(dataset, algorithm, scale=scale)
+            per_platform = {}
+            for platform in PLATFORMS:
+                result = run_platform(platform, workload, batch=batch)
+                per_platform[platform] = result.qps_per_watt
+            for platform, qpw in per_platform.items():
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "dataset": dataset,
+                        "platform": platform,
+                        "qps_per_watt": qpw,
+                        "ndsearch_advantage": (
+                            per_platform["ndsearch"] / qpw if qpw else 0.0
+                        ),
+                    }
+                )
+    return rows
+
+
+def run(scale: float = 1.0, batch: int = 512, **kwargs) -> str:
+    rows = collect(scale=scale, batch=batch, **kwargs)
+    table = [
+        [
+            r["algorithm"],
+            r["dataset"],
+            r["platform"],
+            f"{r['qps_per_watt']:.1f}",
+            f"{r['ndsearch_advantage']:.1f}x",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["algo", "dataset", "platform", "QPS/W", "NDSearch advantage"],
+        table,
+        title=(
+            "Fig. 20 — energy efficiency "
+            "(paper: up to 178.7x CPU / 120.9x GPU / 30.1x SmartSSD / 3.5x DS-cp)"
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Fig. 21: HCNNG and TOGG on sift-1b across platforms (Section VIII).
+
+Paper: even on the more directional emerging algorithms, NDSearch
+still wins — irregular, frequent data access continues to dominate.
+CPU-T (terabyte DRAM) accelerates the CPU (paper: up to 5.3x) but
+cannot match the in-storage designs: DRAM lacks the in-memory logic to
+exploit locality and the CPU lacks the parallelism of 256 LUN
+accelerators.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import get_workload, run_platform
+
+PLATFORMS_FIG21 = ("cpu", "cpu-t", "smartssd", "ds-cp", "ndsearch")
+
+
+def collect(
+    scale: float = 1.0,
+    batch: int = 512,
+    dataset: str = "sift-1b",
+    algorithms=("hcnng", "togg"),
+) -> list[dict]:
+    rows = []
+    for algorithm in algorithms:
+        workload = get_workload(dataset, algorithm, scale=scale)
+        cpu = None
+        for platform in PLATFORMS_FIG21:
+            result = run_platform(platform, workload, batch=batch)
+            if platform == "cpu":
+                cpu = result
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "platform": platform,
+                    "qps": result.qps,
+                    "speedup_vs_cpu": result.speedup_over(cpu),
+                }
+            )
+    return rows
+
+
+def run(scale: float = 1.0, batch: int = 512, **kwargs) -> str:
+    rows = collect(scale=scale, batch=batch, **kwargs)
+    table = [
+        [
+            r["algorithm"],
+            r["platform"],
+            f"{r['qps'] / 1e3:.2f}K",
+            f"{r['speedup_vs_cpu']:.2f}x",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["algo", "platform", "QPS", "speedup vs CPU"],
+        table,
+        title=(
+            "Fig. 21 — HCNNG / TOGG on sift-1b "
+            "(paper: NDSearch still wins; CPU-T < in-storage designs)"
+        ),
+    )

@@ -1,0 +1,87 @@
+"""Table I: power and area breakdown of SearSSD.
+
+Paper: 18.82 W / 43.09 mm^2 of customized logic at 32 nm; +7.5 W for
+the FPGA bitonic kernel = 26.32 W total, inside the ~55 W PCIe power
+budget; 82%/87% smaller than DS-cp/DS-c; storage density drops from
+6 to 5.64 Gb/mm^2 (~6%).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.sim.area import (
+    AreaModel,
+    DS_C_AREA_MM2,
+    DS_CP_AREA_MM2,
+    SEARSSD_AREA_TABLE,
+)
+from repro.sim.energy import (
+    FPGA_SORT_POWER_W,
+    NDSEARCH_TOTAL_POWER_W,
+    PCIE_POWER_BUDGET_W,
+    SEARSSD_LOGIC_POWER_W,
+    SEARSSD_TABLE_I,
+)
+
+
+def collect() -> dict:
+    area = AreaModel()
+    area_by_name = {c.name: c.area_mm2 for c in SEARSSD_AREA_TABLE}
+    rows = [
+        {
+            "component": c.name,
+            "config": c.config,
+            "count": c.count,
+            "power_w": c.power_w,
+            "area_mm2": area_by_name[c.name],
+        }
+        for c in SEARSSD_TABLE_I
+    ]
+    return {
+        "rows": rows,
+        "logic_power_w": SEARSSD_LOGIC_POWER_W,
+        "fpga_power_w": FPGA_SORT_POWER_W,
+        "total_power_w": NDSEARCH_TOTAL_POWER_W,
+        "power_budget_w": PCIE_POWER_BUDGET_W,
+        "total_area_mm2": area.total_area_mm2,
+        "saving_vs_ds_cp": area.area_saving_vs(DS_CP_AREA_MM2),
+        "saving_vs_ds_c": area.area_saving_vs(DS_C_AREA_MM2),
+        "storage_density": area.storage_density_gb_per_mm2(512.0),
+        "density_degradation": area.density_degradation(512.0),
+    }
+
+
+def run() -> str:
+    data = collect()
+    table = [
+        [r["component"], r["config"], r["count"], r["power_w"], r["area_mm2"]]
+        for r in data["rows"]
+    ]
+    table.append(["overall (logic)", "-", "-", data["logic_power_w"],
+                  data["total_area_mm2"]])
+    main = format_table(
+        ["component", "config", "num", "power (W)", "area (mm^2)"],
+        table,
+        title="Table I — power and area breakdown of SearSSD",
+    )
+    summary = format_table(
+        ["metric", "value", "paper"],
+        [
+            ["total power incl. FPGA", f"{data['total_power_w']:.2f} W", "26.32 W"],
+            ["PCIe power budget", f"{data['power_budget_w']:.0f} W", "~55 W"],
+            ["area vs DS-cp", f"-{100 * data['saving_vs_ds_cp']:.0f}%", "-82%"],
+            ["area vs DS-c", f"-{100 * data['saving_vs_ds_c']:.0f}%", "-87%"],
+            [
+                "storage density",
+                f"{data['storage_density']:.2f} Gb/mm^2",
+                "5.64 Gb/mm^2",
+            ],
+            [
+                "density degradation",
+                f"{100 * data['density_degradation']:.1f}%",
+                "~6%",
+            ],
+        ],
+        title="Section VII-B summary",
+    )
+    return main + "\n\n" + summary

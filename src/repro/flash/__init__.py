@@ -1,0 +1,49 @@
+"""NAND flash SSD substrate: geometry, commands, timing, FTL, ECC.
+
+Models the storage hierarchy the paper builds on (Section II-B):
+channels -> chips -> LUNs -> planes -> blocks -> pages, ONFI-style
+multi-LUN / multi-plane command semantics, a flash translation layer
+with block-level refreshing, and an LDPC ECC model with plane-level raw
+bit-error-rate injection.
+"""
+
+from repro.flash.geometry import PhysicalAddress, SSDGeometry
+from repro.flash.timing import FlashTiming
+from repro.flash.commands import (
+    ChangeReadColumn,
+    MultiPlaneRestrictionError,
+    ReadPage,
+    ReadStatusEnhanced,
+    SearchPage,
+    build_multi_lun_sequence,
+    validate_multi_plane_group,
+)
+from repro.flash.channel import ChannelSimulator, ChannelWorkflowResult, LunOperation
+from repro.flash.ecc import BERModel, LDPCModel
+from repro.flash.ftl import FlashTranslationLayer, RefreshEvent
+from repro.flash.nand import FlashChip, Lun, Plane
+from repro.flash.ssd import SSD
+
+__all__ = [
+    "PhysicalAddress",
+    "SSDGeometry",
+    "FlashTiming",
+    "ReadPage",
+    "SearchPage",
+    "ReadStatusEnhanced",
+    "ChangeReadColumn",
+    "MultiPlaneRestrictionError",
+    "build_multi_lun_sequence",
+    "validate_multi_plane_group",
+    "ChannelSimulator",
+    "ChannelWorkflowResult",
+    "LunOperation",
+    "BERModel",
+    "LDPCModel",
+    "FlashTranslationLayer",
+    "RefreshEvent",
+    "FlashChip",
+    "Lun",
+    "Plane",
+    "SSD",
+]

@@ -1,0 +1,208 @@
+"""ONFI-style flash command model, including the paper's ``<SearchPage>``.
+
+Section IV-C6 of the paper modifies the standard multi-LUN read flow:
+``<ReadPage>`` becomes ``<SearchPage>`` (carrying a distance-type field,
+the row address, feature-vector dimension/precision descriptors and a
+page-locality bit), while ``<ReadStatusEnhanced>`` and
+``<ChangeReadColumn>`` are re-targeted from the page buffer to the
+accelerator's output buffer so only computed distances cross the bus.
+
+Multi-plane command sequences obey the two ONFI restrictions quoted in
+Section VI-A2: within one multi-plane sequence the plane address bits
+must be pairwise distinct while the page (and LUN) address must be
+identical.  :func:`validate_multi_plane_group` enforces exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.flash.geometry import PhysicalAddress, SSDGeometry
+
+
+class DistanceType(IntEnum):
+    """2-bit distance selector of the ``<SearchPage>`` instruction."""
+
+    EUCLIDEAN = 0
+    ANGULAR = 1
+    INNER_PRODUCT = 2
+    HAMMING = 3
+
+
+class MultiPlaneRestrictionError(ValueError):
+    """A multi-plane command sequence violates the ONFI addressing rules."""
+
+
+@dataclass(frozen=True)
+class ReadPage:
+    """Standard page read: array -> page buffer (baseline designs)."""
+
+    address: PhysicalAddress
+
+    def latency_s(self, timing) -> float:
+        return timing.read_page_s
+
+
+@dataclass(frozen=True)
+class SearchPage:
+    """The paper's modified read: sense page, then compute in-LUN.
+
+    Field widths follow Fig. 9(b): 2-bit distance type, 26-bit row
+    address (at paper-scale geometry), 3-bit feature dimension
+    descriptor, 4-bit precision descriptor, 1-bit page-locality flag.
+    """
+
+    address: PhysicalAddress
+    distance: DistanceType = DistanceType.EUCLIDEAN
+    fv_dim_code: int = 0
+    fv_prec_code: int = 0
+    page_loc_bit: bool = False
+
+    ROW_BITS = 26
+    DIM_BITS = 3
+    PREC_BITS = 4
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fv_dim_code < (1 << self.DIM_BITS):
+            raise ValueError(f"fv_dim_code {self.fv_dim_code} exceeds {self.DIM_BITS} bits")
+        if not 0 <= self.fv_prec_code < (1 << self.PREC_BITS):
+            raise ValueError(f"fv_prec_code {self.fv_prec_code} exceeds {self.PREC_BITS} bits")
+
+    def encode(self, geometry: SSDGeometry) -> int:
+        """Pack the instruction into an integer (low bit first field).
+
+        Layout, LSB to MSB: distance(2) | row(26) | dim(3) | prec(4) |
+        pageLoc(1) — 36 bits total, as in Fig. 9(b).
+        """
+        row = self.address.row_address(geometry)
+        if row >= (1 << self.ROW_BITS):
+            raise ValueError(
+                f"row address {row} does not fit the {self.ROW_BITS}-bit field"
+            )
+        word = int(self.distance)
+        word |= row << 2
+        word |= self.fv_dim_code << (2 + self.ROW_BITS)
+        word |= self.fv_prec_code << (2 + self.ROW_BITS + self.DIM_BITS)
+        word |= int(self.page_loc_bit) << (2 + self.ROW_BITS + self.DIM_BITS + self.PREC_BITS)
+        return word
+
+    @classmethod
+    def decode(cls, word: int, geometry: SSDGeometry) -> "SearchPage":
+        """Inverse of :meth:`encode` (used to verify field packing)."""
+        distance = DistanceType(word & 0b11)
+        row = (word >> 2) & ((1 << cls.ROW_BITS) - 1)
+        dim_code = (word >> (2 + cls.ROW_BITS)) & ((1 << cls.DIM_BITS) - 1)
+        prec_code = (word >> (2 + cls.ROW_BITS + cls.DIM_BITS)) & ((1 << cls.PREC_BITS) - 1)
+        page_loc = bool(
+            (word >> (2 + cls.ROW_BITS + cls.DIM_BITS + cls.PREC_BITS)) & 0b1
+        )
+        page = row & ((1 << geometry.page_bits) - 1)
+        rest = row >> geometry.page_bits
+        block = rest & ((1 << geometry.block_bits) - 1)
+        rest >>= geometry.block_bits
+        plane = rest & ((1 << geometry.plane_bits) - 1) if geometry.plane_bits else 0
+        lun = rest >> geometry.plane_bits
+        address = PhysicalAddress(lun=lun, plane=plane, block=block, page=page)
+        return cls(
+            address=address,
+            distance=distance,
+            fv_dim_code=dim_code,
+            fv_prec_code=prec_code,
+            page_loc_bit=page_loc,
+        )
+
+    def latency_s(self, timing) -> float:
+        """Sense latency; MAC time is modelled separately by the SiN."""
+        return timing.read_page_s
+
+
+@dataclass(frozen=True)
+class ReadStatusEnhanced:
+    """Select one LUN's output (paper) / page (baseline) buffer."""
+
+    lun: int
+    target_output_buffer: bool = True
+
+
+@dataclass(frozen=True)
+class ChangeReadColumn:
+    """Set the column pointer within the selected buffer."""
+
+    lun: int
+    column: int
+    target_output_buffer: bool = True
+
+
+def validate_multi_plane_group(addresses: list[PhysicalAddress]) -> None:
+    """Enforce the ONFI multi-plane addressing restrictions.
+
+    (i) plane address bits pairwise distinct; (ii) LUN and page address
+    identical across the group.  Raises
+    :class:`MultiPlaneRestrictionError` on violation.
+    """
+    if not addresses:
+        raise MultiPlaneRestrictionError("empty multi-plane group")
+    planes = [a.plane for a in addresses]
+    if len(set(planes)) != len(planes):
+        raise MultiPlaneRestrictionError(
+            f"plane addresses must be distinct, got {planes}"
+        )
+    luns = {a.lun for a in addresses}
+    if len(luns) != 1:
+        raise MultiPlaneRestrictionError(f"multi-plane group spans LUNs {sorted(luns)}")
+    pages = {a.page for a in addresses}
+    if len(pages) != 1:
+        raise MultiPlaneRestrictionError(
+            f"page address must match across planes, got {sorted(pages)}"
+        )
+
+
+def build_multi_lun_sequence(
+    commands: list[SearchPage | ReadPage],
+) -> list[object]:
+    """Build the interleaved multi-LUN flow of Fig. 9(a).
+
+    Issues one ``<SearchPage>``/``<ReadPage>`` per LUN, then for each
+    LUN a ``<ReadStatusEnhanced>`` + ``<ChangeReadColumn>`` pair
+    targeting the output buffer (search) or page buffer (read),
+    followed by the data transfer slot (represented by the command
+    object itself so callers can account bus time).
+    """
+    if not commands:
+        return []
+    luns = [c.address.lun for c in commands]
+    if len(set(luns)) != len(luns):
+        raise MultiPlaneRestrictionError(
+            f"multi-LUN sequence must target distinct LUNs, got {luns}"
+        )
+    sequence: list[object] = list(commands)
+    for command in commands:
+        is_search = isinstance(command, SearchPage)
+        sequence.append(
+            ReadStatusEnhanced(lun=command.address.lun, target_output_buffer=is_search)
+        )
+        sequence.append(
+            ChangeReadColumn(
+                lun=command.address.lun,
+                column=command.address.byte,
+                target_output_buffer=is_search,
+            )
+        )
+    return sequence
+
+
+def encode_dim(dim: int) -> int:
+    """Map a feature dimension to the 3-bit descriptor of Fig. 9(b).
+
+    The descriptor indexes a small table of supported dimensions
+    (powers of two from 32 up, plus the catch-all 0 for 'other').
+    """
+    table = {32: 1, 64: 2, 96: 3, 100: 4, 128: 5, 256: 6, 784: 7}
+    return table.get(dim, 0)
+
+
+def encode_precision(bytes_per_component: int) -> int:
+    """Map component width in bytes to the 4-bit precision descriptor."""
+    table = {1: 1, 2: 2, 4: 3, 8: 4}
+    return table.get(bytes_per_component, 0)

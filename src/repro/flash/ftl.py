@@ -1,0 +1,187 @@
+"""Flash translation layer with block-level refreshing (Section II-B2).
+
+The search phase of ANNS is read-only, but NAND still needs periodic
+*data refreshing* (retention / read-disturb) which relocates blocks and
+therefore changes physical addresses.  The paper adopts *block-level*
+refreshing constrained to stay **within the source plane** (Section
+VI-A2), so multi-plane parallelism established by the static mapping is
+preserved, and integrates logical-to-physical translation into the
+LUNCSR arrays: when a block moves, the FTL updates the LUN/BLK arrays
+the same way a conventional FTL updates its mapping table.
+
+This module implements that mechanism: per-plane block maps, a refresh
+operation that relocates a block to a free block in the same plane, and
+a subscriber callback so LUNCSR can mirror every relocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.flash.geometry import SSDGeometry
+
+
+@dataclass(frozen=True)
+class RefreshEvent:
+    """One block relocation performed by the FTL."""
+
+    lun: int
+    plane: int
+    old_block: int
+    new_block: int
+
+    def latency_s(self, timing, pages_valid: int) -> float:
+        """Read + program each valid page, then erase the old block."""
+        per_page = timing.read_page_s + timing.program_page_s
+        return pages_valid * per_page + timing.erase_block_s
+
+
+class FlashTranslationLayer:
+    """Block-granularity L2P mapping with in-plane refresh.
+
+    ``block_map[lun, plane, logical_block]`` gives the current physical
+    block.  ``reserved_per_plane`` blocks at the top of each plane are
+    kept free as refresh destinations (over-provisioning).
+    """
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        reserved_per_plane: int = 2,
+        seed: int = 17,
+        read_disturb_threshold: int = 100_000,
+    ) -> None:
+        if reserved_per_plane < 1:
+            raise ValueError("need at least one reserved block per plane")
+        if reserved_per_plane >= geometry.blocks_per_plane:
+            raise ValueError("reserved blocks exceed plane capacity")
+        if read_disturb_threshold < 1:
+            raise ValueError("read_disturb_threshold must be positive")
+        self.geometry = geometry
+        self.reserved_per_plane = reserved_per_plane
+        self.usable_blocks = geometry.blocks_per_plane - reserved_per_plane
+        self.read_disturb_threshold = read_disturb_threshold
+        self._rng = np.random.default_rng(seed)
+        n_luns = geometry.total_luns
+        n_planes = geometry.planes_per_lun
+        # Identity mapping initially; free list holds the reserved blocks.
+        self.block_map = np.tile(
+            np.arange(self.usable_blocks, dtype=np.int64), (n_luns, n_planes, 1)
+        )
+        self._free: list[list[list[int]]] = [
+            [
+                list(range(self.usable_blocks, geometry.blocks_per_plane))
+                for _ in range(n_planes)
+            ]
+            for _ in range(n_luns)
+        ]
+        self.refresh_log: list[RefreshEvent] = []
+        self._subscribers: list[Callable[[RefreshEvent], None]] = []
+        # Wear/endurance accounting: reads since last refresh (keyed by
+        # *logical* block, the unit the FTL reasons about) and erase
+        # counts per *physical* block (what actually wears out).
+        self.read_counts = np.zeros(
+            (n_luns, n_planes, self.usable_blocks), dtype=np.int64
+        )
+        self.erase_counts = np.zeros(
+            (n_luns, n_planes, geometry.blocks_per_plane), dtype=np.int64
+        )
+
+    # ---- translation -----------------------------------------------------
+    def physical_block(self, lun: int, plane: int, logical_block: int) -> int:
+        """Translate a logical block to its current physical block."""
+        if not 0 <= logical_block < self.usable_blocks:
+            raise ValueError(f"logical block {logical_block} out of range")
+        return int(self.block_map[lun, plane, logical_block])
+
+    def subscribe(self, callback: Callable[[RefreshEvent], None]) -> None:
+        """Register a callback fired on every refresh (LUNCSR mirror)."""
+        self._subscribers.append(callback)
+
+    # ---- refreshing ----------------------------------------------------------
+    def refresh_block(self, lun: int, plane: int, logical_block: int) -> RefreshEvent:
+        """Relocate one logical block to a free block in the same plane.
+
+        The old physical block returns to the plane's free list, so
+        refreshes can continue indefinitely.  Raises if the plane has no
+        free destination (cannot happen with >= 1 reserved block).
+        """
+        free = self._free[lun][plane]
+        if not free:
+            raise RuntimeError(f"plane ({lun},{plane}) has no free refresh block")
+        old = int(self.block_map[lun, plane, logical_block])
+        new = free.pop(0)
+        self.block_map[lun, plane, logical_block] = new
+        free.append(old)
+        self.read_counts[lun, plane, logical_block] = 0
+        self.erase_counts[lun, plane, old] += 1  # old block is erased
+        event = RefreshEvent(lun=lun, plane=plane, old_block=old, new_block=new)
+        self.refresh_log.append(event)
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    # ---- read disturbance (the reason refreshing exists) -------------------
+    def record_read(self, lun: int, plane: int, logical_block: int) -> bool:
+        """Count one page read; returns True if the block crossed the
+        read-disturb threshold and must be refreshed.
+
+        The search phase of ANNS is read-only, but NAND cells disturb
+        their block-mates on every read — after enough reads the block
+        must be rewritten (Section II-B2).  The SSD calls this on every
+        sensed page and triggers :meth:`refresh_block` on True.
+        """
+        if not 0 <= logical_block < self.usable_blocks:
+            raise ValueError(f"logical block {logical_block} out of range")
+        self.read_counts[lun, plane, logical_block] += 1
+        return bool(
+            self.read_counts[lun, plane, logical_block]
+            >= self.read_disturb_threshold
+        )
+
+    def wear_summary(self) -> dict[str, float]:
+        """Endurance statistics over the physical blocks."""
+        erases = self.erase_counts
+        return {
+            "total_erases": float(erases.sum()),
+            "max_erases": float(erases.max()),
+            "mean_erases": float(erases.mean()),
+        }
+
+    def refresh_random_blocks(self, count: int) -> list[RefreshEvent]:
+        """Refresh ``count`` uniformly chosen (lun, plane, block) triples.
+
+        Used by the tests and the ECC/endurance experiment to exercise
+        address churn during a search workload.
+        """
+        events = []
+        for _ in range(count):
+            lun = int(self._rng.integers(self.geometry.total_luns))
+            plane = int(self._rng.integers(self.geometry.planes_per_lun))
+            block = int(self._rng.integers(self.usable_blocks))
+            events.append(self.refresh_block(lun, plane, block))
+        return events
+
+    # ---- invariants -------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Verify the mapping stays a bijection within every plane."""
+        for lun in range(self.geometry.total_luns):
+            for plane in range(self.geometry.planes_per_lun):
+                mapped = set(int(b) for b in self.block_map[lun, plane])
+                free = set(self._free[lun][plane])
+                if mapped & free:
+                    raise AssertionError(
+                        f"plane ({lun},{plane}): blocks both mapped and free"
+                    )
+                if len(mapped) != self.usable_blocks:
+                    raise AssertionError(
+                        f"plane ({lun},{plane}): mapping is not injective"
+                    )
+                universe = mapped | free
+                if universe != set(range(self.geometry.blocks_per_plane)):
+                    raise AssertionError(
+                        f"plane ({lun},{plane}): blocks lost ({len(universe)})"
+                    )

@@ -1,0 +1,152 @@
+"""Latency and bandwidth parameters for every modelled platform.
+
+Values follow the paper's experimental setup (Section VII-A) and public
+datasheets for the referenced hardware:
+
+* NAND array read (tR) for V-NAND MLC: ~65 us per 16 KB page.
+* Channel bus (ONFI NV-DDR2-class): ~800 MB/s per channel.
+* PCIe 3.0 x16 host link: 15.4 GB/s peak (Fig. 2); PCIe 3.0 x4 private
+  link between SearSSD and the FPGA: ~3.9 GB/s.
+* Moving a page from the page buffer to an accelerator *outside* the
+  NAND chip costs an extra ~30 us (Section III) — this is the key
+  penalty paid by channel-/chip-level accelerator designs.
+* Soft-decision LDPC on the embedded cores costs ~10 us (Section VII).
+
+All times are seconds, all bandwidths bytes/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Timing/bandwidth constants shared by all platform models."""
+
+    # ---- NAND flash ------------------------------------------------------
+    read_page_s: float = 65e-6
+    """Array-to-page-buffer sense time (tR) for one page."""
+
+    program_page_s: float = 600e-6
+    """Page program time (used by the FTL refresh model)."""
+
+    erase_block_s: float = 3e-3
+    """Block erase time (used by the FTL refresh model)."""
+
+    channel_bus_bw: float = 800e6
+    """ONFI bus bandwidth per channel, bytes/s."""
+
+    chip_bus_bw: float = 1200e6
+    """Intra-chip bus bandwidth (page buffer to chip-level logic)."""
+
+    external_accelerator_s: float = 30e-6
+    """Extra latency to move page-buffer data outside the NAND chip."""
+
+    # ---- ECC --------------------------------------------------------------
+    ecc_hard_decode_s: float = 2e-6
+    """In-plane hard-decision LDPC decode per page (pipelined with tR)."""
+
+    ecc_soft_decode_s: float = 10e-6
+    """Soft-decision LDPC fallback on the embedded cores, per failure."""
+
+    # ---- SSD controller -----------------------------------------------------
+    dram_access_s: float = 10e-9
+    """Effective per-access cost of SSD-internal DRAM under pipelined
+    streaming (LUNCSR walks and QPT updates are sequential bursts, not
+    dependent random loads)."""
+
+    dram_bw: float = 12e9
+    """Internal DRAM bandwidth, bytes/s."""
+
+    embedded_core_op_s: float = 50e-9
+    """One unit of FTL/controller work, amortised over the 2-4
+    embedded cores."""
+
+    # ---- customized SearSSD logic --------------------------------------------
+    vgen_stage_s: float = 100e-9
+    """One Vgenerator pipeline stage (OFS/NBR/LUN fetch) per vertex."""
+
+    alloc_dispatch_s: float = 15e-9
+    """Allocator dispatch cost per (query, neighbor) entry (a few
+    cycles of the 800 MHz dispatcher)."""
+
+    mac_op_s: float = 1.25e-9
+    """One multiply-accumulate at 800 MHz."""
+
+    macs_per_group: int = 2
+    mac_groups_per_lun_acc: int = 2
+
+    # ---- host links -----------------------------------------------------------
+    pcie_host_bw: float = 15.4e9
+    """PCIe 3.0 x16 host <-> device bandwidth (Fig. 2)."""
+
+    pcie_host_latency_s: float = 5e-6
+    """Per-transfer setup latency on the host link."""
+
+    pcie_private_bw: float = 3.9e9
+    """PCIe 3.0 x4 private SSD <-> FPGA link inside the SmartSSD."""
+
+    pcie_private_latency_s: float = 2e-6
+
+    # ---- FPGA sorter -------------------------------------------------------------
+    fpga_clock_hz: float = 200e6
+    fpga_sort_elems_per_cycle: float = 16.0
+    """Throughput of the pipelined bitonic network (elements/cycle)."""
+
+    # ---- host compute (baselines) -------------------------------------------------
+    cpu_distance_flops: float = 60e9
+    """Effective sustained FLOP/s of the 2-socket CPU baseline on the
+    distance kernel (SIMD, memory-bound, well below peak)."""
+
+    cpu_dram_access_s: float = 90e-9
+    """Host DRAM random access (cache-missing vertex fetch)."""
+
+    cpu_sort_elem_s: float = 25e-9
+    """Per-element cost of host-side top-k selection/sorting."""
+
+    gpu_distance_flops: float = 4e12
+    """Effective Titan RTX throughput on the distance kernel."""
+
+    gpu_kernel_launch_s: float = 10e-6
+    """Per-iteration kernel launch + sync overhead."""
+
+    os_page_size: int = 4096
+    """Host I/O granularity when reading vertices from the SSD."""
+
+    def scaled_copy(self, **overrides: float) -> "FlashTiming":
+        """A copy with selected fields overridden (keyword-checked)."""
+        return replace(self, **overrides)
+
+    # ---- convenience ---------------------------------------------------------------
+    def page_transfer_s(self, page_size: int) -> float:
+        """Time to move one page over the channel bus."""
+        return page_size / self.channel_bus_bw
+
+    def host_transfer_s(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` over the host PCIe link."""
+        if nbytes <= 0:
+            return 0.0
+        return self.pcie_host_latency_s + nbytes / self.pcie_host_bw
+
+    def private_transfer_s(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` over the private SSD-FPGA link."""
+        if nbytes <= 0:
+            return 0.0
+        return self.pcie_private_latency_s + nbytes / self.pcie_private_bw
+
+    def distance_mac_s(self, dim: int, luns_busy: int = 1) -> float:
+        """Time for one LUN accelerator to compute one distance.
+
+        A distance over a ``dim``-dimensional vector needs ``dim`` MACs
+        spread over the accelerator's parallel MAC units.
+        """
+        macs_parallel = self.macs_per_group * self.mac_groups_per_lun_acc
+        return (dim / macs_parallel) * self.mac_op_s
+
+    def fpga_sort_s(self, n_elements: int) -> float:
+        """Pipelined bitonic sorter time for ``n_elements`` elements."""
+        if n_elements <= 0:
+            return 0.0
+        cycles = n_elements / self.fpga_sort_elems_per_cycle
+        return cycles / self.fpga_clock_hz

@@ -1,0 +1,79 @@
+"""Area model and storage-density accounting (paper Table I, Section VII).
+
+The paper synthesises SearSSD's customized logic at 32 nm and reports a
+per-component area breakdown totalling 43.09 mm^2, compares it against
+DS-cp (236.8 mm^2), DS-c (320 mm^2) and SmartSSD (~800 mm^2), and
+derives the storage-density cost of embedding the logic: Samsung 983
+DCT V-NAND MLC at 6 Gb/mm^2 degrades to 5.64 Gb/mm^2 (about 6%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ComponentArea:
+    """One row of the paper's Table I area breakdown."""
+
+    name: str
+    config: str
+    count: int
+    area_mm2: float
+
+
+#: Paper Table I, area column.
+SEARSSD_AREA_TABLE: tuple[ComponentArea, ...] = (
+    ComponentArea("mac_group", "2 MACs", 512, 15.04),
+    ComponentArea("vgen_buffer", "2MB", 1, 3.18),
+    ComponentArea("alloc_buffer", "6MB", 1, 8.53),
+    ComponentArea("query_queue", "24KB", 256, 9.76),
+    ComponentArea("vaddr_queue", "3KB", 256, 1.47),
+    ComponentArea("output_buffer", "1KB", 512, 1.12),
+    ComponentArea("ecc_decoder", "LDPC", 1024, 2.84),
+    ComponentArea("ctr_circuits", "-", 0, 1.15),
+)
+
+#: Comparison points reported in Section VII-B.
+DS_CP_AREA_MM2: float = 236.8
+DS_C_AREA_MM2: float = 320.0
+SMARTSSD_LOGIC_AREA_MM2: float = 800.0
+
+#: Baseline V-NAND MLC storage density (Samsung 983 DCT estimate).
+BASE_STORAGE_DENSITY_GB_PER_MM2: float = 6.0
+
+
+@dataclass
+class AreaModel:
+    """Aggregate area and storage-density arithmetic for SearSSD."""
+
+    components: tuple[ComponentArea, ...] = SEARSSD_AREA_TABLE
+    base_density_gb_per_mm2: float = BASE_STORAGE_DENSITY_GB_PER_MM2
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total customized-logic area (paper: 43.09 mm^2)."""
+        return round(sum(c.area_mm2 for c in self.components), 2)
+
+    def area_saving_vs(self, other_area_mm2: float) -> float:
+        """Fractional area saving relative to a competing design."""
+        if other_area_mm2 <= 0:
+            raise ValueError("competitor area must be positive")
+        return 1.0 - self.total_area_mm2 / other_area_mm2
+
+    def storage_density_gb_per_mm2(self, capacity_gb: float = 512.0) -> float:
+        """Effective density after embedding the logic (paper: 5.64).
+
+        Follows the paper's formula: capacity in gigabits divided by
+        (NAND area for that capacity + customized logic area).
+        """
+        if capacity_gb <= 0:
+            raise ValueError("capacity must be positive")
+        capacity_gbit = capacity_gb * 8.0
+        nand_area = capacity_gbit / self.base_density_gb_per_mm2
+        return capacity_gbit / (nand_area + self.total_area_mm2)
+
+    def density_degradation(self, capacity_gb: float = 512.0) -> float:
+        """Fractional density loss (paper: about 6%)."""
+        eff = self.storage_density_gb_per_mm2(capacity_gb)
+        return 1.0 - eff / self.base_density_gb_per_mm2

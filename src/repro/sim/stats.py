@@ -1,0 +1,92 @@
+"""Event counters and the platform-independent simulation result record."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+class Counters(Counter):
+    """Named event counters shared by all platform models.
+
+    A thin subclass of :class:`collections.Counter` so counters merge
+    with ``+`` and missing keys read as zero.  Canonical keys used
+    throughout the codebase:
+
+    ``page_reads``        NAND page-buffer loads
+    ``multiplane_reads``  page loads merged into multi-plane operations
+    ``distance_computations``  query/vertex distance evaluations
+    ``dram_accesses``     SSD-internal or host DRAM accesses
+    ``pcie_bytes``        bytes crossing a host PCIe link
+    ``internal_bytes``    bytes crossing SSD-internal buses
+    ``ecc_hard_decodes`` / ``ecc_soft_decodes``  LDPC decode events
+    ``speculative_page_reads`` / ``speculative_hits``  prefetch activity
+    ``sorted_elements``   elements pushed through the bitonic sorter
+    """
+
+    def merged(self, other: "Counters") -> "Counters":
+        out = Counters(self)
+        out.update(other)
+        return out
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one batch of queries on one platform.
+
+    Attributes
+    ----------
+    platform:
+        Platform label (``"cpu"``, ``"gpu"``, ``"smartssd"``, ``"ds-c"``,
+        ``"ds-cp"``, ``"ndsearch"``, ``"cpu-t"``).
+    algorithm / dataset:
+        Workload labels for reporting.
+    batch_size:
+        Number of queries in the simulated batch.
+    sim_time_s:
+        Simulated wall-clock makespan of the batch in seconds.
+    counters:
+        Event counts accumulated while replaying the trace.
+    component_busy_s:
+        Busy seconds per named component, for execution-time breakdowns
+        (paper Figs. 1 and 17).
+    energy_j / power_w:
+        Filled in by :class:`repro.sim.energy.EnergyModel`.
+    """
+
+    platform: str
+    algorithm: str
+    dataset: str
+    batch_size: int
+    sim_time_s: float
+    counters: Counters = field(default_factory=Counters)
+    component_busy_s: dict[str, float] = field(default_factory=dict)
+    energy_j: float = 0.0
+    power_w: float = 0.0
+
+    @property
+    def qps(self) -> float:
+        """Queries per second (the paper's throughput metric)."""
+        if self.sim_time_s <= 0:
+            return 0.0
+        return self.batch_size / self.sim_time_s
+
+    @property
+    def qps_per_watt(self) -> float:
+        """Energy efficiency (paper Fig. 20 metric)."""
+        if self.power_w <= 0:
+            return 0.0
+        return self.qps / self.power_w
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Throughput speedup of this result relative to ``baseline``."""
+        if self.qps <= 0:
+            return 0.0
+        return self.qps / baseline.qps
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        """Per-component share of the accounted busy time (sums to 1)."""
+        total = sum(self.component_busy_s.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.component_busy_s}
+        return {k: v / total for k, v in self.component_busy_s.items()}

@@ -1,0 +1,22 @@
+"""Bitonic sorting kernel and its FPGA deployment model.
+
+The paper offloads the third ANNS kernel — bitonic sorting of each
+query's result list — to the SmartSSD's FPGA (as in NASCENT [66]),
+freeing SearSSD's power and area budget for the in-flash logic.
+"""
+
+from repro.sorting.bitonic import (
+    bitonic_comparator_count,
+    bitonic_sort,
+    bitonic_stage_count,
+    bitonic_top_k,
+)
+from repro.sorting.fpga import FPGASorter
+
+__all__ = [
+    "bitonic_sort",
+    "bitonic_top_k",
+    "bitonic_stage_count",
+    "bitonic_comparator_count",
+    "FPGASorter",
+]

@@ -1,0 +1,5 @@
+"""Workload construction: query batches and persistent trace sets."""
+
+from repro.workloads.traces import TraceSet
+
+__all__ = ["TraceSet"]

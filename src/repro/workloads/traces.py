@@ -1,0 +1,109 @@
+"""Persistent trace sets: the unit of exchange between the functional
+search layer and the trace-driven simulators.
+
+The paper's methodology (Section VII-A) generates memory traces once —
+by instrumenting the search code — and feeds them to the simulator.
+:class:`TraceSet` is that artifact: a batch of per-query
+:class:`~repro.ann.trace.SearchTrace` objects with the search results,
+serialisable to a single ``.npz`` so expensive graph construction and
+trace generation run once per (dataset, algorithm) and every
+experiment replays from cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.ann.trace import IterationRecord, SearchTrace
+
+
+@dataclass
+class TraceSet:
+    """A batch of search traces plus the search outputs."""
+
+    traces: list[SearchTrace]
+    result_ids: np.ndarray
+    result_dists: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def subset(self, batch_size: int) -> "TraceSet":
+        """The first ``batch_size`` queries (prefix slicing keeps all
+        experiments on identical query populations)."""
+        if batch_size > len(self.traces):
+            raise ValueError(
+                f"requested batch {batch_size} exceeds pool of {len(self.traces)}"
+            )
+        return TraceSet(
+            traces=self.traces[:batch_size],
+            result_ids=self.result_ids[:batch_size],
+            result_dists=self.result_dists[:batch_size],
+        )
+
+    # ---- statistics -----------------------------------------------------
+    def mean_trace_length(self) -> float:
+        return float(np.mean([t.trace_length for t in self.traces]))
+
+    def mean_iterations(self) -> float:
+        return float(np.mean([t.num_iterations for t in self.traces]))
+
+    # ---- persistence ------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Flatten the ragged trace structure into one ``.npz``."""
+        iter_offsets = [0]
+        computed_offsets = [0]
+        entries: list[int] = []
+        computed: list[int] = []
+        for trace in self.traces:
+            for record in trace.iterations:
+                entries.append(record.entry)
+                computed.extend(record.computed)
+                computed_offsets.append(len(computed))
+            iter_offsets.append(len(entries))
+        np.savez_compressed(
+            Path(path),
+            entries=np.asarray(entries, dtype=np.int64),
+            iter_offsets=np.asarray(iter_offsets, dtype=np.int64),
+            computed=np.asarray(computed, dtype=np.int64),
+            computed_offsets=np.asarray(computed_offsets, dtype=np.int64),
+            result_ids=self.result_ids,
+            result_dists=self.result_dists,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceSet":
+        with np.load(Path(path)) as data:
+            entries = data["entries"]
+            iter_offsets = data["iter_offsets"]
+            computed = data["computed"]
+            computed_offsets = data["computed_offsets"]
+            result_ids = data["result_ids"]
+            result_dists = data["result_dists"]
+        traces: list[SearchTrace] = []
+        iter_idx = 0
+        for q in range(iter_offsets.size - 1):
+            trace = SearchTrace(query_id=q)
+            for _ in range(int(iter_offsets[q + 1] - iter_offsets[q])):
+                lo = int(computed_offsets[iter_idx])
+                hi = int(computed_offsets[iter_idx + 1])
+                trace.iterations.append(
+                    IterationRecord(
+                        entry=int(entries[iter_idx]),
+                        computed=tuple(int(v) for v in computed[lo:hi]),
+                    )
+                )
+                iter_idx += 1
+            trace.result_ids = result_ids[q]
+            trace.result_distances = result_dists[q]
+            traces.append(trace)
+        return cls(traces=traces, result_ids=result_ids, result_dists=result_dists)
+
+    @classmethod
+    def from_search(
+        cls, ids: np.ndarray, dists: np.ndarray, traces: list[SearchTrace]
+    ) -> "TraceSet":
+        return cls(traces=traces, result_ids=ids, result_dists=dists)

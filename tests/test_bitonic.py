@@ -1,0 +1,106 @@
+"""Tests for the bitonic sorting network and FPGA model."""
+
+import numpy as np
+import pytest
+
+from repro.flash.timing import FlashTiming
+from repro.sorting import (
+    FPGASorter,
+    bitonic_comparator_count,
+    bitonic_sort,
+    bitonic_stage_count,
+    bitonic_top_k,
+)
+
+
+class TestNetworkCounts:
+    def test_stage_count_formula(self):
+        # n = 2^k -> k(k+1)/2 stages.
+        assert bitonic_stage_count(2) == 1
+        assert bitonic_stage_count(4) == 3
+        assert bitonic_stage_count(8) == 6
+        assert bitonic_stage_count(1024) == 55
+
+    def test_non_power_of_two_padded(self):
+        assert bitonic_stage_count(5) == bitonic_stage_count(8)
+
+    def test_comparator_count(self):
+        assert bitonic_comparator_count(8) == 6 * 4
+        assert bitonic_comparator_count(1) == 0
+
+
+class TestBitonicSort:
+    def test_sorts_ascending(self, rng):
+        keys = rng.normal(size=64)
+        out, _ = bitonic_sort(keys)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_sorts_descending(self, rng):
+        keys = rng.normal(size=32)
+        out, _ = bitonic_sort(keys, descending=True)
+        assert np.array_equal(out, np.sort(keys)[::-1])
+
+    def test_non_power_of_two(self, rng):
+        keys = rng.normal(size=37)
+        out, _ = bitonic_sort(keys)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_payload_follows_keys(self, rng):
+        keys = rng.normal(size=50)
+        values = np.arange(50)
+        out_k, out_v = bitonic_sort(keys, values)
+        assert np.array_equal(out_v, np.argsort(keys, kind="stable"))
+        assert np.array_equal(out_k, keys[out_v])
+
+    def test_duplicates(self):
+        keys = np.array([2.0, 1.0, 2.0, 1.0, 0.0])
+        out, _ = bitonic_sort(keys)
+        assert np.array_equal(out, np.array([0.0, 1.0, 1.0, 2.0, 2.0]))
+
+    def test_empty_and_singleton(self):
+        out, _ = bitonic_sort(np.array([]))
+        assert out.size == 0
+        out, _ = bitonic_sort(np.array([3.0]))
+        assert out.tolist() == [3.0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            bitonic_sort(np.zeros((2, 2)))
+
+    def test_top_k(self, rng):
+        dists = rng.normal(size=40)
+        ids = np.arange(40)
+        top_d, top_i = bitonic_top_k(dists, ids, 5)
+        ref = np.argsort(dists)[:5]
+        assert np.array_equal(top_i, ref)
+        assert np.array_equal(top_d, dists[ref])
+
+
+class TestFPGASorter:
+    def test_sort_result_lists_correct(self, rng):
+        sorter = FPGASorter(timing=FlashTiming())
+        distances = [rng.normal(size=20), rng.normal(size=12)]
+        ids = [np.arange(20), np.arange(12)]
+        top_d, top_i, latency = sorter.sort_result_lists(distances, ids, k=3)
+        assert latency > 0
+        for d_in, d_out, i_out in zip(distances, top_d, top_i):
+            ref = np.argsort(d_in)[:3]
+            assert np.array_equal(i_out, ref)
+
+    def test_counters(self, rng):
+        sorter = FPGASorter(timing=FlashTiming())
+        sorter.sort_result_lists([rng.normal(size=16)], [np.arange(16)], k=4)
+        assert sorter.counters["sorted_elements"] == 16
+        assert sorter.counters["comparator_ops"] == bitonic_comparator_count(16)
+        assert sorter.counters["private_pcie_bytes"] > 0
+
+    def test_latency_scales_with_elements(self):
+        sorter = FPGASorter(timing=FlashTiming())
+        small = sorter.sort_latency_s(batch_size=16, list_length=32)
+        large = sorter.sort_latency_s(batch_size=256, list_length=32)
+        assert large > small
+
+    def test_mismatched_lists_rejected(self, rng):
+        sorter = FPGASorter(timing=FlashTiming())
+        with pytest.raises(ValueError):
+            sorter.sort_result_lists([rng.normal(size=4)], [], k=2)

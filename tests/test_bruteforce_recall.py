@@ -1,0 +1,77 @@
+"""Tests for exact search and the recall metric."""
+
+import numpy as np
+import pytest
+
+from repro.ann import BruteForceIndex, recall_at_k
+from repro.ann.distance import DistanceMetric
+
+
+class TestBruteForce:
+    def test_self_query_returns_self(self, small_vectors):
+        bf = BruteForceIndex(small_vectors)
+        ids, dists = bf.search(small_vectors[7], k=1)
+        assert ids[0] == 7
+        assert dists[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_batch_matches_single(self, small_vectors, small_queries):
+        bf = BruteForceIndex(small_vectors)
+        batch_ids, batch_d = bf.search_batch(small_queries, 5)
+        for i in range(len(small_queries)):
+            ids, d = bf.search(small_queries[i], 5)
+            assert np.array_equal(ids, batch_ids[i])
+
+    def test_distances_sorted(self, small_vectors, small_queries):
+        bf = BruteForceIndex(small_vectors)
+        _, dists = bf.search_batch(small_queries, 10)
+        assert np.all(np.diff(dists, axis=1) >= -1e-9)
+
+    def test_k_clamped_to_dataset(self):
+        vectors = np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32)
+        ids, _ = BruteForceIndex(vectors).search(vectors[0], k=10)
+        assert ids.shape == (3,)
+
+    def test_angular_metric(self, small_vectors):
+        bf = BruteForceIndex(small_vectors, DistanceMetric.ANGULAR)
+        ids, _ = bf.search(small_vectors[3] * 5.0, k=1)  # scale-invariant
+        assert ids[0] == 3
+
+    def test_invalid_inputs(self, small_vectors):
+        with pytest.raises(ValueError):
+            BruteForceIndex(np.zeros((0, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            BruteForceIndex(small_vectors).search(small_vectors[0], k=0)
+
+
+class TestRecall:
+    def test_perfect_recall(self):
+        ids = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall_at_k(ids, ids) == 1.0
+
+    def test_order_irrelevant(self):
+        approx = np.array([[3, 2, 1]])
+        exact = np.array([[1, 2, 3]])
+        assert recall_at_k(approx, exact) == 1.0
+
+    def test_partial_recall(self):
+        approx = np.array([[1, 2, 9]])
+        exact = np.array([[1, 2, 3]])
+        assert recall_at_k(approx, exact) == pytest.approx(2 / 3)
+
+    def test_k_truncation(self):
+        approx = np.array([[1, 9, 9, 9]])
+        exact = np.array([[1, 2, 3, 4]])
+        assert recall_at_k(approx, exact, k=1) == 1.0
+
+    def test_padding_ignored(self):
+        approx = np.array([[1, -1, -1]])
+        exact = np.array([[1, 2, -1]])
+        assert recall_at_k(approx, exact) == pytest.approx(0.5)
+
+    def test_batch_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((1, 3)), np.zeros((1, 3)), k=0)

@@ -1,0 +1,80 @@
+"""Tests for configuration presets and scheduling flags."""
+
+import math
+
+import pytest
+
+from repro.core.config import HostConfig, NDSearchConfig, SchedulingFlags
+
+
+class TestSchedulingFlags:
+    def test_bare(self):
+        flags = SchedulingFlags.bare()
+        assert not any(
+            (flags.reorder, flags.multiplane, flags.dynamic_alloc,
+             flags.speculative)
+        )
+        assert flags.label() == "bare"
+
+    def test_label_composition(self):
+        assert SchedulingFlags(True, True, False, False).label() == "re+mp"
+        assert SchedulingFlags.all_enabled().label() == "re+mp+da+sp"
+
+    def test_flags_hashable(self):
+        assert len({SchedulingFlags.bare(), SchedulingFlags.all_enabled()}) == 2
+
+
+class TestPresets:
+    def test_paper_preset(self):
+        cfg = NDSearchConfig.paper()
+        assert cfg.num_lun_accelerators == 256
+        assert cfg.geometry.capacity_bytes == 512 * 1024**3
+        assert cfg.dram_bytes == 4 * 1024**3
+        # Paper: batch 4096 is where sub-batching kicks in (Fig. 19).
+        assert cfg.max_batch_capacity == 4096
+        assert cfg.sub_batches(4096) == 1
+        assert cfg.sub_batches(8192) == 2
+
+    def test_paper_internal_bandwidth(self):
+        # Fig. 2(b): 819.2 GB/s when all page buffers stream at once.
+        assert NDSearchConfig.paper().internal_bandwidth == pytest.approx(819.2e9)
+
+    def test_scaled_preserves_bandwidth_imbalance(self):
+        paper = NDSearchConfig.paper()
+        scaled = NDSearchConfig.scaled()
+        paper_ratio = paper.internal_bandwidth / paper.timing.pcie_host_bw
+        scaled_ratio = scaled.internal_bandwidth / scaled.timing.pcie_host_bw
+        # Same order of magnitude of internal-vs-PCIe headroom.
+        assert 0.2 < scaled_ratio / paper_ratio < 1.1
+
+    def test_with_flags_is_pure(self):
+        cfg = NDSearchConfig.scaled()
+        other = cfg.with_flags(SchedulingFlags.bare())
+        assert cfg.flags.reorder
+        assert not other.flags.reorder
+        assert other.geometry is cfg.geometry
+
+    def test_sub_batches_edge_cases(self):
+        cfg = NDSearchConfig.scaled()
+        assert cfg.sub_batches(0) == 1
+        assert cfg.sub_batches(1) == 1
+
+
+class TestHostConfig:
+    def test_pcie_utilization_saturates(self):
+        host = HostConfig(dram_capacity_bytes=1, vram_capacity_bytes=1)
+        u_small = host.pcie_utilization(64)
+        u_big = host.pcie_utilization(2048)
+        assert u_small < u_big <= host.pcie_util_max
+
+    def test_fig2a_saturation_point(self):
+        """Fig. 2(a): utilisation saturates to ~83% past batch 1024."""
+        host = HostConfig(dram_capacity_bytes=1, vram_capacity_bytes=1)
+        assert host.pcie_utilization(1024) > 0.95 * host.pcie_util_max
+        assert host.pcie_utilization(2048) == pytest.approx(
+            host.pcie_util_max, rel=0.01
+        )
+
+    def test_zero_batch(self):
+        host = HostConfig(dram_capacity_bytes=1, vram_capacity_bytes=1)
+        assert host.pcie_utilization(0) == 0.0

@@ -1,0 +1,122 @@
+"""Tests for synthetic datasets and the named registry."""
+
+import numpy as np
+import pytest
+
+from repro.ann.distance import DistanceMetric
+from repro.data import (
+    clustered_gaussian,
+    dataset_names,
+    load_dataset,
+    quantized_descriptors,
+    unit_normalized,
+)
+from repro.data.synthetic import split_queries
+
+
+class TestGenerators:
+    def test_clustered_shape_and_dtype(self):
+        x = clustered_gaussian(200, 16, seed=1)
+        assert x.shape == (200, 16)
+        assert x.dtype == np.float32
+
+    def test_clustered_deterministic(self):
+        a = clustered_gaussian(100, 8, seed=5)
+        b = clustered_gaussian(100, 8, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_clustering_structure_present(self):
+        """Intra-cluster distances must be smaller than global spread."""
+        x = clustered_gaussian(500, 16, n_clusters=8, cluster_std=0.3, seed=2)
+        global_var = x.var()
+        # Nearest-neighbor distances much smaller than random-pair ones.
+        from repro.ann import BruteForceIndex
+
+        bf = BruteForceIndex(x)
+        _, d_nn = bf.search_batch(x[:50], 2)
+        nn = d_nn[:, 1].mean()
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, 500, size=(200, 2))
+        rand = ((x[pairs[:, 0]] - x[pairs[:, 1]]) ** 2).sum(axis=1).mean()
+        assert nn < 0.5 * rand
+        assert global_var > 0
+
+    def test_quantized_integral_and_range(self):
+        x = quantized_descriptors(300, 32, seed=3)
+        assert np.array_equal(x, np.round(x))
+        assert x.min() >= 0
+        assert x.max() <= 255
+
+    def test_unit_normalized(self):
+        x = unit_normalized(100, 24, seed=4)
+        norms = np.linalg.norm(x, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            clustered_gaussian(0, 8)
+        with pytest.raises(ValueError):
+            clustered_gaussian(10, 8, n_clusters=0)
+
+    def test_split_queries_not_duplicates(self):
+        x = clustered_gaussian(100, 8, seed=6)
+        q = split_queries(x, 20, seed=7)
+        assert q.shape == (20, 8)
+        # Perturbed: no query exactly equals a corpus row.
+        assert not any((x == qi).all(axis=1).any() for qi in q)
+
+
+class TestRegistry:
+    def test_five_datasets(self):
+        assert dataset_names() == [
+            "glove-100", "fashion-mnist", "sift-1b", "deep-1b", "spacev-1b",
+        ]
+
+    def test_dims_match_paper_families(self):
+        assert load_dataset("glove-100", scale=0.1).dim == 100
+        assert load_dataset("sift-1b", scale=0.1).dim == 128
+        assert load_dataset("deep-1b", scale=0.1).dim == 96
+        assert load_dataset("spacev-1b", scale=0.1).dim == 100
+
+    def test_glove_is_angular(self):
+        assert load_dataset("glove-100", scale=0.1).metric is DistanceMetric.ANGULAR
+
+    def test_memory_classes_scaled_config(self):
+        """glove/fashion-mnist fit the scaled 2 MB host DRAM; the
+        1b-class analogues overflow it (the paper's memory split)."""
+        from repro.core.config import NDSearchConfig
+
+        cap = NDSearchConfig.scaled().host.dram_capacity_bytes
+        for name in ("glove-100", "fashion-mnist"):
+            assert load_dataset(name).footprint_bytes() <= cap, name
+        for name in ("sift-1b", "deep-1b", "spacev-1b"):
+            assert load_dataset(name).footprint_bytes() > cap, name
+
+    def test_recall_targets(self):
+        assert load_dataset("sift-1b", scale=0.1).recall_target == 0.94
+        assert load_dataset("spacev-1b", scale=0.1).recall_target == 0.90
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+    def test_scale_shrinks_corpus(self):
+        full = load_dataset("sift-1b")
+        small = load_dataset("sift-1b", scale=0.1)
+        assert small.num_vectors == full.num_vectors // 10
+
+    def test_query_batch_deterministic(self):
+        ds = load_dataset("glove-100", scale=0.2, n_queries=32)
+        a = ds.query_batch(16)
+        b = ds.query_batch(16)
+        assert np.array_equal(a, b)
+
+    def test_query_batch_extends_pool(self):
+        ds = load_dataset("glove-100", scale=0.2, n_queries=8)
+        q = ds.query_batch(20)
+        assert q.shape[0] == 20
+
+    def test_normalized_queries_for_angular(self):
+        ds = load_dataset("glove-100", scale=0.2)
+        norms = np.linalg.norm(ds.queries, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-4)

@@ -1,0 +1,52 @@
+"""Tests for the data-movement accounting."""
+
+import pytest
+
+from repro.analysis.datamovement import (
+    DataMovement,
+    filtering_factor,
+    movement_of,
+)
+from repro.sim.stats import Counters, SimResult
+
+
+def _result(platform, **counts):
+    return SimResult(
+        platform, "hnsw", "sift-1b", 100, 1.0, counters=Counters(counts)
+    )
+
+
+class TestMovementExtraction:
+    def test_counter_mapping(self):
+        r = _result(
+            "ndsearch",
+            pcie_bytes=1000,
+            pcie_private_bytes=200,
+            internal_bytes=50,
+        )
+        m = movement_of(r)
+        assert m.host_pcie_bytes == 1000
+        assert m.private_pcie_bytes == 200
+        assert m.internal_bytes == 50
+        assert m.total_bytes == 1250
+
+    def test_missing_counters_read_zero(self):
+        m = movement_of(_result("cpu"))
+        assert m.total_bytes == 0
+
+    def test_per_query(self):
+        m = DataMovement("x", 1000, 0, 0)
+        assert m.per_query(100) == 10.0
+        assert m.per_query(0) == 0.0
+
+
+class TestFilteringFactor:
+    def test_ratio(self):
+        nd = _result("ndsearch", internal_bytes=100)
+        ds = _result("ds-cp", internal_bytes=3200)
+        assert filtering_factor(nd, ds) == pytest.approx(32.0)
+
+    def test_zero_ndsearch_traffic(self):
+        nd = _result("ndsearch")
+        ds = _result("ds-cp", internal_bytes=100)
+        assert filtering_factor(nd, ds) == float("inf")

@@ -1,0 +1,85 @@
+"""Unit tests for the distance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.ann.distance import (
+    DistanceMetric,
+    distance,
+    distances_to_query,
+    pairwise_distances,
+)
+
+
+@pytest.fixture()
+def vectors(rng):
+    return rng.normal(size=(20, 8)).astype(np.float32)
+
+
+class TestDistancesToQuery:
+    def test_euclidean_matches_numpy(self, vectors):
+        q = vectors[0]
+        d = distances_to_query(vectors, q, DistanceMetric.EUCLIDEAN)
+        ref = ((vectors - q) ** 2).sum(axis=1)
+        assert np.allclose(d, ref, rtol=1e-5)
+
+    def test_euclidean_self_distance_zero(self, vectors):
+        d = distances_to_query(vectors, vectors[3], DistanceMetric.EUCLIDEAN)
+        assert d[3] == pytest.approx(0.0, abs=1e-5)
+
+    def test_inner_product_is_negated(self, vectors):
+        q = vectors[1]
+        d = distances_to_query(vectors, q, DistanceMetric.INNER_PRODUCT)
+        assert np.allclose(d, -(vectors @ q), rtol=1e-5)
+
+    def test_angular_range(self, vectors):
+        d = distances_to_query(vectors, vectors[0], DistanceMetric.ANGULAR)
+        assert np.all(d >= -1e-5)
+        assert np.all(d <= 2.0 + 1e-5)
+        assert d[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_angular_scale_invariant(self, vectors):
+        q = vectors[0]
+        d1 = distances_to_query(vectors, q, DistanceMetric.ANGULAR)
+        d2 = distances_to_query(vectors * 3.0, q * 0.5, DistanceMetric.ANGULAR)
+        assert np.allclose(d1, d2, atol=1e-5)
+
+    def test_angular_zero_vector_safe(self):
+        vecs = np.zeros((2, 4), dtype=np.float32)
+        d = distances_to_query(vecs, np.ones(4, dtype=np.float32),
+                               DistanceMetric.ANGULAR)
+        assert np.all(np.isfinite(d))
+
+    def test_shape_validation(self, vectors):
+        with pytest.raises(ValueError):
+            distances_to_query(vectors, np.zeros(3), DistanceMetric.EUCLIDEAN)
+        with pytest.raises(ValueError):
+            distances_to_query(vectors[0], vectors[0], DistanceMetric.EUCLIDEAN)
+
+
+class TestPairwise:
+    def test_consistent_with_single_query(self, vectors):
+        for metric in DistanceMetric:
+            mat = pairwise_distances(vectors[:5], vectors, metric)
+            for i in range(5):
+                row = distances_to_query(vectors, vectors[i], metric)
+                assert np.allclose(mat[i], row, atol=1e-4)
+
+    def test_euclidean_non_negative(self, vectors):
+        mat = pairwise_distances(vectors, vectors, DistanceMetric.EUCLIDEAN)
+        assert np.all(mat >= 0.0)
+
+    def test_euclidean_symmetric(self, vectors):
+        mat = pairwise_distances(vectors, vectors, DistanceMetric.EUCLIDEAN)
+        assert np.allclose(mat, mat.T, atol=1e-4)
+
+    def test_shape_mismatch_rejected(self, vectors):
+        with pytest.raises(ValueError):
+            pairwise_distances(vectors, vectors[:, :4], DistanceMetric.EUCLIDEAN)
+
+
+class TestScalarDistance:
+    def test_scalar_matches_batch(self, vectors):
+        d = distance(vectors[0], vectors[1], DistanceMetric.EUCLIDEAN)
+        ref = float(((vectors[0] - vectors[1]) ** 2).sum())
+        assert d == pytest.approx(ref, rel=1e-5)

@@ -1,0 +1,93 @@
+"""Tests for batch-wise dynamic allocating (Section VI-B1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_scheduling import (
+    allocate_batch_to_luns,
+    page_loads_with_sharing,
+    page_loads_without_sharing,
+)
+from repro.core.placement import map_vertices
+
+
+@pytest.fixture()
+def placement(tiny_geometry):
+    return map_vertices(600, tiny_geometry, vector_bytes=64)
+
+
+class TestAllocation:
+    def test_groups_by_lun(self, placement):
+        pairs = [(q, v) for q in range(4) for v in range(0, 600, 50)]
+        worklists = allocate_batch_to_luns(pairs, placement)
+        for lun, wl in worklists.items():
+            assert all(placement.lun[v] == lun for v in wl.vertices())
+
+    def test_all_pairs_assigned(self, placement):
+        pairs = [(q, v) for q in range(3) for v in range(0, 90, 3)]
+        worklists = allocate_batch_to_luns(pairs, placement)
+        total = sum(len(wl.pairs) for wl in worklists.values())
+        assert total == len(pairs)
+
+    def test_one_query_spans_luns(self, placement, tiny_geometry):
+        vpp = placement.vectors_per_page
+        spread = [0, vpp * tiny_geometry.planes_per_lun]  # different LUNs
+        worklists = allocate_batch_to_luns([(0, v) for v in spread], placement)
+        assert len(worklists) == 2
+        assert all(0 in wl.queries() for wl in worklists.values())
+
+
+class TestPageLoadSharing:
+    def test_shared_load_counts_distinct_pages(self, placement):
+        vpp = placement.vectors_per_page
+        vertices = np.array([0, 1, 2, vpp, vpp + 1])  # two pages
+        loads, _ = page_loads_with_sharing(vertices, placement)
+        assert loads == 2
+
+    def test_duplicates_free(self, placement):
+        vertices = np.array([5, 5, 5])
+        loads, _ = page_loads_with_sharing(vertices, placement)
+        assert loads == 1
+
+    def test_empty(self, placement):
+        loads, merged = page_loads_with_sharing(np.array([], dtype=int), placement)
+        assert loads == 0
+        assert merged == 0
+
+    def test_multiplane_merge_detected(self, placement, tiny_geometry):
+        vpp = placement.vectors_per_page
+        # Multiplane scheme: slots 0 and vpp are sibling planes, same page.
+        vertices = np.array([0, vpp])
+        loads, merged = page_loads_with_sharing(vertices, placement)
+        assert loads == 2
+        assert merged == 1
+
+    def test_no_merge_across_luns(self, placement, tiny_geometry):
+        vpp = placement.vectors_per_page
+        per_lun = vpp * tiny_geometry.planes_per_lun
+        vertices = np.array([0, per_lun])  # LUN 0 and LUN 1
+        _, merged = page_loads_with_sharing(vertices, placement)
+        assert merged == 0
+
+
+class TestSharingBenefit:
+    def test_cross_query_sharing_reduces_loads(self, placement):
+        """The Fig. 15 effect: queries targeting the same pages share
+        one sense under dynamic allocating."""
+        base = np.arange(0, 40)
+        per_query = [base.copy() for _ in range(8)]
+        pooled = np.concatenate(per_query)
+        shared, _ = page_loads_with_sharing(pooled, placement)
+        unshared, _ = page_loads_without_sharing(per_query, placement)
+        assert shared * 8 == unshared
+        assert shared < unshared
+
+    def test_disjoint_queries_gain_nothing(self, placement):
+        vpp = placement.vectors_per_page
+        per_query = [
+            np.arange(q * vpp, (q + 1) * vpp) for q in range(4)
+        ]  # each query its own page
+        pooled = np.concatenate(per_query)
+        shared, _ = page_loads_with_sharing(pooled, placement)
+        unshared, _ = page_loads_without_sharing(per_query, placement)
+        assert shared == unshared

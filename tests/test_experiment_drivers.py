@@ -1,0 +1,58 @@
+"""Structural tests for the per-figure experiment drivers and the CLI."""
+
+import importlib
+import inspect
+
+import pytest
+
+from repro.experiments.__main__ import DRIVERS, main
+
+
+class TestDriverRegistry:
+    def test_every_paper_figure_has_a_driver(self):
+        expected = {
+            "fig01", "fig02", "fig04", "fig06", "fig10", "fig13", "fig14",
+            "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+            "table1",
+        }
+        assert set(DRIVERS) == expected
+
+    @pytest.mark.parametrize("name", sorted(DRIVERS))
+    def test_driver_module_shape(self, name):
+        module = importlib.import_module(DRIVERS[name])
+        assert callable(module.run)
+        assert module.__doc__, f"{name} driver needs a docstring"
+        # Every driver exposes at least one structured collector.
+        collectors = [
+            obj for attr, obj in vars(module).items()
+            if attr.startswith("collect") and callable(obj)
+        ]
+        assert collectors, f"{name} driver has no collect function"
+
+    @pytest.mark.parametrize("name", sorted(DRIVERS))
+    def test_run_accepts_no_surprise_required_args(self, name):
+        module = importlib.import_module(DRIVERS[name])
+        signature = inspect.signature(module.run)
+        required = [
+            p for p in signature.parameters.values()
+            if p.default is inspect.Parameter.empty
+            and p.kind not in (p.VAR_KEYWORD, p.VAR_POSITIONAL)
+        ]
+        assert not required, f"{name}.run must be callable with defaults"
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert "table1" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "43.1" in out or "43.09" in out

@@ -1,0 +1,81 @@
+"""Tests for the Fig. 9(a) channel command-workflow simulator."""
+
+import pytest
+
+from repro.flash.channel import (
+    ChannelSimulator,
+    LunOperation,
+)
+from repro.flash.timing import FlashTiming
+
+
+@pytest.fixture()
+def sim(tiny_geometry):
+    return ChannelSimulator(geometry=tiny_geometry, timing=FlashTiming())
+
+
+class TestWorkflowMechanics:
+    def test_empty_sequence(self, sim):
+        result = sim.run_sequence([])
+        assert result.makespan_s == 0.0
+        assert result.bus_bytes == 0
+
+    def test_duplicate_lun_rejected(self, sim):
+        ops = [
+            LunOperation(lun=0, payload_bytes=8, array_time_s=1e-6),
+            LunOperation(lun=0, payload_bytes=8, array_time_s=1e-6),
+        ]
+        with pytest.raises(ValueError):
+            sim.run_sequence(ops)
+
+    def test_array_times_overlap(self, sim):
+        """Multi-LUN interleaving: two LUNs' tR overlap, so the
+        sequence finishes far sooner than serial execution."""
+        t_read = sim.timing.read_page_s
+        one = sim.multi_lun_read([0])
+        two = sim.multi_lun_read([0, 1])
+        assert two.makespan_s < one.makespan_s + t_read
+        assert two.lun_busy_s == pytest.approx(2 * t_read)
+
+    def test_bus_serialises_transfers(self, sim, tiny_geometry):
+        result = sim.multi_lun_read([0, 1, 2, 3])
+        page_time = tiny_geometry.page_size / sim.timing.channel_bus_bw
+        assert result.bus_busy_s > 4 * page_time  # transfers + commands
+        assert result.bus_bytes == 4 * tiny_geometry.page_size
+
+    def test_makespan_at_least_array_plus_transfer(self, sim, tiny_geometry):
+        result = sim.multi_lun_read([0])
+        floor = sim.timing.read_page_s + (
+            tiny_geometry.page_size / sim.timing.channel_bus_bw
+        )
+        assert result.makespan_s > floor
+
+    def test_utilization_bounded(self, sim):
+        result = sim.multi_lun_read([0, 1])
+        assert 0.0 < result.bus_utilization <= 1.0
+
+
+class TestFilteringClaim:
+    def test_search_moves_far_fewer_bytes(self, sim, tiny_geometry):
+        """The paper's Section IV-A claim: SearSSD's result lists can
+        be as little as ~1/32 of the page traffic a SmartSSD-style
+        design ships."""
+        luns = [0, 1, 2, 3]
+        read = sim.multi_lun_read(luns)
+        search = sim.multi_lun_search(luns, results_per_lun=4, dim=128)
+        assert search.bus_bytes < read.bus_bytes / 30
+
+    def test_filtering_ratio_reaches_32x(self, sim):
+        ratio = sim.filtering_ratio([0, 1], results_per_lun=4, dim=128)
+        assert ratio >= 32.0
+
+    def test_search_finishes_sooner(self, sim):
+        luns = [0, 1, 2, 3]
+        read = sim.multi_lun_read(luns)
+        search = sim.multi_lun_search(luns, results_per_lun=8, dim=64)
+        assert search.makespan_s < read.makespan_s
+
+    def test_ratio_shrinks_with_more_results(self, sim):
+        few = sim.filtering_ratio([0, 1], results_per_lun=2, dim=128)
+        many = sim.filtering_ratio([0, 1], results_per_lun=32, dim=128)
+        assert many < few

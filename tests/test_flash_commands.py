@@ -1,0 +1,161 @@
+"""Unit tests for the flash command model and <SearchPage> encoding."""
+
+import pytest
+
+from repro.flash.commands import (
+    ChangeReadColumn,
+    DistanceType,
+    MultiPlaneRestrictionError,
+    ReadPage,
+    ReadStatusEnhanced,
+    SearchPage,
+    build_multi_lun_sequence,
+    encode_dim,
+    encode_precision,
+    validate_multi_plane_group,
+)
+from repro.flash.geometry import PhysicalAddress, SSDGeometry
+
+
+class TestSearchPageEncoding:
+    def test_roundtrip(self, tiny_geometry):
+        cmd = SearchPage(
+            address=PhysicalAddress(lun=5, plane=1, block=3, page=6, byte=0),
+            distance=DistanceType.ANGULAR,
+            fv_dim_code=5,
+            fv_prec_code=3,
+            page_loc_bit=True,
+        )
+        word = cmd.encode(tiny_geometry)
+        decoded = SearchPage.decode(word, tiny_geometry)
+        assert decoded == cmd
+
+    def test_roundtrip_paper_geometry(self):
+        g = SSDGeometry.paper()
+        cmd = SearchPage(
+            address=PhysicalAddress(lun=255, plane=1, block=511, page=127),
+            distance=DistanceType.INNER_PRODUCT,
+        )
+        assert SearchPage.decode(cmd.encode(g), g) == cmd
+
+    def test_distance_field_is_two_bits(self, tiny_geometry):
+        for d in DistanceType:
+            cmd = SearchPage(
+                address=PhysicalAddress(0, 0, 0, 0), distance=d
+            )
+            word = cmd.encode(tiny_geometry)
+            assert word & 0b11 == int(d)
+
+    def test_field_width_validation(self):
+        with pytest.raises(ValueError):
+            SearchPage(PhysicalAddress(0, 0, 0, 0), fv_dim_code=8)
+        with pytest.raises(ValueError):
+            SearchPage(PhysicalAddress(0, 0, 0, 0), fv_prec_code=16)
+
+    def test_latency_is_page_sense(self, tiny_config):
+        cmd = SearchPage(PhysicalAddress(0, 0, 0, 0))
+        assert cmd.latency_s(tiny_config.timing) == tiny_config.timing.read_page_s
+
+    def test_read_page_latency(self, tiny_config):
+        cmd = ReadPage(PhysicalAddress(0, 0, 0, 0))
+        assert cmd.latency_s(tiny_config.timing) == tiny_config.timing.read_page_s
+
+
+class TestMultiPlaneRestrictions:
+    def test_valid_group(self):
+        validate_multi_plane_group(
+            [
+                PhysicalAddress(lun=1, plane=0, block=2, page=5),
+                PhysicalAddress(lun=1, plane=1, block=2, page=5),
+            ]
+        )
+
+    def test_duplicate_plane_rejected(self):
+        with pytest.raises(MultiPlaneRestrictionError):
+            validate_multi_plane_group(
+                [
+                    PhysicalAddress(lun=1, plane=0, block=2, page=5),
+                    PhysicalAddress(lun=1, plane=0, block=3, page=5),
+                ]
+            )
+
+    def test_cross_lun_rejected(self):
+        with pytest.raises(MultiPlaneRestrictionError):
+            validate_multi_plane_group(
+                [
+                    PhysicalAddress(lun=1, plane=0, block=2, page=5),
+                    PhysicalAddress(lun=2, plane=1, block=2, page=5),
+                ]
+            )
+
+    def test_mismatched_page_rejected(self):
+        with pytest.raises(MultiPlaneRestrictionError):
+            validate_multi_plane_group(
+                [
+                    PhysicalAddress(lun=1, plane=0, block=2, page=5),
+                    PhysicalAddress(lun=1, plane=1, block=2, page=6),
+                ]
+            )
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(MultiPlaneRestrictionError):
+            validate_multi_plane_group([])
+
+
+class TestMultiLunSequence:
+    def test_sequence_shape_matches_fig9(self):
+        cmds = [
+            SearchPage(PhysicalAddress(lun=0, plane=0, block=0, page=0)),
+            SearchPage(PhysicalAddress(lun=1, plane=0, block=0, page=0)),
+        ]
+        seq = build_multi_lun_sequence(cmds)
+        # 2 SearchPage + 2 x (ReadStatusEnhanced + ChangeReadColumn)
+        assert len(seq) == 6
+        assert isinstance(seq[0], SearchPage)
+        assert isinstance(seq[2], ReadStatusEnhanced)
+        assert isinstance(seq[3], ChangeReadColumn)
+
+    def test_search_targets_output_buffer(self):
+        seq = build_multi_lun_sequence(
+            [SearchPage(PhysicalAddress(lun=0, plane=0, block=0, page=0))]
+        )
+        statuses = [s for s in seq if isinstance(s, ReadStatusEnhanced)]
+        assert all(s.target_output_buffer for s in statuses)
+
+    def test_read_targets_page_buffer(self):
+        seq = build_multi_lun_sequence(
+            [ReadPage(PhysicalAddress(lun=0, plane=0, block=0, page=0))]
+        )
+        statuses = [s for s in seq if isinstance(s, ReadStatusEnhanced)]
+        assert all(not s.target_output_buffer for s in statuses)
+
+    def test_duplicate_lun_rejected(self):
+        cmds = [
+            SearchPage(PhysicalAddress(lun=0, plane=0, block=0, page=0)),
+            SearchPage(PhysicalAddress(lun=0, plane=1, block=0, page=0)),
+        ]
+        with pytest.raises(MultiPlaneRestrictionError):
+            build_multi_lun_sequence(cmds)
+
+    def test_empty_sequence(self):
+        assert build_multi_lun_sequence([]) == []
+
+
+class TestDescriptors:
+    def test_known_dims(self):
+        assert encode_dim(128) == 5
+        assert encode_dim(96) == 3
+
+    def test_unknown_dim_is_zero(self):
+        assert encode_dim(77) == 0
+
+    def test_precision_codes(self):
+        assert encode_precision(4) == 3
+        assert encode_precision(3) == 0
+
+    def test_metric_instruction_codes(self):
+        from repro.ann.distance import DistanceMetric
+
+        assert DistanceMetric.EUCLIDEAN.instruction_code == 0
+        assert DistanceMetric.ANGULAR.instruction_code == 1
+        assert DistanceMetric.INNER_PRODUCT.instruction_code == 2

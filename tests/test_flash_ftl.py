@@ -1,0 +1,76 @@
+"""Unit tests for the FTL block-refresh mechanism (Section II-B2)."""
+
+import pytest
+
+from repro.flash.ftl import FlashTranslationLayer
+from repro.flash.timing import FlashTiming
+
+
+class TestTranslation:
+    def test_identity_before_refresh(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        assert ftl.physical_block(0, 0, 3) == 3
+
+    def test_out_of_range_logical_block(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        with pytest.raises(ValueError):
+            ftl.physical_block(0, 0, ftl.usable_blocks)
+
+    def test_reservation_bounds(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            FlashTranslationLayer(tiny_geometry, reserved_per_plane=0)
+        with pytest.raises(ValueError):
+            FlashTranslationLayer(
+                tiny_geometry, reserved_per_plane=tiny_geometry.blocks_per_plane
+            )
+
+
+class TestRefresh:
+    def test_refresh_moves_within_plane(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        event = ftl.refresh_block(1, 1, 2)
+        assert event.lun == 1
+        assert event.plane == 1
+        assert event.new_block != event.old_block
+        assert ftl.physical_block(1, 1, 2) == event.new_block
+
+    def test_old_block_becomes_reusable(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry, reserved_per_plane=1)
+        # With one spare, repeated refreshes must recycle old blocks.
+        for _ in range(10):
+            ftl.refresh_block(0, 0, 0)
+        ftl.check_consistency()
+
+    def test_subscriber_callback_fired(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        events = []
+        ftl.subscribe(events.append)
+        ftl.refresh_block(0, 1, 4)
+        assert len(events) == 1
+        assert events[0].plane == 1
+
+    def test_random_refreshes_keep_consistency(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry, seed=5)
+        ftl.refresh_random_blocks(200)
+        ftl.check_consistency()
+        assert len(ftl.refresh_log) == 200
+
+    def test_mapping_stays_bijective_after_refresh(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        ftl.refresh_random_blocks(50)
+        for lun in range(tiny_geometry.total_luns):
+            for plane in range(tiny_geometry.planes_per_lun):
+                mapped = [
+                    ftl.physical_block(lun, plane, b)
+                    for b in range(ftl.usable_blocks)
+                ]
+                assert len(set(mapped)) == len(mapped)
+
+    def test_refresh_latency_model(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        event = ftl.refresh_block(0, 0, 0)
+        timing = FlashTiming()
+        latency = event.latency_s(timing, pages_valid=4)
+        expected = 4 * (timing.read_page_s + timing.program_page_s)
+        expected += timing.erase_block_s
+        assert latency == pytest.approx(expected)

@@ -1,0 +1,101 @@
+"""Unit tests for SSD geometry and addressing."""
+
+import pytest
+
+from repro.flash.geometry import PhysicalAddress, SSDGeometry
+
+
+class TestPresets:
+    def test_paper_preset_matches_section_iv(self):
+        g = SSDGeometry.paper()
+        assert g.channels == 32
+        assert g.chips_per_channel == 4
+        assert g.total_luns == 256  # 256 LUN-level accelerators
+        assert g.planes_per_lun == 2
+        assert g.page_size == 16 * 1024
+        assert g.capacity_bytes == 512 * 1024**3  # 512 GB SiN capacity
+
+    def test_paper_row_address_fits_26_bits(self):
+        g = SSDGeometry.paper()
+        assert g.row_address_bits <= 26  # Fig. 9(b) field width
+
+    def test_scaled_preset_shape(self):
+        g = SSDGeometry.scaled()
+        assert g.total_luns == 16
+        assert g.planes_per_lun == 2
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SSDGeometry(channels=0)
+
+
+class TestCoordinates:
+    def test_lun_channel_chip_roundtrip(self, tiny_geometry):
+        g = tiny_geometry
+        for lun in range(g.total_luns):
+            channel = g.channel_of_lun(lun)
+            chip = g.chip_of_lun(lun)
+            local = g.lun_within_chip(lun)
+            assert g.global_lun(channel, chip % g.chips_per_channel, local) == lun
+
+    def test_lun_out_of_range(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            tiny_geometry.channel_of_lun(tiny_geometry.total_luns)
+
+    def test_validate_rejects_bad_fields(self, tiny_geometry):
+        g = tiny_geometry
+        good = PhysicalAddress(lun=0, plane=0, block=0, page=0)
+        g.validate(good)
+        for bad in (
+            PhysicalAddress(lun=g.total_luns, plane=0, block=0, page=0),
+            PhysicalAddress(lun=0, plane=g.planes_per_lun, block=0, page=0),
+            PhysicalAddress(lun=0, plane=0, block=g.blocks_per_plane, page=0),
+            PhysicalAddress(lun=0, plane=0, block=0, page=g.pages_per_block),
+            PhysicalAddress(lun=0, plane=0, block=0, page=0, byte=g.page_size),
+        ):
+            with pytest.raises(ValueError):
+                g.validate(bad)
+
+
+class TestFlatPages:
+    def test_flat_page_roundtrip(self, tiny_geometry):
+        g = tiny_geometry
+        total = g.total_planes * g.pages_per_plane
+        for flat in range(0, total, 7):
+            addr = g.address_of_flat_page(flat)
+            assert g.flat_page_index(addr) == flat
+
+    def test_flat_page_out_of_range(self, tiny_geometry):
+        g = tiny_geometry
+        with pytest.raises(ValueError):
+            g.address_of_flat_page(g.total_planes * g.pages_per_plane)
+
+    def test_page_key_distinct_per_page(self, tiny_geometry):
+        g = tiny_geometry
+        keys = set()
+        for flat in range(g.total_planes * g.pages_per_plane):
+            keys.add(g.page_key(g.address_of_flat_page(flat)))
+        assert len(keys) == g.total_planes * g.pages_per_plane
+
+
+class TestRowAddress:
+    def test_row_address_unique(self, tiny_geometry):
+        g = tiny_geometry
+        seen = set()
+        for flat in range(g.total_planes * g.pages_per_plane):
+            addr = g.address_of_flat_page(flat)
+            row = addr.row_address(g)
+            assert row not in seen
+            seen.add(row)
+
+    def test_column_address_is_byte(self):
+        addr = PhysicalAddress(lun=0, plane=0, block=0, page=0, byte=77)
+        assert addr.column_address() == 77
+
+    def test_derived_sizes_consistent(self, tiny_geometry):
+        g = tiny_geometry
+        assert g.total_planes == g.total_luns * g.planes_per_lun
+        assert g.capacity_bytes == (
+            g.total_planes * g.pages_per_plane * g.page_size
+        )
+        assert g.block_size == g.pages_per_block * g.page_size

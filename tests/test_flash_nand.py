@@ -1,0 +1,120 @@
+"""Unit tests for the functional NAND array model."""
+
+import numpy as np
+import pytest
+
+from repro.flash.commands import MultiPlaneRestrictionError
+from repro.flash.geometry import PhysicalAddress
+from repro.flash.nand import FlashChip, Lun, Plane
+
+
+@pytest.fixture()
+def plane(tiny_geometry):
+    return Plane(tiny_geometry, lun_index=0, plane_index=0)
+
+
+class TestPlane:
+    def test_program_read_roundtrip(self, plane):
+        data = np.arange(64, dtype=np.uint8)
+        plane.program(2, 3, data)
+        plane.load_page(2, 3)
+        assert np.array_equal(plane.read_buffer(0, 64), data)
+
+    def test_unwritten_page_reads_zeros(self, plane):
+        plane.load_page(0, 0)
+        assert plane.read_buffer(0, 16).sum() == 0
+
+    def test_page_buffer_hit_detection(self, plane):
+        plane.program(1, 1, np.ones(8, dtype=np.uint8))
+        assert plane.load_page(1, 1) is False  # real sense
+        assert plane.load_page(1, 1) is True  # buffered
+        assert plane.page_loads == 1
+        assert plane.buffer_hits == 1
+
+    def test_loading_other_page_evicts(self, plane):
+        plane.load_page(0, 0)
+        plane.load_page(0, 1)
+        assert plane.load_page(0, 0) is False
+        assert plane.page_loads == 3
+
+    def test_column_read_bounds(self, plane):
+        plane.load_page(0, 0)
+        with pytest.raises(ValueError):
+            plane.read_buffer(plane.geometry.page_size - 4, 8)
+
+    def test_read_without_sense_rejected(self, plane):
+        with pytest.raises(RuntimeError):
+            plane.read_buffer(0, 4)
+
+    def test_program_oversized_rejected(self, plane):
+        with pytest.raises(ValueError):
+            plane.program(0, 0, np.zeros(plane.geometry.page_size + 1, dtype=np.uint8))
+
+    def test_program_requires_uint8(self, plane):
+        with pytest.raises(TypeError):
+            plane.program(0, 0, np.zeros(8, dtype=np.float32))
+
+    def test_erase_drops_pages(self, plane):
+        plane.program(4, 0, np.ones(8, dtype=np.uint8))
+        plane.erase(4)
+        plane.load_page(4, 0)
+        assert plane.read_buffer(0, 8).sum() == 0
+
+    def test_move_block_preserves_data(self, plane):
+        data = np.arange(32, dtype=np.uint8)
+        plane.program(1, 5, data)
+        moved = plane.move_block(1, 6)
+        assert moved == 1
+        plane.load_page(6, 5)
+        assert np.array_equal(plane.read_buffer(0, 32), data)
+
+
+class TestLun:
+    def test_single_plane_read(self, tiny_geometry):
+        lun = Lun(tiny_geometry, lun_index=0)
+        data = np.arange(16, dtype=np.uint8)
+        lun.planes[1].program(0, 2, data)
+        addr = PhysicalAddress(lun=0, plane=1, block=0, page=2)
+        assert np.array_equal(lun.read(addr, 16), data)
+
+    def test_read_wrong_lun_rejected(self, tiny_geometry):
+        lun = Lun(tiny_geometry, lun_index=0)
+        with pytest.raises(ValueError):
+            lun.read(PhysicalAddress(lun=1, plane=0, block=0, page=0), 8)
+
+    def test_multi_plane_read(self, tiny_geometry):
+        lun = Lun(tiny_geometry, lun_index=0)
+        lun.planes[0].program(0, 1, np.full(8, 7, dtype=np.uint8))
+        lun.planes[1].program(0, 1, np.full(8, 9, dtype=np.uint8))
+        out = lun.multi_plane_read(
+            [
+                PhysicalAddress(lun=0, plane=0, block=0, page=1),
+                PhysicalAddress(lun=0, plane=1, block=0, page=1),
+            ],
+            8,
+        )
+        assert out[0][0] == 7
+        assert out[1][0] == 9
+
+    def test_multi_plane_restrictions_enforced(self, tiny_geometry):
+        lun = Lun(tiny_geometry, lun_index=0)
+        with pytest.raises(MultiPlaneRestrictionError):
+            lun.multi_plane_read(
+                [
+                    PhysicalAddress(lun=0, plane=0, block=0, page=1),
+                    PhysicalAddress(lun=0, plane=1, block=0, page=2),
+                ],
+                8,
+            )
+
+
+class TestFlashChip:
+    def test_lun_lookup(self, tiny_geometry):
+        chip = FlashChip(tiny_geometry, chip_index=1)
+        base = tiny_geometry.luns_per_chip
+        assert chip.lun(base).lun_index == base
+
+    def test_foreign_lun_rejected(self, tiny_geometry):
+        chip = FlashChip(tiny_geometry, chip_index=0)
+        with pytest.raises(ValueError):
+            chip.lun(tiny_geometry.luns_per_chip)

@@ -1,0 +1,75 @@
+"""Unit tests for the timing/bandwidth parameter model."""
+
+import dataclasses
+
+import pytest
+
+from repro.flash.timing import FlashTiming
+
+
+class TestConvenienceMethods:
+    def test_page_transfer(self):
+        t = FlashTiming()
+        assert t.page_transfer_s(16 * 1024) == pytest.approx(
+            16 * 1024 / t.channel_bus_bw
+        )
+
+    def test_host_transfer_includes_latency(self):
+        t = FlashTiming()
+        assert t.host_transfer_s(0) == 0.0
+        assert t.host_transfer_s(1) > t.pcie_host_latency_s
+        big = t.host_transfer_s(10**9)
+        assert big == pytest.approx(
+            t.pcie_host_latency_s + 1e9 / t.pcie_host_bw
+        )
+
+    def test_private_link_slower_than_host(self):
+        t = FlashTiming()
+        nbytes = 10**8
+        assert t.private_transfer_s(nbytes) > t.host_transfer_s(nbytes)
+
+    def test_distance_mac_scales_with_dim(self):
+        t = FlashTiming()
+        assert t.distance_mac_s(128) == pytest.approx(2 * t.distance_mac_s(64))
+        macs = t.macs_per_group * t.mac_groups_per_lun_acc
+        assert t.distance_mac_s(macs) == pytest.approx(t.mac_op_s)
+
+    def test_fpga_sort_throughput(self):
+        t = FlashTiming()
+        assert t.fpga_sort_s(0) == 0.0
+        elems = int(t.fpga_sort_elems_per_cycle * t.fpga_clock_hz)
+        assert t.fpga_sort_s(elems) == pytest.approx(1.0)
+
+    def test_scaled_copy_overrides(self):
+        t = FlashTiming().scaled_copy(read_page_s=1e-6)
+        assert t.read_page_s == 1e-6
+        assert t.program_page_s == FlashTiming().program_page_s
+        with pytest.raises(TypeError):
+            FlashTiming().scaled_copy(not_a_field=1.0)
+
+
+class TestPhysicalSanity:
+    def test_read_slower_than_transfer(self):
+        """tR dominates moving the page over the bus (why multi-plane
+        and page-buffer reuse matter)."""
+        t = FlashTiming()
+        assert t.read_page_s > t.page_transfer_s(16 * 1024)
+
+    def test_program_slower_than_read(self):
+        t = FlashTiming()
+        assert t.program_page_s > t.read_page_s
+        assert t.erase_block_s > t.program_page_s
+
+    def test_external_accelerator_penalty_is_large(self):
+        """The ~30 us penalty exceeds moving a whole page over the chip
+        bus — the core of the DS-c/DS-cp handicap (Section III)."""
+        t = FlashTiming()
+        assert t.external_accelerator_s > 16 * 1024 / t.chip_bus_bw
+
+    def test_soft_decode_much_slower_than_hard(self):
+        t = FlashTiming()
+        assert t.ecc_soft_decode_s >= 5 * t.ecc_hard_decode_s
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FlashTiming().read_page_s = 0.0

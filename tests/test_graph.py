@@ -1,0 +1,113 @@
+"""Unit tests for the ProximityGraph container."""
+
+import numpy as np
+import pytest
+
+from repro.ann.distance import DistanceMetric
+from repro.ann.graph import ProximityGraph
+
+
+def _tiny_graph():
+    vectors = np.arange(12, dtype=np.float32).reshape(4, 3)
+    adjacency = [[1, 2], [0], [3], [2, 0]]
+    return ProximityGraph.from_adjacency(vectors, adjacency, entry_point=1)
+
+
+class TestConstruction:
+    def test_from_adjacency_csr_layout(self):
+        g = _tiny_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 6
+        assert np.array_equal(g.indptr, [0, 2, 3, 4, 6])
+        assert np.array_equal(g.neighbors(0), [1, 2])
+        assert np.array_equal(g.neighbors(3), [2, 0])
+
+    def test_degree_accessors(self):
+        g = _tiny_graph()
+        assert g.degree(0) == 2
+        assert g.degree(1) == 1
+        assert np.array_equal(g.degrees, [2, 1, 1, 2])
+        assert g.max_degree == 2
+        assert g.mean_degree == pytest.approx(1.5)
+
+    def test_indptr_validation(self):
+        vectors = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            ProximityGraph(vectors, np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError):
+            ProximityGraph(vectors, np.array([0, 2, 1]), np.array([1, 0]))
+
+    def test_neighbor_range_validation(self):
+        vectors = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            ProximityGraph(vectors, np.array([0, 1, 2]), np.array([0, 5]))
+
+    def test_entry_point_validation(self):
+        vectors = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            ProximityGraph(
+                vectors, np.array([0, 1, 2]), np.array([1, 0]), entry_point=7
+            )
+
+    def test_adjacency_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ProximityGraph.from_adjacency(np.zeros((3, 2), dtype=np.float32), [[1]])
+
+
+class TestRelabel:
+    def test_relabeled_preserves_topology(self):
+        g = _tiny_graph()
+        order = np.array([2, 0, 3, 1])
+        r = g.relabeled(order)
+        # Old vertex 2 becomes new 0; its neighbor old-3 becomes new 2.
+        assert np.array_equal(r.neighbors(0), [2])
+        assert np.array_equal(r.vectors[0], g.vectors[2])
+
+    def test_relabeled_entry_point_follows(self):
+        g = _tiny_graph()
+        order = np.array([1, 0, 2, 3])
+        r = g.relabeled(order)
+        assert r.entry_point == 0  # old entry 1 is now first
+
+    def test_relabeled_identity(self):
+        g = _tiny_graph()
+        r = g.relabeled(np.arange(4))
+        assert np.array_equal(r.indptr, g.indptr)
+        assert np.array_equal(r.indices, g.indices)
+
+    def test_relabeled_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            _tiny_graph().relabeled(np.array([0, 0, 1, 2]))
+
+    def test_degree_multiset_invariant(self):
+        g = _tiny_graph()
+        r = g.relabeled(np.array([3, 2, 1, 0]))
+        assert sorted(g.degrees.tolist()) == sorted(r.degrees.tolist())
+
+
+class TestUndirectedAndConnectivity:
+    def test_undirected_symmetrises(self):
+        g = _tiny_graph()
+        u = g.undirected()
+        for v in range(u.num_vertices):
+            for w in u.neighbors(v):
+                assert v in u.neighbors(int(w))
+
+    def test_is_connected_true(self):
+        assert _tiny_graph().is_connected()
+
+    def test_is_connected_false(self):
+        vectors = np.zeros((4, 2), dtype=np.float32)
+        g = ProximityGraph.from_adjacency(vectors, [[1], [0], [3], [2]])
+        assert not g.is_connected()
+
+
+class TestLayoutAccounting:
+    def test_padded_vs_csr_bytes(self):
+        g = _tiny_graph()
+        padded = g.padded_layout_bytes(max_neighbors=8)
+        csr = g.csr_layout_bytes()
+        # 4 vertices x (12B vector + 32B ids) vs CSR exact edges.
+        assert padded == 4 * (12 + 32)
+        assert csr == 4 * 12 + 6 * 4 + 5 * 8
+        assert padded > csr - 5 * 8  # padding dominates sparse adjacency

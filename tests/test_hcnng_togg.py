@@ -1,0 +1,107 @@
+"""Tests for the HCNNG and TOGG implementations (Section VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.ann import (
+    BruteForceIndex,
+    HCNNGIndex,
+    HCNNGParams,
+    TOGGIndex,
+    TOGGParams,
+    recall_at_k,
+)
+from repro.ann.trace import TraceRecorder
+
+
+@pytest.fixture(scope="module")
+def hcnng(request):
+    vectors = request.getfixturevalue("small_vectors")
+    return HCNNGIndex(vectors, HCNNGParams(num_clusterings=6, leaf_size=24))
+
+
+@pytest.fixture(scope="module")
+def togg(request):
+    vectors = request.getfixturevalue("small_vectors")
+    return TOGGIndex(vectors, TOGGParams(knn=8))
+
+
+class TestHCNNGConstruction:
+    def test_mst_degree_cap_per_clustering(self, small_vectors):
+        index = HCNNGIndex(
+            small_vectors, HCNNGParams(num_clusterings=1, leaf_size=24,
+                                       mst_max_degree=3)
+        )
+        degrees = np.array([len(a) for a in index.adjacency])
+        assert degrees.max() <= 3
+
+    def test_union_of_clusterings_grows_degree(self, small_vectors):
+        one = HCNNGIndex(small_vectors, HCNNGParams(num_clusterings=1))
+        many = HCNNGIndex(small_vectors, HCNNGParams(num_clusterings=6))
+        assert many.base_graph().num_edges > one.base_graph().num_edges
+
+    def test_graph_undirected(self, hcnng):
+        for v, neighbors in enumerate(hcnng.adjacency):
+            for u in neighbors:
+                assert v in hcnng.adjacency[u]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HCNNGParams(num_clusterings=0)
+        with pytest.raises(ValueError):
+            HCNNGParams(mst_max_degree=1)
+
+
+class TestHCNNGSearch:
+    def test_recall(self, hcnng, small_vectors, small_queries):
+        gt, _ = BruteForceIndex(small_vectors).search_batch(small_queries, 5)
+        ids, _, _ = hcnng.search_batch(small_queries, 5, ef=48)
+        assert recall_at_k(ids, gt) >= 0.85
+
+    def test_entry_point_is_near_query(self, hcnng, small_vectors):
+        entry = hcnng._entry_point(small_vectors[10])
+        assert entry in hcnng.routing_ids.tolist()
+
+    def test_trace_recording(self, hcnng, small_queries):
+        rec = TraceRecorder(0)
+        hcnng.search(small_queries[0], k=5, ef=24, recorder=rec)
+        assert rec.finish().trace_length > 0
+
+
+class TestTOGGConstruction:
+    def test_knn_graph_symmetric(self, togg):
+        for v, neighbors in enumerate(togg.adjacency):
+            for u in neighbors:
+                assert v in togg.adjacency[u]
+
+    def test_connectivity_repair(self, togg):
+        assert togg.base_graph().is_connected()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TOGGParams(knn=1)
+        with pytest.raises(ValueError):
+            TOGGParams(guided_ef=1)
+
+
+class TestTOGGSearch:
+    def test_recall(self, togg, small_vectors, small_queries):
+        gt, _ = BruteForceIndex(small_vectors).search_batch(small_queries, 5)
+        ids, _, _ = togg.search_batch(small_queries, 5, ef=48)
+        assert recall_at_k(ids, gt) >= 0.85
+
+    def test_guided_filter_keeps_forward_neighbors(self, togg, small_vectors):
+        query = small_vectors[0] + 1.0
+        filt = togg._guided_filter(query)
+        neighbors = np.asarray(togg.adjacency[5], dtype=np.int64)
+        kept = filt(5, neighbors)
+        assert kept.size >= 1
+        assert set(kept.tolist()) <= set(neighbors.tolist())
+
+    def test_two_stage_trace_longer_than_guided(self, togg, small_queries):
+        rec = TraceRecorder(0)
+        togg.search(small_queries[1], k=5, ef=32, recorder=rec)
+        trace = rec.finish()
+        # Both stages record into the same trace: at least two entry
+        # records (one per stage seed).
+        assert trace.num_iterations >= 2

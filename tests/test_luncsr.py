@@ -1,0 +1,134 @@
+"""Tests for the LUNCSR graph format (paper Fig. 5b, Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.luncsr import LUNCSR, padded_layout_waste, padding_overhead
+from repro.core.placement import map_vertices
+from repro.flash.ftl import FlashTranslationLayer
+
+
+@pytest.fixture()
+def luncsr(small_graph, tiny_geometry):
+    vector_bytes = small_graph.dim * 4
+    placement = map_vertices(
+        small_graph.num_vertices, tiny_geometry, vector_bytes
+    )
+    return LUNCSR.build(small_graph, placement, vector_bytes)
+
+
+class TestIndexing:
+    def test_neighbors_match_graph(self, luncsr, small_graph):
+        for v in range(0, small_graph.num_vertices, 17):
+            assert np.array_equal(luncsr.neighbors_of(v), small_graph.neighbors(v))
+
+    def test_fig5b_indexing_trace(self, luncsr):
+        """Vertex -> offset -> neighbor IDs -> LUN IDs -> addresses."""
+        neigh, luns, addresses = luncsr.neighbor_placements(2)
+        assert len(addresses) == neigh.size == luns.size
+        for u, lun, addr in zip(neigh, luns, addresses):
+            assert addr.lun == lun == luncsr.lun_of(int(u))
+
+    def test_physical_address_fields(self, luncsr, tiny_geometry):
+        addr = luncsr.physical_address(5)
+        tiny_geometry.validate(addr)
+        assert addr.byte == luncsr.slot[5] * luncsr.vector_bytes
+
+    def test_build_rejects_mismatched_placement(self, small_graph, tiny_geometry):
+        placement = map_vertices(10, tiny_geometry, 64)
+        with pytest.raises(ValueError):
+            LUNCSR.build(small_graph, placement, 64)
+
+
+class TestRefreshMirror:
+    def test_refresh_updates_blk_array(self, luncsr, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        luncsr.attach_to_ftl(ftl)
+        # Pick a (lun, plane, block) that actually holds vertices.
+        v = 0
+        lun, plane, block = (
+            int(luncsr.lun[v]), int(luncsr.plane[v]), int(luncsr.blk[v])
+        )
+        event = ftl.refresh_block(lun, plane, block)
+        assert luncsr.blk[v] == event.new_block
+        assert luncsr.refresh_updates == 1
+
+    def test_refresh_only_moves_affected_vertices(self, luncsr, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        luncsr.attach_to_ftl(ftl)
+        v = 0
+        lun, plane, block = (
+            int(luncsr.lun[v]), int(luncsr.plane[v]), int(luncsr.blk[v])
+        )
+        before = luncsr.blk.copy()
+        mask = (
+            (luncsr.lun == lun) & (luncsr.plane == plane) & (luncsr.blk == block)
+        )
+        ftl.refresh_block(lun, plane, block)
+        assert np.array_equal(luncsr.blk[~mask], before[~mask])
+
+    def test_page_and_slot_refresh_invariant(self, luncsr, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        luncsr.attach_to_ftl(ftl)
+        page_before = luncsr.page.copy()
+        slot_before = luncsr.slot.copy()
+        ftl.refresh_random_blocks(20)
+        assert np.array_equal(luncsr.page, page_before)
+        assert np.array_equal(luncsr.slot, slot_before)
+
+    def test_consecutive_refreshes_tracked(self, luncsr, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        luncsr.attach_to_ftl(ftl)
+        v = 7
+        # The FTL refreshes by *logical* block; initially logical ==
+        # physical, and the logical ID never changes across refreshes.
+        lun, plane = int(luncsr.lun[v]), int(luncsr.plane[v])
+        logical = int(luncsr.blk[v])
+        for _ in range(3):
+            event = ftl.refresh_block(lun, plane, logical)
+            # LUNCSR's BLK array follows the physical relocation.
+            assert int(luncsr.blk[v]) == event.new_block
+        assert luncsr.physical_address(v).block == int(luncsr.blk[v])
+        assert luncsr.refresh_updates == 3
+
+
+class TestFootprint:
+    def test_index_bytes_positive(self, luncsr):
+        assert luncsr.index_bytes() > 0
+
+    def test_index_fits_paper_dram(self, luncsr):
+        # LUNCSR arrays must fit the 4 GB internal DRAM by a wide margin
+        # at test scale.
+        assert luncsr.index_bytes() < 4 * 1024**3
+
+
+class TestFig6Layout:
+    def test_paper_headline_number(self):
+        """128 B vector + 32 x 4 B IDs in a 4 KB page -> 46.9% waste."""
+        waste = padded_layout_waste(
+            dim=32, vector_itemsize=4, max_neighbors=32, page_size=4096
+        )
+        assert waste == pytest.approx(0.469, abs=0.001)
+
+    def test_waste_grows_with_density(self):
+        sparse = padded_layout_waste(128, 4, 32, 16 * 1024)
+        dense = padded_layout_waste(16, 4, 32, 16 * 1024)
+        assert dense > sparse
+
+    def test_single_slice_page_has_no_cross_waste(self):
+        assert padded_layout_waste(900, 4, 32, 4096) == 0.0
+
+    def test_oversized_slice_rejected(self):
+        with pytest.raises(ValueError):
+            padded_layout_waste(2000, 4, 32, 4096)
+
+    def test_padding_overhead(self):
+        # R=32 slots, mean degree 20 -> 48 wasted bytes per 256 B slice.
+        waste = padding_overhead(
+            dim=32, vector_itemsize=4, max_neighbors=32, mean_degree=20
+        )
+        assert waste == pytest.approx(48 / 256)
+
+    def test_padding_overhead_validation(self):
+        with pytest.raises(ValueError):
+            padding_overhead(32, 4, 32, mean_degree=40)

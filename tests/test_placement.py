@@ -1,0 +1,115 @@
+"""Tests for vertex-to-flash mapping (paper Fig. 11)."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import map_vertices
+from repro.flash.commands import validate_multi_plane_group
+
+
+class TestMappingBasics:
+    def test_every_vertex_placed_validly(self, tiny_geometry):
+        placement = map_vertices(500, tiny_geometry, vector_bytes=64)
+        for v in range(0, 500, 37):
+            tiny_geometry.validate(placement.address_of(v, 64))
+
+    def test_vectors_per_page(self, tiny_geometry):
+        placement = map_vertices(100, tiny_geometry, vector_bytes=100)
+        assert placement.vectors_per_page == tiny_geometry.page_size // 100
+
+    def test_no_two_vertices_share_slot(self, tiny_geometry):
+        placement = map_vertices(400, tiny_geometry, vector_bytes=64)
+        seen = set()
+        for v in range(400):
+            key = placement.page_key(v) + (int(placement.slot[v]),)
+            assert key not in seen
+            seen.add(key)
+
+    def test_capacity_overflow_rejected(self, tiny_geometry):
+        capacity = tiny_geometry.total_planes * tiny_geometry.pages_per_plane
+        too_many = (capacity + 1) * (tiny_geometry.page_size // 64)
+        with pytest.raises(ValueError):
+            map_vertices(too_many, tiny_geometry, vector_bytes=64)
+
+    def test_oversized_vector_rejected(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            map_vertices(4, tiny_geometry, vector_bytes=tiny_geometry.page_size + 1)
+
+    def test_unknown_scheme_rejected(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            map_vertices(4, tiny_geometry, 64, scheme="zigzag")
+
+
+class TestMultiplaneScheme:
+    def test_adjacent_pages_pair_across_planes(self, tiny_geometry):
+        """Fig. 11: consecutive page fills alternate planes within a
+        LUN at the same page number, satisfying the ONFI rules."""
+        vpp = tiny_geometry.page_size // 64
+        placement = map_vertices(vpp * 4, tiny_geometry, 64, scheme="multiplane")
+        # Vertices in page-fill slots 0 and 1: same LUN, same page,
+        # different plane -> a legal multi-plane group.
+        a = placement.address_of(0, 64)
+        b = placement.address_of(vpp, 64)
+        validate_multi_plane_group([a, b])
+
+    def test_lun_advances_after_planes(self, tiny_geometry):
+        vpp = tiny_geometry.page_size // 64
+        n_planes = tiny_geometry.planes_per_lun
+        placement = map_vertices(
+            vpp * n_planes * 2, tiny_geometry, 64, scheme="multiplane"
+        )
+        assert placement.lun[0] == 0
+        assert placement.lun[vpp * n_planes] == 1
+
+    def test_spreads_across_all_luns(self, tiny_geometry):
+        vpp = tiny_geometry.page_size // 64
+        n = vpp * tiny_geometry.total_planes * 2
+        placement = map_vertices(n, tiny_geometry, 64, scheme="multiplane")
+        occupancy = placement.occupancy_by_lun()
+        assert np.all(occupancy > 0)
+        assert occupancy.max() - occupancy.min() <= vpp * tiny_geometry.planes_per_lun
+
+
+class TestInterleavedScheme:
+    def test_consecutive_pages_stripe_luns(self, tiny_geometry):
+        vpp = tiny_geometry.page_size // 64
+        placement = map_vertices(vpp * 4, tiny_geometry, 64, scheme="interleaved")
+        assert placement.lun[0] == 0
+        assert placement.lun[vpp] == 1
+
+    def test_sibling_planes_hold_distant_ranges(self, tiny_geometry):
+        """Under interleaving, plane 0 and plane 1 of a LUN at the same
+        page number hold vertex ranges a full LUN-sweep apart — so
+        multi-plane alignment between neighboring vertices is rare."""
+        vpp = tiny_geometry.page_size // 64
+        n_luns = tiny_geometry.total_luns
+        n = vpp * n_luns * 2
+        placement = map_vertices(n, tiny_geometry, 64, scheme="interleaved")
+        assert placement.plane[0] == 0
+        assert placement.plane[vpp * n_luns] == 1
+        assert placement.page[0] == placement.page[vpp * n_luns]
+
+    def test_both_schemes_place_all(self, tiny_geometry):
+        for scheme in ("multiplane", "interleaved"):
+            placement = map_vertices(300, tiny_geometry, 64, scheme=scheme)
+            assert placement.num_vertices == 300
+
+
+class TestPageKeys:
+    def test_page_keys_vectorized_consistent(self, tiny_geometry):
+        placement = map_vertices(200, tiny_geometry, 64)
+        vertices = np.arange(200, dtype=np.int64)
+        keys = placement.page_keys(vertices)
+        for v in range(0, 200, 13):
+            manual = placement.page_key(v)
+            same = [
+                u for u in range(200) if placement.page_key(u) == manual
+            ]
+            assert all(keys[u] == keys[v] for u in same)
+
+    def test_distinct_pages_distinct_keys(self, tiny_geometry):
+        placement = map_vertices(300, tiny_geometry, 64)
+        vertices = np.arange(300, dtype=np.int64)
+        keys = placement.page_keys(vertices)
+        n_pages = len({placement.page_key(v) for v in range(300)})
+        assert len(np.unique(keys)) == n_pages

@@ -1,0 +1,106 @@
+"""Integration tests: Algorithm 1 through the functional hardware path.
+
+The headline property: the NDP processing model — graph traversal on
+the embedded cores, neighbor fetch via Vgenerator/LUNCSR, distance
+computation inside the SiN engines reading real bytes from NAND page
+buffers, bitonic top-k on the FPGA — returns exactly the same results
+as the host-side reference beam search over the same graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.search import greedy_beam_search, top_k_from_results
+from repro.core import NDSearch, SchedulingFlags
+from repro.core.processing_model import NDPProcessingModel
+from repro.core.searssd import SearSSDDevice
+
+
+def _host_reference(graph, queries, k, ef):
+    ids = []
+    dists = []
+    for q in queries:
+        results = greedy_beam_search(
+            graph.vectors, graph.neighbors, q, [graph.entry_point], ef,
+            graph.metric,
+        )
+        i, d = top_k_from_results(results, k)
+        ids.append(i)
+        dists.append(d)
+    return np.stack(ids), np.stack(dists)
+
+
+@pytest.fixture()
+def ndsearch(small_hnsw, tiny_config):
+    return NDSearch(index=small_hnsw, config=tiny_config)
+
+
+class TestFunctionalEquivalence:
+    def test_results_match_host_search(self, ndsearch, small_queries):
+        ids, dists = ndsearch.search_batch_functional(small_queries[:6], k=5, ef=24)
+        ref_ids, ref_dists = _host_reference(
+            ndsearch.graph, small_queries[:6], k=5, ef=24
+        )
+        assert np.array_equal(ids, ndsearch.order[ref_ids])
+        assert np.allclose(dists, ref_dists, rtol=1e-6)
+
+    def test_equivalence_without_any_optimisation(
+        self, small_hnsw, tiny_config, small_queries
+    ):
+        nd = NDSearch(
+            index=small_hnsw,
+            config=tiny_config.with_flags(SchedulingFlags.bare()),
+        )
+        ids, _ = nd.search_batch_functional(small_queries[:4], k=5, ef=16)
+        ref_ids, _ = _host_reference(nd.graph, small_queries[:4], k=5, ef=16)
+        assert np.array_equal(ids, nd.order[ref_ids])
+
+    def test_equivalence_with_speculation_only(
+        self, small_hnsw, tiny_config, small_queries
+    ):
+        nd = NDSearch(
+            index=small_hnsw,
+            config=tiny_config.with_flags(
+                SchedulingFlags(reorder=False, multiplane=False,
+                                dynamic_alloc=True, speculative=True)
+            ),
+        )
+        ids, _ = nd.search_batch_functional(small_queries[:4], k=5, ef=16)
+        ref_ids, _ = _host_reference(nd.graph, small_queries[:4], k=5, ef=16)
+        assert np.array_equal(ids, nd.order[ref_ids])
+
+
+class TestProcessingModelMechanics:
+    def test_speculative_hits_recorded(self, small_graph, tiny_config):
+        device = SearSSDDevice(small_graph, tiny_config)
+        model = NDPProcessingModel(device, ef=16, k=5)
+        queries = small_graph.vectors[:6] + 0.01
+        model.run_batch(queries)
+        assert model.counters["speculative_page_reads"] > 0
+        assert model.counters["speculative_hits"] > 0
+
+    def test_multiplane_groups_formed(self, small_graph, tiny_config):
+        device = SearSSDDevice(small_graph, tiny_config)
+        model = NDPProcessingModel(device, ef=16, k=5)
+        model.run_batch(small_graph.vectors[:4])
+        assert model.counters["multiplane_groups"] > 0
+
+    def test_ef_must_cover_k(self, small_graph, tiny_config):
+        device = SearSSDDevice(small_graph, tiny_config)
+        with pytest.raises(ValueError):
+            NDPProcessingModel(device, ef=4, k=8)
+
+    def test_qpt_updates_counted(self, small_graph, tiny_config):
+        device = SearSSDDevice(small_graph, tiny_config)
+        model = NDPProcessingModel(device, ef=8, k=3)
+        model.run_batch(small_graph.vectors[:3])
+        assert model.counters["qpt_updates"] >= 3
+
+    def test_device_counters_accumulate(self, small_graph, tiny_config):
+        device = SearSSDDevice(small_graph, tiny_config)
+        model = NDPProcessingModel(device, ef=8, k=3)
+        model.run_batch(small_graph.vectors[:3])
+        counters = device.total_counters()
+        assert counters["distance_computations"] > 0
+        assert counters["sorted_elements"] > 0
+        assert counters["alloc_dispatches"] > 0

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ann.distance import DistanceMetric, distances_to_query
+from repro.ann.graph import ProximityGraph
+from repro.core.static_scheduling import bandwidth_beta, degree_ascending_bfs
+from repro.core.placement import map_vertices
+from repro.flash.commands import DistanceType, SearchPage
+from repro.flash.ftl import FlashTranslationLayer
+from repro.flash.geometry import PhysicalAddress, SSDGeometry
+from repro.sorting.bitonic import bitonic_sort, bitonic_top_k
+
+GEOMETRY = SSDGeometry(
+    channels=2,
+    chips_per_channel=2,
+    luns_per_chip=2,
+    planes_per_lun=2,
+    blocks_per_plane=8,
+    pages_per_block=8,
+    page_size=1024,
+)
+
+
+# ---- bitonic network ------------------------------------------------------
+@given(
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=0,
+        max_size=130,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_bitonic_sorts_any_input(keys):
+    out, _ = bitonic_sort(np.asarray(keys, dtype=np.float64))
+    assert np.array_equal(out, np.sort(np.asarray(keys, dtype=np.float64)))
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=64,
+    ),
+    st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_bitonic_top_k_matches_argsort(keys, k):
+    keys = np.asarray(keys, dtype=np.float64)
+    ids = np.arange(keys.size)
+    top_d, top_i = bitonic_top_k(keys, ids, k)
+    assert np.array_equal(np.sort(top_d), top_d)
+    ref = np.sort(keys)[: min(k, keys.size)]
+    assert np.allclose(top_d, ref)
+
+
+# ---- distances -----------------------------------------------------------------
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_euclidean_properties(n, dim, seed):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, dim)).astype(np.float32)
+    query = rng.normal(size=dim).astype(np.float32)
+    d = distances_to_query(vectors, query, DistanceMetric.EUCLIDEAN)
+    assert np.all(d >= 0)
+    d_self = distances_to_query(vectors, vectors[0], DistanceMetric.EUCLIDEAN)
+    assert d_self[0] == pytest.approx(0.0, abs=1e-4)
+
+
+# ---- SearchPage encoding ---------------------------------------------------------
+@given(
+    st.integers(min_value=0, max_value=GEOMETRY.total_luns - 1),
+    st.integers(min_value=0, max_value=GEOMETRY.planes_per_lun - 1),
+    st.integers(min_value=0, max_value=GEOMETRY.blocks_per_plane - 1),
+    st.integers(min_value=0, max_value=GEOMETRY.pages_per_block - 1),
+    st.sampled_from(list(DistanceType)),
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=15),
+    st.booleans(),
+)
+@settings(max_examples=80, deadline=None)
+def test_searchpage_roundtrip(lun, plane, block, page, dist, dim_code,
+                              prec_code, loc):
+    cmd = SearchPage(
+        address=PhysicalAddress(lun=lun, plane=plane, block=block, page=page),
+        distance=dist,
+        fv_dim_code=dim_code,
+        fv_prec_code=prec_code,
+        page_loc_bit=loc,
+    )
+    assert SearchPage.decode(cmd.encode(GEOMETRY), GEOMETRY) == cmd
+
+
+# ---- FTL refresh invariants -----------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=0,
+                max_size=60))
+@settings(max_examples=30, deadline=None)
+def test_ftl_always_bijective(ops):
+    ftl = FlashTranslationLayer(GEOMETRY, seed=11)
+    for op in ops:
+        lun = op % GEOMETRY.total_luns
+        plane = (op // 7) % GEOMETRY.planes_per_lun
+        block = (op // 13) % ftl.usable_blocks
+        ftl.refresh_block(lun, plane, block)
+    ftl.check_consistency()
+
+
+# ---- placement invariants ----------------------------------------------------------------
+@given(
+    st.integers(min_value=1, max_value=800),
+    st.sampled_from([32, 64, 128, 256]),
+    st.sampled_from(["multiplane", "interleaved"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_placement_never_collides(n, vector_bytes, scheme):
+    capacity = (
+        GEOMETRY.total_planes
+        * GEOMETRY.pages_per_plane
+        * (GEOMETRY.page_size // vector_bytes)
+    )
+    if n > capacity:
+        n = capacity
+    placement = map_vertices(n, GEOMETRY, vector_bytes, scheme=scheme)
+    keys = placement.page_keys(np.arange(n, dtype=np.int64))
+    slots = placement.slot[:n]
+    combined = set(zip(keys.tolist(), slots.tolist()))
+    assert len(combined) == n
+
+
+# ---- graph relabeling ------------------------------------------------------------------------
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(min_value=2, max_value=24))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=60,
+        )
+    )
+    adjacency = [sorted({b for a, b in edges if a == v and b != v})
+                 for v in range(n)]
+    vectors = np.zeros((n, 3), dtype=np.float32)
+    return ProximityGraph.from_adjacency(vectors, adjacency)
+
+
+@given(random_graph(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_relabel_preserves_edge_count_and_beta_of_inverse(graph, seed):
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(graph.num_vertices)
+    relabeled = graph.relabeled(order)
+    assert relabeled.num_edges == graph.num_edges
+    assert sorted(relabeled.degrees.tolist()) == sorted(graph.degrees.tolist())
+
+
+@given(random_graph())
+@settings(max_examples=30, deadline=None)
+def test_degree_ascending_bfs_always_permutation(graph):
+    order = degree_ascending_bfs(graph)
+    assert sorted(order.tolist()) == list(range(graph.num_vertices))
+
+
+@given(random_graph())
+@settings(max_examples=30, deadline=None)
+def test_beta_non_negative_and_bounded(graph):
+    beta = bandwidth_beta(graph)
+    assert 0.0 <= beta <= graph.num_vertices - 1

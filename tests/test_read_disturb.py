@@ -1,0 +1,96 @@
+"""Tests for read-disturb-triggered refresh and wear accounting."""
+
+import numpy as np
+import pytest
+
+from repro.flash.ftl import FlashTranslationLayer
+from repro.flash.geometry import PhysicalAddress
+from repro.flash.ssd import SSD
+from repro.flash.timing import FlashTiming
+
+
+class TestReadDisturbCounting:
+    def test_threshold_triggers(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry, read_disturb_threshold=5)
+        for _ in range(4):
+            assert not ftl.record_read(0, 0, 1)
+        assert ftl.record_read(0, 0, 1)
+
+    def test_refresh_resets_counter(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry, read_disturb_threshold=3)
+        for _ in range(3):
+            ftl.record_read(0, 0, 2)
+        ftl.refresh_block(0, 0, 2)
+        assert not ftl.record_read(0, 0, 2)
+
+    def test_out_of_range_block(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        with pytest.raises(ValueError):
+            ftl.record_read(0, 0, ftl.usable_blocks)
+
+    def test_invalid_threshold(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            FlashTranslationLayer(tiny_geometry, read_disturb_threshold=0)
+
+
+class TestWearAccounting:
+    def test_erase_counts_follow_refreshes(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        event = ftl.refresh_block(1, 0, 3)
+        assert ftl.erase_counts[1, 0, event.old_block] == 1
+        assert ftl.wear_summary()["total_erases"] == 1.0
+
+    def test_wear_spreads_over_recycled_blocks(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry, reserved_per_plane=2)
+        for _ in range(20):
+            ftl.refresh_block(0, 0, 0)
+        summary = ftl.wear_summary()
+        assert summary["total_erases"] == 20.0
+        # Round-robin free list: no single block absorbs all erases.
+        assert summary["max_erases"] < 20.0
+
+
+class TestSSDIntegration:
+    def test_disturb_refresh_transparent_to_readers(self, tiny_geometry):
+        ssd = SSD(geometry=tiny_geometry, timing=FlashTiming())
+        ssd.ftl.read_disturb_threshold = 10
+        address = PhysicalAddress(lun=0, plane=0, block=0, page=0)
+        data = np.arange(64, dtype=np.uint8)
+        ssd.program(address, data)
+        for _ in range(25):
+            assert np.array_equal(ssd.read(address, 64), data)
+        assert ssd.counters["disturb_refreshes"] == 2
+        assert len(ssd.ftl.refresh_log) == 2
+        ssd.ftl.check_consistency()
+
+    def test_luncsr_follows_disturb_refreshes(
+        self, small_graph, tiny_config
+    ):
+        """A hot vertex read past the disturb threshold relocates its
+        block; LUNCSR must track it without any explicit refresh call."""
+        from repro.core.luncsr import LUNCSR
+        from repro.core.placement import map_vertices
+
+        ssd = SSD(geometry=tiny_config.geometry)
+        ssd.ftl.read_disturb_threshold = 8
+        vector_bytes = small_graph.dim * 4
+        placement = map_vertices(
+            small_graph.num_vertices, tiny_config.geometry, vector_bytes
+        )
+        luncsr = LUNCSR.build(small_graph, placement, vector_bytes)
+        luncsr.attach_to_ftl(ssd.ftl)
+        v = 0
+        address = PhysicalAddress(
+            lun=int(placement.lun[v]),
+            plane=int(placement.plane[v]),
+            block=int(placement.block[v]),
+            page=int(placement.page[v]),
+        )
+        ssd.program(address, np.frombuffer(
+            small_graph.vectors[v].tobytes(), dtype=np.uint8
+        ))
+        before = int(luncsr.blk[v])
+        for _ in range(10):
+            ssd.read(address, vector_bytes)
+        assert int(luncsr.blk[v]) != before
+        assert luncsr.refresh_updates >= 1

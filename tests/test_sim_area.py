@@ -1,0 +1,52 @@
+"""Unit tests for the area/storage-density model (Section VII-B)."""
+
+import pytest
+
+from repro.sim.area import (
+    AreaModel,
+    DS_C_AREA_MM2,
+    DS_CP_AREA_MM2,
+    SEARSSD_AREA_TABLE,
+)
+
+
+class TestAreaModel:
+    def test_total_area_matches_paper(self):
+        assert AreaModel().total_area_mm2 == pytest.approx(43.09)
+
+    def test_area_saving_vs_ds_cp(self):
+        # Paper: 82% less than DS-cp.
+        saving = AreaModel().area_saving_vs(DS_CP_AREA_MM2)
+        assert saving == pytest.approx(0.82, abs=0.01)
+
+    def test_area_saving_vs_ds_c(self):
+        # Paper: 87% less than DS-c.
+        saving = AreaModel().area_saving_vs(DS_C_AREA_MM2)
+        assert saving == pytest.approx(0.87, abs=0.01)
+
+    def test_storage_density_matches_paper(self):
+        # Paper: 6 Gb/mm^2 degrades to 5.64 Gb/mm^2 for 512 GB.
+        density = AreaModel().storage_density_gb_per_mm2(512.0)
+        assert density == pytest.approx(5.64, abs=0.03)
+
+    def test_density_degradation_about_six_percent(self):
+        deg = AreaModel().density_degradation(512.0)
+        assert 0.04 < deg < 0.08
+
+    def test_density_improves_with_capacity(self):
+        model = AreaModel()
+        assert model.storage_density_gb_per_mm2(
+            1024.0
+        ) > model.storage_density_gb_per_mm2(256.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            AreaModel().area_saving_vs(0.0)
+        with pytest.raises(ValueError):
+            AreaModel().storage_density_gb_per_mm2(-1.0)
+
+    def test_component_rows_complete(self):
+        names = {c.name for c in SEARSSD_AREA_TABLE}
+        assert "mac_group" in names
+        assert "ecc_decoder" in names
+        assert len(SEARSSD_AREA_TABLE) == 8

@@ -1,0 +1,75 @@
+"""Unit tests for the power/energy model (paper Table I, Fig. 20)."""
+
+import pytest
+
+from repro.sim.energy import (
+    EnergyModel,
+    FPGA_SORT_POWER_W,
+    NDSEARCH_TOTAL_POWER_W,
+    PCIE_POWER_BUDGET_W,
+    PLATFORM_POWER_W,
+    SEARSSD_LOGIC_POWER_W,
+    SEARSSD_TABLE_I,
+)
+from repro.sim.stats import SimResult
+
+
+def _result(time_s=1.0, **busy):
+    return SimResult("ndsearch", "hnsw", "sift-1b", 100, time_s,
+                     component_busy_s=busy)
+
+
+class TestTableI:
+    def test_total_logic_power_matches_paper(self):
+        assert SEARSSD_LOGIC_POWER_W == pytest.approx(18.82)
+
+    def test_total_with_fpga_matches_paper(self):
+        assert SEARSSD_LOGIC_POWER_W + FPGA_SORT_POWER_W == pytest.approx(
+            NDSEARCH_TOTAL_POWER_W
+        )
+
+    def test_within_pcie_power_budget(self):
+        assert NDSEARCH_TOTAL_POWER_W < PCIE_POWER_BUDGET_W
+
+    def test_component_counts(self):
+        by_name = {c.name: c for c in SEARSSD_TABLE_I}
+        assert by_name["mac_group"].count == 512
+        assert by_name["query_queue"].count == 256
+        assert by_name["ecc_decoder"].count == 1024
+
+
+class TestEnergyModel:
+    def test_flat_model_charges_full_power(self):
+        r = EnergyModel.flat(100.0).attach(_result(2.0))
+        assert r.energy_j == pytest.approx(200.0)
+        assert r.power_w == pytest.approx(100.0)
+
+    def test_ndsearch_power_bounded_by_total(self):
+        # Fully busy everything cannot exceed the Table I total.
+        busy = {k: 10.0 for k in EnergyModel.ndsearch().dynamic_power_w}
+        r = EnergyModel.ndsearch().attach(_result(1.0, **busy))
+        assert r.power_w <= NDSEARCH_TOTAL_POWER_W + 1e-9
+
+    def test_ndsearch_idle_draws_static_only(self):
+        model = EnergyModel.ndsearch()
+        r = model.attach(_result(1.0))
+        assert r.power_w == pytest.approx(model.static_power_w)
+
+    def test_dynamic_busy_raises_energy(self):
+        model = EnergyModel.ndsearch()
+        idle = model.attach(_result(1.0))
+        active = model.attach(_result(1.0, sin_macs_busy=0.5))
+        assert active.energy_j > idle.energy_j
+
+    def test_for_platform_covers_all_platforms(self):
+        for platform in PLATFORM_POWER_W:
+            model = EnergyModel.for_platform(platform)
+            assert model.static_power_w > 0
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel.for_platform("abacus")
+
+    def test_ndsearch_cheaper_than_cpu(self):
+        assert NDSEARCH_TOTAL_POWER_W < PLATFORM_POWER_W["cpu"]
+        assert NDSEARCH_TOTAL_POWER_W < PLATFORM_POWER_W["gpu"]

@@ -1,0 +1,60 @@
+"""Unit tests for counters and SimResult."""
+
+import pytest
+
+from repro.sim.stats import Counters, SimResult
+
+
+class TestCounters:
+    def test_missing_key_reads_zero(self):
+        assert Counters()["page_reads"] == 0
+
+    def test_increment_and_merge(self):
+        a = Counters()
+        a["page_reads"] += 3
+        b = Counters({"page_reads": 2, "dram_accesses": 5})
+        merged = a.merged(b)
+        assert merged["page_reads"] == 5
+        assert merged["dram_accesses"] == 5
+        # merged() does not mutate either operand
+        assert a["page_reads"] == 3
+        assert b["page_reads"] == 2
+
+
+def _result(time_s=0.5, batch=100, **busy):
+    return SimResult(
+        platform="cpu",
+        algorithm="hnsw",
+        dataset="sift-1b",
+        batch_size=batch,
+        sim_time_s=time_s,
+        component_busy_s=busy,
+    )
+
+
+class TestSimResult:
+    def test_qps(self):
+        assert _result(0.5, 100).qps == pytest.approx(200.0)
+
+    def test_qps_zero_time(self):
+        assert _result(0.0).qps == 0.0
+
+    def test_speedup_over(self):
+        fast = _result(0.1)
+        slow = _result(1.0)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+
+    def test_qps_per_watt_requires_power(self):
+        r = _result()
+        assert r.qps_per_watt == 0.0
+        r.power_w = 50.0
+        assert r.qps_per_watt == pytest.approx(r.qps / 50.0)
+
+    def test_breakdown_fractions_sum_to_one(self):
+        r = _result(io=0.3, compute=0.1)
+        frac = r.breakdown_fractions()
+        assert sum(frac.values()) == pytest.approx(1.0)
+        assert frac["io"] == pytest.approx(0.75)
+
+    def test_breakdown_empty(self):
+        assert _result().breakdown_fractions() == {}

@@ -1,0 +1,113 @@
+"""Tests for the SiN engines / LUN-level accelerators."""
+
+import numpy as np
+import pytest
+
+from repro.ann.distance import DistanceMetric, distances_to_query
+from repro.core.searssd import SearSSDDevice
+from repro.flash.commands import DistanceType, SearchPage
+
+
+@pytest.fixture()
+def device(small_graph, tiny_config):
+    return SearSSDDevice(small_graph, tiny_config)
+
+
+class TestSiNCompute:
+    def test_distance_matches_host_kernel(self, device, small_graph):
+        query = small_graph.vectors[3]
+        vertex = 25
+        acc = device.accelerator_of(device.luncsr.lun_of(vertex))
+        address = device.allocator.generate_address(vertex)
+        cmd = SearchPage(address=address, distance=DistanceType.EUCLIDEAN)
+        result = acc.execute_search_page(cmd, 0, vertex, query)
+        expected = float(
+            distances_to_query(
+                small_graph.vectors[vertex][None, :], query,
+                DistanceMetric.EUCLIDEAN,
+            )[0]
+        )
+        assert result.distance == pytest.approx(expected, rel=1e-6)
+
+    def test_all_vertices_readable_through_sin(self, device, small_graph):
+        """Every stored vector decodes bit-exactly from NAND."""
+        for vertex in range(0, small_graph.num_vertices, 23):
+            acc = device.accelerator_of(device.luncsr.lun_of(vertex))
+            address = device.allocator.generate_address(vertex)
+            raw = acc._read_vector(address)
+            assert np.array_equal(raw, small_graph.vectors[vertex])
+
+    def test_angular_distance_code(self, device, small_graph):
+        query = small_graph.vectors[1]
+        vertex = 8
+        acc = device.accelerator_of(device.luncsr.lun_of(vertex))
+        cmd = SearchPage(
+            address=device.allocator.generate_address(vertex),
+            distance=DistanceType.ANGULAR,
+        )
+        result = acc.execute_search_page(cmd, 0, vertex, query)
+        expected = float(
+            distances_to_query(
+                small_graph.vectors[vertex][None, :], query,
+                DistanceMetric.ANGULAR,
+            )[0]
+        )
+        assert result.distance == pytest.approx(expected, rel=1e-5)
+
+    def test_page_buffer_hits_counted(self, device, small_graph):
+        vertex = 12
+        acc = device.accelerator_of(device.luncsr.lun_of(vertex))
+        cmd = SearchPage(address=device.allocator.generate_address(vertex))
+        acc.execute_search_page(cmd, 0, vertex, small_graph.vectors[0])
+        before = acc.counters["page_reads"]
+        acc.execute_search_page(cmd, 1, vertex, small_graph.vectors[1])
+        assert acc.counters["page_reads"] == before  # buffered
+        assert acc.counters["page_buffer_hits"] >= 1
+
+    def test_mac_ops_scale_with_dim(self, device, small_graph):
+        vertex = 5
+        acc = device.accelerator_of(device.luncsr.lun_of(vertex))
+        cmd = SearchPage(address=device.allocator.generate_address(vertex))
+        acc.execute_search_page(cmd, 0, vertex, small_graph.vectors[0])
+        assert acc.counters["mac_ops"] == small_graph.dim
+
+    def test_output_buffer_drain(self, device, small_graph):
+        vertex = 5
+        acc = device.accelerator_of(device.luncsr.lun_of(vertex))
+        cmd = SearchPage(address=device.allocator.generate_address(vertex))
+        acc.execute_search_page(cmd, 0, vertex, small_graph.vectors[0])
+        out = acc.drain_output()
+        assert len(out) == 1
+        assert acc.output_buffer == []
+
+    def test_multi_plane_execution(self, device, small_graph, tiny_config):
+        """Find two vertices on sibling planes of one LUN at the same
+        page and execute them as one multi-plane group."""
+        placement = device.placement
+        vpp = placement.vectors_per_page
+        a, b = 0, vpp  # multiplane scheme: consecutive pages pair planes
+        assert placement.lun[a] == placement.lun[b]
+        assert placement.plane[a] != placement.plane[b]
+        acc = device.accelerator_of(int(placement.lun[a]))
+        cmds = [
+            SearchPage(address=device.allocator.generate_address(a)),
+            SearchPage(address=device.allocator.generate_address(b)),
+        ]
+        query = small_graph.vectors[2]
+        work = [(0, a, query), (0, b, query)]
+        results = acc.execute_multi_plane(cmds, work)
+        assert len(results) == 2
+        assert acc.counters["multiplane_ops"] == 1
+
+
+class TestSiNEngineStructure:
+    def test_one_accelerator_per_lun(self, device, tiny_config):
+        total = sum(len(e.accelerators) for e in device.sin_engines)
+        assert total == tiny_config.geometry.total_luns
+
+    def test_engine_lookup(self, device):
+        engine = device.sin_engines[0]
+        lun = engine.accelerators[0].lun.lun_index
+        assert engine.accelerator_for(lun) is engine.accelerators[0]
+        with pytest.raises(KeyError):
+            engine.accelerator_for(9999)

@@ -1,0 +1,102 @@
+"""Stateful property test: FTL refresh + LUNCSR mirroring.
+
+A hypothesis RuleBasedStateMachine drives arbitrary interleavings of
+block refreshes and address lookups, checking after every step that
+(i) the FTL mapping remains a per-plane bijection and (ii) LUNCSR's
+BLK array always agrees with a read of the vertex through the
+functional SSD — i.e. the Allocator's translation-free address
+generation can never go stale.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.ann.graph import ProximityGraph
+from repro.core.luncsr import LUNCSR
+from repro.core.placement import map_vertices
+from repro.flash.geometry import SSDGeometry
+from repro.flash.ssd import SSD
+
+GEOMETRY = SSDGeometry(
+    channels=2,
+    chips_per_channel=1,
+    luns_per_chip=2,
+    planes_per_lun=2,
+    blocks_per_plane=6,
+    pages_per_block=4,
+    page_size=256,
+)
+N_VERTICES = 48
+DIM = 8
+
+
+class FTLLuncsrMachine(RuleBasedStateMachine):
+    @initialize()
+    def build_device(self):
+        rng = np.random.default_rng(7)
+        vectors = rng.normal(size=(N_VERTICES, DIM)).astype(np.float32)
+        adjacency = [[(v + 1) % N_VERTICES] for v in range(N_VERTICES)]
+        self.graph = ProximityGraph.from_adjacency(vectors, adjacency)
+        self.ssd = SSD(geometry=GEOMETRY)
+        vector_bytes = DIM * 4
+        placement = map_vertices(N_VERTICES, GEOMETRY, vector_bytes)
+        self.luncsr = LUNCSR.build(self.graph, placement, vector_bytes)
+        self.luncsr.attach_to_ftl(self.ssd.ftl)
+        # Program every vertex through the logical path.
+        from repro.flash.geometry import PhysicalAddress
+
+        pages: dict[tuple, np.ndarray] = {}
+        for v in range(N_VERTICES):
+            key = placement.page_key(v)
+            buf = pages.setdefault(key, np.zeros(GEOMETRY.page_size, np.uint8))
+            start = int(placement.slot[v]) * vector_bytes
+            buf[start : start + vector_bytes] = np.frombuffer(
+                vectors[v].tobytes(), dtype=np.uint8
+            )
+        for (lun, plane, block, page), buf in pages.items():
+            self.ssd.program(
+                PhysicalAddress(lun=lun, plane=plane, block=block, page=page),
+                buf,
+            )
+
+    @rule(
+        lun=st.integers(min_value=0, max_value=GEOMETRY.total_luns - 1),
+        plane=st.integers(min_value=0, max_value=GEOMETRY.planes_per_lun - 1),
+        block=st.integers(min_value=0, max_value=3),
+    )
+    def refresh(self, lun, plane, block):
+        self.ssd.refresh(lun, plane, block)
+
+    @rule(vertex=st.integers(min_value=0, max_value=N_VERTICES - 1))
+    def read_vertex_via_luncsr(self, vertex):
+        """The Allocator path: physical address from LUNCSR, direct
+        read from the plane, no FTL translation."""
+        address = self.luncsr.physical_address(vertex)
+        plane = (
+            self.ssd.chips[GEOMETRY.chip_of_lun(address.lun)]
+            .lun(address.lun)
+            .planes[address.plane]
+        )
+        plane.load_page(address.block, address.page)
+        raw = plane.read_buffer(address.byte, DIM * 4)
+        assert np.array_equal(
+            raw.view(np.float32), self.graph.vectors[vertex]
+        ), f"vertex {vertex} stale after refreshes"
+
+    @invariant()
+    def ftl_consistent(self):
+        if hasattr(self, "ssd"):
+            self.ssd.ftl.check_consistency()
+
+
+TestFTLLuncsrStateful = FTLLuncsrMachine.TestCase
+TestFTLLuncsrStateful.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)

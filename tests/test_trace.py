@@ -1,0 +1,70 @@
+"""Unit tests for search traces and remapping."""
+
+import numpy as np
+
+from repro.ann.trace import (
+    IterationRecord,
+    SearchTrace,
+    TraceRecorder,
+    remap_trace,
+)
+
+
+def _sample_trace():
+    t = SearchTrace(query_id=3)
+    t.iterations.append(IterationRecord(entry=0, computed=(1, 2)))
+    t.iterations.append(IterationRecord(entry=1, computed=(3,)))
+    t.iterations.append(IterationRecord(entry=3, computed=()))
+    t.result_ids = np.array([1, 3])
+    t.result_distances = np.array([0.1, 0.4])
+    return t
+
+
+class TestSearchTrace:
+    def test_trace_length_counts_computed(self):
+        assert _sample_trace().trace_length == 3
+
+    def test_num_iterations(self):
+        assert _sample_trace().num_iterations == 3
+
+    def test_visited_order(self):
+        assert _sample_trace().visited_vertices == [1, 2, 3]
+
+    def test_entries(self):
+        assert _sample_trace().entries == [0, 1, 3]
+
+
+class TestTraceRecorder:
+    def test_records_iterations_and_result(self):
+        rec = TraceRecorder(query_id=7)
+        rec.record_iteration(0, [4, 5])
+        rec.record_iteration(4, np.array([6]))
+        rec.record_result(np.array([4]), np.array([0.5]))
+        trace = rec.finish()
+        assert trace.query_id == 7
+        assert trace.trace_length == 3
+        assert trace.iterations[1].computed == (6,)
+        assert trace.result_ids.tolist() == [4]
+
+
+class TestRemap:
+    def test_remap_rewrites_all_ids(self):
+        trace = _sample_trace()
+        new_id = np.array([10, 11, 12, 13])
+        out = remap_trace(trace, new_id)
+        assert out.iterations[0].entry == 10
+        assert out.iterations[0].computed == (11, 12)
+        assert out.result_ids.tolist() == [11, 13]
+
+    def test_remap_preserves_structure(self):
+        trace = _sample_trace()
+        out = remap_trace(trace, np.arange(4))
+        assert out.num_iterations == trace.num_iterations
+        assert out.trace_length == trace.trace_length
+
+    def test_remap_without_result(self):
+        trace = SearchTrace(query_id=0)
+        trace.iterations.append(IterationRecord(entry=1, computed=(0,)))
+        out = remap_trace(trace, np.array([5, 6]))
+        assert out.result_ids is None
+        assert out.iterations[0].entry == 6

@@ -1,0 +1,99 @@
+"""Tests for the Vgenerator and Allocator functional units."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocator import Allocator
+from repro.core.luncsr import LUNCSR
+from repro.core.placement import map_vertices
+from repro.core.vgenerator import Vgenerator
+
+
+@pytest.fixture()
+def luncsr(small_graph, tiny_geometry):
+    vector_bytes = small_graph.dim * 4
+    placement = map_vertices(small_graph.num_vertices, tiny_geometry, vector_bytes)
+    return LUNCSR.build(small_graph, placement, vector_bytes)
+
+
+@pytest.fixture()
+def vgen(luncsr):
+    return Vgenerator(luncsr)
+
+
+@pytest.fixture()
+def allocator(luncsr):
+    return Allocator(luncsr)
+
+
+class TestVgenerator:
+    def test_fetch_returns_neighbors_and_luns(self, vgen, luncsr):
+        entry = vgen.fetch(query_id=3, entry_vertex=10)
+        assert np.array_equal(entry.neighbor_ids, luncsr.neighbors_of(10))
+        assert np.array_equal(entry.lun_ids, luncsr.lun[entry.neighbor_ids])
+
+    def test_fetch_counts_dram_traffic(self, vgen, luncsr):
+        degree = luncsr.neighbors_of(10).size
+        vgen.fetch(0, 10)
+        # OFS (2) + NBR (deg) + LUN (deg) array reads.
+        assert vgen.counters["dram_accesses"] == 2 + 2 * degree
+
+    def test_fetch_batch_pipelines(self, vgen):
+        entries = vgen.fetch_batch([(0, 1), (1, 2), (2, 3)])
+        assert len(entries) == 3
+        assert vgen.counters["vgen_fetches"] == 3
+
+    def test_pipeline_latency_three_stages(self, vgen):
+        stage = 100e-9
+        assert vgen.pipeline_latency_s(1, stage) == pytest.approx(3 * stage)
+        assert vgen.pipeline_latency_s(10, stage) == pytest.approx(12 * stage)
+        assert vgen.pipeline_latency_s(0, stage) == 0.0
+
+    def test_prefetch_uses_pref_unit(self, vgen, small_graph):
+        first = small_graph.neighbors(0).astype(np.int64)
+        out = vgen.prefetch(small_graph, first, width=4)
+        assert out.size <= 4
+        assert vgen.counters["prefetch_selections"] == out.size
+
+
+class TestAllocator:
+    def test_dispatch_partitions_by_lun(self, allocator, vgen, luncsr):
+        entries = vgen.fetch_batch([(0, 5), (1, 9)])
+        partitions = allocator.dispatch(entries)
+        for lun, part in partitions.items():
+            assert all(luncsr.lun_of(v) == lun for v in part.vertex_ids)
+            assert len(part.addresses) == len(part.vertex_ids)
+
+    def test_dispatch_preserves_pair_count(self, allocator, vgen):
+        entries = vgen.fetch_batch([(0, 5), (1, 9), (2, 20)])
+        total = sum(e.neighbor_ids.size for e in entries)
+        partitions = allocator.dispatch(entries)
+        assert sum(len(p) for p in partitions.values()) == total
+        assert allocator.counters["alloc_dispatches"] == total
+
+    def test_generate_address_matches_luncsr(self, allocator, luncsr):
+        assert allocator.generate_address(17) == luncsr.physical_address(17)
+
+    def test_sequential_dispatch_no_cross_query_grouping(self, allocator, vgen):
+        entries = vgen.fetch_batch([(0, 5), (1, 5)])  # same entry vertex
+        sequential = allocator.dispatch_sequential(entries)
+        # Each query produces its own LUN partitions.
+        queries_per_part = [set(p.query_ids) for p in sequential]
+        assert all(len(qs) == 1 for qs in queries_per_part)
+
+    def test_grouped_dispatch_shares_across_queries(self, allocator, vgen):
+        entries = vgen.fetch_batch([(0, 5), (1, 5)])
+        grouped = allocator.dispatch(entries)
+        assert any(len(p.queries()) == 2 for p in grouped.values())
+
+    def test_address_generation_tracks_refreshes(
+        self, allocator, luncsr, tiny_geometry
+    ):
+        from repro.flash.ftl import FlashTranslationLayer
+
+        ftl = FlashTranslationLayer(tiny_geometry)
+        luncsr.attach_to_ftl(ftl)
+        v = 3
+        lun, plane = int(luncsr.lun[v]), int(luncsr.plane[v])
+        event = ftl.refresh_block(lun, plane, int(luncsr.blk[v]))
+        assert allocator.generate_address(v).block == event.new_block

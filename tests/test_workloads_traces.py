@@ -1,0 +1,74 @@
+"""Tests for TraceSet persistence and slicing."""
+
+import numpy as np
+import pytest
+
+from repro.ann.trace import IterationRecord, SearchTrace
+from repro.workloads import TraceSet
+
+
+def _trace_set(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    traces = []
+    for q in range(n):
+        t = SearchTrace(query_id=q)
+        for _ in range(int(rng.integers(1, 5))):
+            computed = tuple(int(v) for v in rng.integers(0, 100, size=3))
+            t.iterations.append(
+                IterationRecord(entry=int(rng.integers(100)), computed=computed)
+            )
+        traces.append(t)
+    ids = rng.integers(0, 100, size=(n, 4)).astype(np.int64)
+    dists = rng.random(size=(n, 4))
+    for t, i, d in zip(traces, ids, dists):
+        t.result_ids = i
+        t.result_distances = d
+    return TraceSet(traces=traces, result_ids=ids, result_dists=dists)
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, tmp_path):
+        ts = _trace_set()
+        path = tmp_path / "traces.npz"
+        ts.save(path)
+        loaded = TraceSet.load(path)
+        assert len(loaded) == len(ts)
+        for a, b in zip(ts.traces, loaded.traces):
+            assert a.num_iterations == b.num_iterations
+            for ia, ib in zip(a.iterations, b.iterations):
+                assert ia == ib
+        assert np.array_equal(loaded.result_ids, ts.result_ids)
+        assert np.allclose(loaded.result_dists, ts.result_dists)
+
+    def test_empty_iterations_preserved(self, tmp_path):
+        t = SearchTrace(query_id=0)
+        t.iterations.append(IterationRecord(entry=3, computed=()))
+        ts = TraceSet(
+            traces=[t],
+            result_ids=np.zeros((1, 2), dtype=np.int64),
+            result_dists=np.zeros((1, 2)),
+        )
+        path = tmp_path / "t.npz"
+        ts.save(path)
+        loaded = TraceSet.load(path)
+        assert loaded.traces[0].iterations[0].computed == ()
+
+
+class TestSubset:
+    def test_prefix_slice(self):
+        ts = _trace_set(8)
+        sub = ts.subset(3)
+        assert len(sub) == 3
+        assert sub.traces[0] is ts.traces[0]
+        assert sub.result_ids.shape[0] == 3
+
+    def test_oversized_subset_rejected(self):
+        with pytest.raises(ValueError):
+            _trace_set(4).subset(10)
+
+
+class TestStats:
+    def test_mean_statistics(self):
+        ts = _trace_set()
+        assert ts.mean_trace_length() > 0
+        assert ts.mean_iterations() >= 1.0
