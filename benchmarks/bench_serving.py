@@ -1,0 +1,125 @@
+"""Serving sweep: batch policy x shard count x arrival rate.
+
+The online analogue of Figs. 13/19: the same frontend, stream seed and
+corpus across every cell, varying only the batching policy, the size of
+the replicated device pool and the offered load.  Expected shape:
+
+* batching beats greedy dispatch at high load (larger batches fill the
+  LUN-level parallelism — the Fig. 19 effect, now under queueing);
+* adding shards lifts sustained throughput once one device saturates;
+* p99 grows with offered load at fixed capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.config import NDSearchConfig
+from repro.data.synthetic import clustered_gaussian, split_queries
+from repro.serving import (
+    BatchPolicy,
+    PoissonArrivals,
+    QueryStream,
+    ServingConfig,
+    ServingFrontend,
+    build_router,
+)
+
+POLICIES = ("batch", "greedy")
+SHARDS = (1, 4)
+RATES = (500.0, 20000.0)
+
+CORPUS, DIM, POOL, REQUESTS, K = 800, 16, 128, 400, 10
+
+
+def collect() -> list[dict]:
+    vectors = clustered_gaussian(CORPUS, DIM, seed=31)
+    pool = split_queries(vectors, POOL, seed=32)
+    config = NDSearchConfig.scaled()
+    routers = {
+        shards: build_router(vectors, num_shards=shards, config=config)
+        for shards in SHARDS
+    }
+    rows = []
+    for policy_mode in POLICIES:
+        for shards in SHARDS:
+            for rate in RATES:
+                stream = QueryStream(
+                    PoissonArrivals(rate),
+                    pool_size=POOL,
+                    n_requests=REQUESTS,
+                    k=K,
+                    zipf_exponent=0.0,  # uniform: no cache noise in the sweep
+                    seed=33,
+                )
+                frontend = ServingFrontend(
+                    routers[shards],
+                    ServingConfig(
+                        policy=BatchPolicy(
+                            max_batch_size=32, max_wait_s=2e-3, mode=policy_mode
+                        ),
+                        cache_capacity=0,
+                    ),
+                )
+                report = frontend.run(stream.generate(), pool)
+                rows.append(
+                    {
+                        "policy": policy_mode,
+                        "shards": shards,
+                        "rate": rate,
+                        "qps": report.qps,
+                        "p50_ms": report.latency_p50_s * 1e3,
+                        "p99_ms": report.latency_p99_s * 1e3,
+                        "mean_batch": report.mean_batch_size,
+                        "util": float(np.mean(report.shard_utilization)),
+                    }
+                )
+    return rows
+
+
+def run() -> str:
+    rows = collect()
+    return format_table(
+        ["policy", "shards", "rate", "QPS", "p50 ms", "p99 ms", "batch", "util"],
+        [
+            [
+                r["policy"],
+                r["shards"],
+                f"{r['rate']:g}",
+                f"{r['qps']:,.0f}",
+                f"{r['p50_ms']:.3f}",
+                f"{r['p99_ms']:.3f}",
+                f"{r['mean_batch']:.1f}",
+                f"{r['util']:.0%}",
+            ]
+            for r in rows
+        ],
+        title="serving sweep: policy x shards x arrival rate (replicated)",
+    )
+
+
+def test_bench_serving(benchmark, record_table):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    record_table("serving_sweep", run())
+
+    def cell(policy, shards, rate):
+        return next(
+            r
+            for r in rows
+            if r["policy"] == policy and r["shards"] == shards and r["rate"] == rate
+        )
+
+    hi = RATES[-1]
+    # Batching forms real batches under load; greedy stays near 1.
+    assert cell("batch", 1, hi)["mean_batch"] > 2.0
+    assert cell("greedy", 1, hi)["mean_batch"] == 1.0
+    # Batching sustains at least greedy's throughput at high load.
+    assert cell("batch", 1, hi)["qps"] >= 0.95 * cell("greedy", 1, hi)["qps"]
+    # More shards never hurt sustained throughput under overload.
+    assert cell("batch", 4, hi)["qps"] >= cell("batch", 1, hi)["qps"]
+    # Load fills batches and devices: both grow with the offered rate.
+    assert cell("batch", 1, hi)["mean_batch"] > cell("batch", 1, RATES[0])["mean_batch"]
+    assert cell("batch", 1, hi)["util"] > cell("batch", 1, RATES[0])["util"]
+    # Spreading the same load over 4 replicas relaxes per-device pressure.
+    assert cell("batch", 4, hi)["util"] <= cell("batch", 1, hi)["util"]

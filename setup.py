@@ -1,9 +1,28 @@
-"""Setuptools shim for environments without the ``wheel`` package.
+"""Packaging for the NDSEARCH (ISCA 2024) reproduction.
 
-All real metadata lives in ``pyproject.toml``; this file only enables
-the legacy ``pip install -e .`` path on minimal offline installs.
+Metadata lives here (no ``pyproject.toml``) so minimal offline
+installs work: ``pip install -e .`` where pip has the ``wheel``
+package, ``python setup.py develop`` where it does not.  The ``src/``
+layout means the package is *not* importable from a bare checkout
+without installation; either installing or ``PYTHONPATH=src`` (what
+the test/bench commands in ROADMAP.md use) makes ``import repro``
+work.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-ndsearch",
+    version="1.1.0",
+    description=(
+        "From-scratch reproduction of NDSEARCH: near-data processing for "
+        "graph-traversal approximate nearest neighbor search (ISCA 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

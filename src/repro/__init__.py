@@ -15,6 +15,9 @@ package layout mirrors the system:
 * :mod:`repro.sim`, :mod:`repro.data`, :mod:`repro.workloads`,
   :mod:`repro.analysis`, :mod:`repro.experiments` — simulation core,
   datasets, trace sets, analysis and the per-figure experiment drivers.
+* :mod:`repro.serving` — the online layer: dynamic batching, shard
+  routing, result caching and admission control over the platform
+  simulators, reporting QPS and tail latency.
 
 Typical use::
 
@@ -26,8 +29,31 @@ Typical use::
     ids, dists, telemetry = system.search_batch(queries, k=10)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import NDSearch, NDSearchConfig, SchedulingFlags
+from repro.serving import (
+    BatchPolicy,
+    ServingConfig,
+    ServingFrontend,
+    ServingReport,
+    build_router,
+)
+from repro.sim.stats import Counters, SimResult
+from repro.workloads import TraceSet, ZipfianSampler
 
-__all__ = ["NDSearch", "NDSearchConfig", "SchedulingFlags", "__version__"]
+__all__ = [
+    "BatchPolicy",
+    "Counters",
+    "NDSearch",
+    "NDSearchConfig",
+    "SchedulingFlags",
+    "ServingConfig",
+    "ServingFrontend",
+    "ServingReport",
+    "SimResult",
+    "TraceSet",
+    "ZipfianSampler",
+    "build_router",
+    "__version__",
+]

@@ -12,7 +12,7 @@ trace-driven simulator (Section VII-A, "Simulation method").
 from repro.ann.distance import DistanceMetric, pairwise_distances, distances_to_query
 from repro.ann.graph import ProximityGraph
 from repro.ann.trace import IterationRecord, SearchTrace, TraceRecorder
-from repro.ann.search import greedy_beam_search
+from repro.ann.search import greedy_beam_search, merge_topk
 from repro.ann.bruteforce import BruteForceIndex
 from repro.ann.recall import recall_at_k
 from repro.ann.hnsw import HNSWIndex, HNSWParams
@@ -30,6 +30,7 @@ __all__ = [
     "SearchTrace",
     "TraceRecorder",
     "greedy_beam_search",
+    "merge_topk",
     "BruteForceIndex",
     "recall_at_k",
     "HNSWIndex",

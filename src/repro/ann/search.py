@@ -118,3 +118,52 @@ def top_k_from_results(
     ids = np.asarray([v for _, v in top], dtype=np.int64)
     dists = np.asarray([d for d, _ in top], dtype=np.float64)
     return ids, dists
+
+
+def merge_topk(
+    ids_per_shard: list[np.ndarray],
+    dists_per_shard: list[np.ndarray],
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard top-k candidate lists into a global top-k.
+
+    Each shard contributes ``(batch, k_s)`` ID and distance arrays in a
+    shared (global) ID space; rows may be padded with ``-1`` IDs /
+    ``inf`` distances when a shard holds fewer than ``k_s`` vectors.
+    The merge keeps, per query, the ``k`` nearest valid candidates by
+    distance (stable: ties broken by shard order then rank), dropping
+    duplicate IDs — so replicated shards merge as safely as disjoint
+    partitions.  Output rows are padded with ``-1`` / ``inf`` when
+    fewer than ``k`` distinct candidates exist.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not ids_per_shard or len(ids_per_shard) != len(dists_per_shard):
+        raise ValueError("need matching, non-empty per-shard id/dist lists")
+    ids = np.concatenate(
+        [np.atleast_2d(np.asarray(a, dtype=np.int64)) for a in ids_per_shard], axis=1
+    )
+    dists = np.concatenate(
+        [np.atleast_2d(np.asarray(d, dtype=np.float64)) for d in dists_per_shard],
+        axis=1,
+    )
+    if ids.shape != dists.shape:
+        raise ValueError("id and distance shapes differ")
+    batch = ids.shape[0]
+    out_ids = np.full((batch, k), -1, dtype=np.int64)
+    out_dists = np.full((batch, k), np.inf, dtype=np.float64)
+    for row in range(batch):
+        order = np.argsort(dists[row], kind="stable")
+        seen: set[int] = set()
+        filled = 0
+        for pos in order:
+            vid = int(ids[row, pos])
+            if vid < 0 or not np.isfinite(dists[row, pos]) or vid in seen:
+                continue
+            seen.add(vid)
+            out_ids[row, filled] = vid
+            out_dists[row, filled] = dists[row, pos]
+            filled += 1
+            if filled == k:
+                break
+    return out_ids, out_dists

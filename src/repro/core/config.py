@@ -161,6 +161,47 @@ class NDSearchConfig:
     def with_flags(self, flags: SchedulingFlags) -> "NDSearchConfig":
         return replace(self, flags=flags)
 
+    def shard(self, num_shards: int) -> "NDSearchConfig":
+        """Per-device configuration for an ``num_shards``-way pool.
+
+        Serving deployments split one SearSSD budget across several
+        smaller devices; this divides the flash array (whole channels
+        first, then chips within a channel) and the internal DRAM so
+        the pool's aggregate resources match the unsharded device.
+        Per-LUN parameters (queue capacity, page size, timing) are
+        unchanged — a shard is a smaller SearSSD, not a slower one.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if num_shards == 1:
+            return self
+        g = self.geometry
+        if g.channels % num_shards == 0:
+            geometry = replace(g, channels=g.channels // num_shards)
+        else:
+            total_chips = g.channels * g.chips_per_channel
+            if total_chips % num_shards != 0:
+                raise ValueError(
+                    f"cannot divide {g.channels} channels x "
+                    f"{g.chips_per_channel} chips evenly into {num_shards} shards"
+                )
+            per_shard_chips = total_chips // num_shards
+            if per_shard_chips % g.chips_per_channel == 0:
+                geometry = replace(
+                    g, channels=per_shard_chips // g.chips_per_channel
+                )
+            else:
+                # Chip count does not fill whole channels: put every
+                # chip on one channel so no flash is silently dropped.
+                geometry = replace(
+                    g, channels=1, chips_per_channel=per_shard_chips
+                )
+        return replace(
+            self,
+            geometry=geometry,
+            dram_bytes=max(self.dram_bytes // num_shards, 1024**2),
+        )
+
     # ---- derived quantities ---------------------------------------------
     @property
     def num_lun_accelerators(self) -> int:

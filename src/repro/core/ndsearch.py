@@ -168,13 +168,23 @@ class NDSearch:
         remapped = [remap_trace(t, self.new_id) for t in traces]
         spec_sets = None
         if self.config.flags.speculative:
-            cache_key = (id(traces[0]) if traces else 0, len(traces))
-            spec_sets = self._spec_cache.get(cache_key)
-            if spec_sets is None:
+            # Keyed by the identity of every trace in the batch; the
+            # value pins the traces so no keyed id can be recycled onto
+            # a different object while its entry lives — the key is
+            # therefore unambiguous.  Bounded so streaming callers
+            # (repro.serving) that simulate thousands of distinct
+            # batches don't grow it without bound.
+            cache_key = tuple(map(id, traces))
+            entry = self._spec_cache.get(cache_key)
+            if entry is None:
                 spec_sets = precompute_speculative_sets(
                     remapped, self.graph, self.config.speculative_width
                 )
-                self._spec_cache[cache_key] = spec_sets
+                if len(self._spec_cache) >= 64:
+                    self._spec_cache.pop(next(iter(self._spec_cache)))
+                self._spec_cache[cache_key] = (list(traces), spec_sets)
+            else:
+                spec_sets = entry[1]
         result = self._model.run_batch(
             remapped, speculative_sets=spec_sets,
             algorithm=algorithm, dataset=dataset,

@@ -1,0 +1,88 @@
+"""repro.serving — online serving over the NDSearch simulators.
+
+The offline experiments answer "how fast is one batch"; this package
+answers the production question: what QPS and *tail latency* does an
+NDSearch deployment sustain against live traffic?  It is a
+discrete-event serving simulation layered over the repo's trace-driven
+platform models:
+
+* :mod:`repro.serving.arrivals` — request streams (Poisson, bursty
+  MMPP, trace replay) with Zipfian query popularity.
+* :mod:`repro.serving.batcher` — dynamic batching
+  (max-batch-size / max-wait-time, greedy and fixed policies).
+* :mod:`repro.serving.sharding` — replicated and IVF-partitioned
+  device pools with shard-aware top-k merging.
+* :mod:`repro.serving.cache` — an LRU result cache exploiting query
+  skew.
+* :mod:`repro.serving.admission` — bounded queues and load shedding.
+* :mod:`repro.serving.metrics` — QPS, p50/p95/p99 latency, queue
+  depth, hit rate, per-shard utilization, energy.
+* :mod:`repro.serving.backends` — NDSearch and CPU/GPU/SmartSSD
+  baselines behind one interface, so serving comparisons are
+  apples-to-apples.
+* :mod:`repro.serving.frontend` — the event loop tying it together.
+
+Typical use::
+
+    from repro.serving import (
+        BatchPolicy, PoissonArrivals, QueryStream, ServingConfig,
+        ServingFrontend, build_router,
+    )
+
+    router = build_router(vectors, num_shards=4, config=config)
+    stream = QueryStream(PoissonArrivals(200.0), pool_size=len(pool),
+                         n_requests=2000)
+    frontend = ServingFrontend(router, ServingConfig(BatchPolicy(32, 2e-3)))
+    report = frontend.run(stream.generate(), pool)
+    print(report.format())
+
+Or from the shell::
+
+    python -m repro.serving --rate 200 --shards 4 --policy batch
+
+Everything runs on a simulated clock — service times come from the
+SearSSD/baseline timing models — so runs are fast and deterministic.
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.arrivals import (
+    MMPPArrivals,
+    PoissonArrivals,
+    QueryStream,
+    TraceReplayArrivals,
+)
+from repro.serving.backends import (
+    BaselineBackend,
+    NDSearchBackend,
+    SearchBackend,
+    make_backend,
+)
+from repro.serving.batcher import BatchPolicy, DynamicBatcher
+from repro.serving.cache import LRUCache, ResultCache
+from repro.serving.frontend import ServingConfig, ServingFrontend
+from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.request import Request
+from repro.serving.sharding import ShardRouter, build_router
+
+__all__ = [
+    "AdmissionController",
+    "BaselineBackend",
+    "BatchPolicy",
+    "DynamicBatcher",
+    "LRUCache",
+    "MMPPArrivals",
+    "MetricsCollector",
+    "NDSearchBackend",
+    "PoissonArrivals",
+    "QueryStream",
+    "Request",
+    "ResultCache",
+    "SearchBackend",
+    "ServingConfig",
+    "ServingFrontend",
+    "ServingReport",
+    "ShardRouter",
+    "TraceReplayArrivals",
+    "build_router",
+    "make_backend",
+]

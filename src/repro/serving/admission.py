@@ -1,0 +1,47 @@
+"""Admission control: bounded queues and load shedding.
+
+An open-loop arrival stream offered above system capacity grows the
+queue without bound — latency diverges and every request eventually
+misses its SLO.  The standard defence is to bound the number of
+requests in the system and *shed* (reject fast) beyond it: shed
+requests cost almost nothing and the requests that are admitted keep a
+bounded, predictable tail latency.
+
+:class:`AdmissionController` implements that policy over the
+frontend's in-system count (batcher queue + dispatched-but-incomplete
+requests).  ``capacity=None`` disables shedding, which is the right
+setting for closed-loop or underloaded experiments.
+"""
+
+from __future__ import annotations
+
+
+class AdmissionController:
+    """Bounded-in-flight admission with shed accounting."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self.admitted = 0
+        self.shed = 0
+
+    def admit(self, in_system: int) -> bool:
+        """Decide one arrival given the current in-system request count."""
+        if in_system < 0:
+            raise ValueError("in_system must be >= 0")
+        if self.capacity is not None and in_system >= self.capacity:
+            self.shed += 1
+            return False
+        self.admitted += 1
+        return True
+
+    @property
+    def offered(self) -> int:
+        return self.admitted + self.shed
+
+    @property
+    def shed_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered

@@ -1,0 +1,118 @@
+"""Dynamic batching: turning an arrival stream into device batches.
+
+The paper's throughput results (Figs. 13 and 19) are a function of
+batch size: SearSSD needs large batches to fill its LUN-level
+parallelism, but an online frontend cannot wait forever for a batch to
+fill.  The classic compromise is the *max-batch-size / max-wait-time*
+policy (as in Triton/TensorFlow Serving dynamic batching): a batch
+closes as soon as it reaches ``max_batch_size`` requests **or** its
+oldest request has waited ``max_wait_s``, whichever comes first.
+
+:class:`DynamicBatcher` implements that policy over simulated time.  It
+is a passive state machine — the event loop feeds it arrivals
+(:meth:`offer`) and deadline expirations (:meth:`poll`) and dispatches
+whatever batches it closes — so the same batcher runs under any
+arrival process, backend or clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.request import Request
+
+#: Policy modes.
+BATCH = "batch"      # size + wait-time triggers (the default)
+GREEDY = "greedy"    # dispatch immediately, no artificial wait
+FIXED = "fixed"      # size trigger only (offline-style fixed batches)
+
+POLICY_MODES = (BATCH, GREEDY, FIXED)
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How the frontend forms batches.
+
+    ``batch``  — close at ``max_batch_size`` or when the oldest queued
+    request has waited ``max_wait_s`` (timeout closes *partial*
+    batches).
+    ``greedy`` — every arrival dispatches immediately (batch of one
+    unless arrivals are simultaneous); the no-batching baseline.
+    ``fixed``  — close only on size; stragglers flush at end of stream.
+    """
+
+    max_batch_size: int = 32
+    max_wait_s: float = 2e-3
+    mode: str = BATCH
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        if self.mode not in POLICY_MODES:
+            raise ValueError(
+                f"unknown policy mode {self.mode!r}; expected one of {POLICY_MODES}"
+            )
+
+
+class DynamicBatcher:
+    """Accumulates requests into batches under a :class:`BatchPolicy`."""
+
+    def __init__(self, policy: BatchPolicy) -> None:
+        self.policy = policy
+        self.pending: list[Request] = []
+        self.batches_closed = 0
+        self.timeout_closes = 0
+        """Batches closed by the wait-time trigger (partial batches)."""
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+    def deadline(self) -> float | None:
+        """Simulated time at which the oldest request times out.
+
+        ``None`` when nothing is queued or the policy has no wait-time
+        trigger (``fixed`` mode).
+        """
+        if not self.pending or self.policy.mode == FIXED:
+            return None
+        return self.pending[0].arrival_s + self.policy.max_wait_s
+
+    def offer(self, request: Request) -> list[Request] | None:
+        """Queue an arrival; returns a batch if this arrival closed one.
+
+        In ``greedy`` mode every offer closes immediately.  In the
+        other modes a batch closes when it reaches
+        ``policy.max_batch_size``.
+        """
+        self.pending.append(request)
+        if self.policy.mode == GREEDY:
+            return self._close()
+        if len(self.pending) >= self.policy.max_batch_size:
+            return self._close()
+        return None
+
+    def poll(self, now: float) -> list[Request] | None:
+        """Close the queued batch if its deadline has passed.
+
+        This is the timeout trigger: it fires on *partial* batches —
+        under light load most batches close this way.
+        """
+        deadline = self.deadline()
+        if deadline is None or deadline > now:
+            return None
+        self.timeout_closes += 1
+        return self._close()
+
+    def flush(self) -> list[Request] | None:
+        """Close whatever is queued (end of stream)."""
+        if not self.pending:
+            return None
+        return self._close()
+
+    def _close(self) -> list[Request]:
+        size = min(len(self.pending), self.policy.max_batch_size)
+        batch, self.pending = self.pending[:size], self.pending[size:]
+        self.batches_closed += 1
+        return batch

@@ -1,0 +1,94 @@
+"""Result caching: exploiting query popularity skew.
+
+Production retrieval traffic is heavily skewed — a small head of
+queries accounts for most requests (the Zipfian model in
+:mod:`repro.serving.arrivals`).  A small host-side LRU over final
+top-k results answers repeats at DRAM latency, shaving whole searches
+off the SearSSD devices.  The same :class:`LRUCache` primitive also
+serves as an entry-point cache (store the previous best vertex for a
+query region and seed the next beam search from it) — the result cache
+is the variant wired into the frontend because its accounting is
+directly comparable across backends.
+
+Capacity 0 disables caching (every lookup misses, nothing is stored),
+which gives experiments a clean no-cache baseline without branching.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+import numpy as np
+
+
+class LRUCache:
+    """A counting LRU map (ordered-dict based, O(1) get/put)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> object | None:
+        """Look up ``key``, refreshing its recency; counts hit or miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class ResultCache(LRUCache):
+    """LRU over final top-k results, keyed by ``(query_id, k)``.
+
+    Keys are pool query IDs, not raw vectors: the stream draws repeats
+    from a finite query pool, exactly how production caches key on a
+    canonicalised query.  Arrays are copied on store *and* on lookup,
+    so neither the producer nor a response consumer can mutate a
+    cached entry.
+    """
+
+    def lookup(self, query_id: int, k: int) -> tuple[np.ndarray, np.ndarray] | None:
+        value = self.get((query_id, k))
+        if value is None:
+            return None
+        ids, dists = value
+        return np.array(ids, copy=True), np.array(dists, copy=True)
+
+    def store(
+        self, query_id: int, k: int, ids: np.ndarray, dists: np.ndarray
+    ) -> None:
+        self.put((query_id, k), (np.array(ids, copy=True), np.array(dists, copy=True)))

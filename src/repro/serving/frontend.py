@@ -1,0 +1,172 @@
+"""The serving frontend: a discrete-event loop over simulated time.
+
+This is the orchestrator-over-simulator layer: requests arrive on a
+simulated clock, flow through admission control, the result cache and
+the dynamic batcher, and closed batches are served by shard devices
+whose *service times* come from the trace-driven platform simulators
+(:class:`~repro.sim.stats.SimResult.sim_time_s`).  Nothing waits on
+the wall clock, so a minute of simulated heavy traffic runs in
+seconds and every run is exactly reproducible.
+
+Event-loop invariants:
+
+* Arrivals are processed in time order; before each arrival, any
+  batcher deadline that expired in the gap fires first (so timeout
+  closes happen at their exact simulated time, not at the next
+  arrival).
+* A shard device serves one batch at a time: a batch closed at time
+  ``t`` starts at ``max(t, device_free_at)`` and completes after its
+  simulated service time.  Replicated mode picks the earliest-free
+  device; partitioned mode broadcasts and completes at the slowest
+  shard (fan-out join).
+* Admission counts the whole system — batcher queue plus dispatched
+  but incomplete requests — so shedding reflects true backlog, not
+  just the waiting room.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.admission import AdmissionController
+from repro.serving.batcher import BatchPolicy, DynamicBatcher
+from repro.serving.cache import ResultCache
+from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.request import CACHE_HIT, COMPLETED, SHED, Request
+from repro.serving.sharding import PARTITIONED, REPLICATED, ShardRouter
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Frontend knobs (the batch policy rides in ``policy``)."""
+
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+    cache_capacity: int = 1024
+    cache_hit_latency_s: float = 20e-6
+    """Host hash-map lookup + response serialisation for a cache hit."""
+
+    admission_capacity: int | None = None
+    """Max requests in the system (queued + in service); None = unbounded."""
+
+
+class ServingFrontend:
+    """Runs a request stream against a shard router, collecting metrics."""
+
+    def __init__(self, router: ShardRouter, config: ServingConfig | None = None):
+        self.router = router
+        self.config = config or ServingConfig()
+        self.batcher = DynamicBatcher(self.config.policy)
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.admission = AdmissionController(self.config.admission_capacity)
+        self.metrics = MetricsCollector(router.num_shards)
+        self._free_at = [0.0] * router.num_shards
+        self._in_service: list[tuple[float, int]] = []  # (completion_s, count) heap
+
+    def run(
+        self, requests: list[Request], query_pool: np.ndarray
+    ) -> ServingReport:
+        """Serve a request stream drawn from ``query_pool``.
+
+        ``query_pool`` is the (pool_size, dim) array the requests'
+        ``query_id`` fields index into.  Requests are mutated in place
+        (timestamps, outcomes, results) and summarised in the returned
+        report.
+        """
+        pool = np.ascontiguousarray(query_pool, dtype=np.float32)
+        last_time = 0.0
+        for request in sorted(requests, key=lambda r: r.arrival_s):
+            now = request.arrival_s
+            last_time = max(last_time, now)
+            self._fire_due_deadlines(pool, now)
+            self._retire_in_service(now)
+            depth = len(self.batcher) + self._in_service_count()
+            self.metrics.observe_arrival(request, depth)
+            if not self.admission.admit(depth):
+                request.outcome = SHED
+                self.metrics.observe_shed(request)
+                continue
+            cached = self.cache.lookup(request.query_id, request.k)
+            if cached is not None:
+                request.result_ids, request.result_dists = cached
+                request.completion_s = now + self.config.cache_hit_latency_s
+                request.outcome = CACHE_HIT
+                self.metrics.observe_cache_hit(request)
+                continue
+            batch = self.batcher.offer(request)
+            if batch is not None:
+                self._dispatch(batch, pool, close_time=now)
+        # End of stream: let a pending deadline fire at its real time,
+        # then flush stragglers (fixed mode has no deadline).
+        deadline = self.batcher.deadline()
+        flush_time = deadline if deadline is not None else last_time
+        batch = self.batcher.flush()
+        if batch is not None:
+            self._dispatch(batch, pool, close_time=flush_time)
+        return self.metrics.report()
+
+    # ---- event-loop internals -------------------------------------------
+    def _fire_due_deadlines(self, pool: np.ndarray, now: float) -> None:
+        while True:
+            deadline = self.batcher.deadline()
+            if deadline is None or deadline > now:
+                return
+            batch = self.batcher.poll(deadline)
+            if batch is None:
+                return
+            self._dispatch(batch, pool, close_time=deadline, timeout_closed=True)
+
+    def _dispatch(
+        self,
+        batch: list[Request],
+        pool: np.ndarray,
+        close_time: float,
+        timeout_closed: bool = False,
+    ) -> None:
+        queries = pool[[r.query_id for r in batch]]
+        # The batcher does not group by k; search at the batch's widest
+        # k and trim per request below.
+        k = max(r.k for r in batch)
+        self.metrics.observe_batch(len(batch), timeout_closed=timeout_closed)
+
+        if self.router.mode == REPLICATED:
+            shard = int(np.argmin(self._free_at))
+            ids, dists, result = self.router.search_on(shard, queries, k)
+            start = max(close_time, self._free_at[shard])
+            completion = start + result.sim_time_s
+            self._free_at[shard] = completion
+            self.metrics.observe_shard_service(shard, result)
+        else:  # PARTITIONED: broadcast, join on the slowest shard
+            ids, dists, results = self.router.search_all(queries, k)
+            start = close_time
+            completion = close_time
+            for shard, result in enumerate(results):
+                shard_start = max(close_time, self._free_at[shard])
+                shard_done = shard_start + result.sim_time_s
+                self._free_at[shard] = shard_done
+                completion = max(completion, shard_done)
+                start = max(start, shard_start)
+                self.metrics.observe_shard_service(shard, result)
+
+        heapq.heappush(self._in_service, (completion, len(batch)))
+        for i, request in enumerate(batch):
+            request.batched_s = close_time
+            request.start_s = start
+            request.completion_s = completion
+            request.outcome = COMPLETED
+            request.result_ids = ids[i, : request.k]
+            request.result_dists = dists[i, : request.k]
+            self.cache.store(
+                request.query_id, request.k, request.result_ids,
+                request.result_dists,
+            )
+            self.metrics.observe_completion(request)
+
+    def _retire_in_service(self, now: float) -> None:
+        while self._in_service and self._in_service[0][0] <= now:
+            heapq.heappop(self._in_service)
+
+    def _in_service_count(self) -> int:
+        return sum(count for _, count in self._in_service)

@@ -1,0 +1,191 @@
+"""Serving telemetry: QPS, latency percentiles, utilization, energy.
+
+The offline experiments report batch makespans; an online system is
+judged on different axes — sustained throughput, *tail* latency
+(p95/p99, where queueing and burstiness live), queue depth, cache
+effectiveness, shed rate and per-shard utilization.  The collector
+accumulates per-request and per-batch observations during a frontend
+run and condenses them into a :class:`ServingReport`.
+
+Energy reuses the per-batch :class:`~repro.sim.stats.SimResult` energy
+attached by :class:`~repro.sim.energy.EnergyModel`, so serving runs
+report the same QPS/W currency as the paper's Fig. 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.serving.request import Request
+from repro.sim.stats import Counters, SimResult
+
+
+@dataclass
+class ServingReport:
+    """Summary of one serving run (all times in seconds)."""
+
+    offered: int
+    completed: int
+    cache_hits: int
+    shed: int
+    horizon_s: float
+    qps: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+    mean_batch_size: float
+    timeout_close_fraction: float
+    cache_hit_rate: float
+    shed_rate: float
+    mean_queue_depth: float
+    max_queue_depth: int
+    shard_utilization: tuple[float, ...]
+    energy_j: float
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def served(self) -> int:
+        """Requests answered (searched or from cache)."""
+        return self.completed + self.cache_hits
+
+    @property
+    def qps_per_watt(self) -> float:
+        if self.energy_j <= 0 or self.horizon_s <= 0:
+            return 0.0
+        return self.qps / (self.energy_j / self.horizon_s)
+
+    def format(self, title: str = "serving summary") -> str:
+        """An aligned two-column report table."""
+        rows = [
+            ["offered", self.offered],
+            ["served", self.served],
+            ["  searched", self.completed],
+            ["  cache hits", self.cache_hits],
+            ["shed", self.shed],
+            ["QPS", f"{self.qps:,.0f}"],
+            ["p50 latency", f"{self.latency_p50_s * 1e3:.3f} ms"],
+            ["p95 latency", f"{self.latency_p95_s * 1e3:.3f} ms"],
+            ["p99 latency", f"{self.latency_p99_s * 1e3:.3f} ms"],
+            ["mean latency", f"{self.latency_mean_s * 1e3:.3f} ms"],
+            ["mean batch size", f"{self.mean_batch_size:.1f}"],
+            ["timeout closes", f"{self.timeout_close_fraction:.0%}"],
+            ["cache hit rate", f"{self.cache_hit_rate:.1%}"],
+            ["shed rate", f"{self.shed_rate:.1%}"],
+            ["mean queue depth", f"{self.mean_queue_depth:.1f}"],
+            ["max queue depth", self.max_queue_depth],
+            [
+                "shard utilization",
+                " ".join(f"{u:.0%}" for u in self.shard_utilization),
+            ],
+            ["energy", f"{self.energy_j:.3g} J"],
+        ]
+        return format_table(["metric", "value"], rows, title=title)
+
+
+class MetricsCollector:
+    """Accumulates observations during a frontend run."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self.latencies_s: list[float] = []
+        self.cache_hits = 0
+        self.completed = 0
+        self.shed = 0
+        self.batch_sizes: list[int] = []
+        self.queue_depths: list[int] = []
+        self.shard_busy_s = [0.0] * num_shards
+        self.shard_batches = [0] * num_shards
+        self.energy_j = 0.0
+        self.counters = Counters()
+        self.first_arrival_s: float | None = None
+        self.last_completion_s = 0.0
+        self.timeout_closes = 0
+
+    # ---- observations ---------------------------------------------------
+    def observe_arrival(self, request: Request, queue_depth: int) -> None:
+        if self.first_arrival_s is None:
+            self.first_arrival_s = request.arrival_s
+        self.queue_depths.append(queue_depth)
+
+    def observe_completion(self, request: Request) -> None:
+        self.completed += 1
+        self._observe_done(request)
+
+    def observe_cache_hit(self, request: Request) -> None:
+        self.cache_hits += 1
+        self._observe_done(request)
+
+    def observe_shed(self, request: Request) -> None:
+        self.shed += 1
+
+    def observe_batch(self, size: int, timeout_closed: bool = False) -> None:
+        """One logical batch closed by the batcher."""
+        self.batch_sizes.append(size)
+        if timeout_closed:
+            self.timeout_closes += 1
+
+    def observe_shard_service(self, shard: int, result: SimResult) -> None:
+        """One shard device serving (its slice of) a batch.
+
+        A replicated-mode batch lands on one shard; a partitioned-mode
+        batch fans out and produces one observation per shard.
+        """
+        self.shard_busy_s[shard] += result.sim_time_s
+        self.shard_batches[shard] += 1
+        self.energy_j += result.energy_j
+        self.counters.update(result.counters)
+
+    def _observe_done(self, request: Request) -> None:
+        self.latencies_s.append(request.latency_s)
+        self.last_completion_s = max(self.last_completion_s, request.completion_s)
+
+    # ---- reduction ------------------------------------------------------
+    def report(self) -> ServingReport:
+        lat = np.asarray(self.latencies_s, dtype=np.float64)
+        served = self.completed + self.cache_hits
+        offered = served + self.shed
+        start = self.first_arrival_s or 0.0
+        horizon = max(self.last_completion_s - start, 0.0)
+        p50 = p95 = p99 = mean = 0.0
+        if lat.size:
+            p50, p95, p99 = (
+                float(np.percentile(lat, q)) for q in (50.0, 95.0, 99.0)
+            )
+            mean = float(lat.mean())
+        n_batches = len(self.batch_sizes)
+        return ServingReport(
+            offered=offered,
+            completed=self.completed,
+            cache_hits=self.cache_hits,
+            shed=self.shed,
+            horizon_s=horizon,
+            qps=served / horizon if horizon > 0 else 0.0,
+            latency_p50_s=p50,
+            latency_p95_s=p95,
+            latency_p99_s=p99,
+            latency_mean_s=mean,
+            mean_batch_size=(
+                float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+            ),
+            timeout_close_fraction=(
+                self.timeout_closes / n_batches if n_batches else 0.0
+            ),
+            cache_hit_rate=self.cache_hits / served if served else 0.0,
+            shed_rate=self.shed / offered if offered else 0.0,
+            mean_queue_depth=(
+                float(np.mean(self.queue_depths)) if self.queue_depths else 0.0
+            ),
+            max_queue_depth=max(self.queue_depths, default=0),
+            shard_utilization=tuple(
+                busy / horizon if horizon > 0 else 0.0
+                for busy in self.shard_busy_s
+            ),
+            energy_j=self.energy_j,
+            counters=self.counters,
+        )

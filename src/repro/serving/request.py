@@ -1,0 +1,74 @@
+"""The unit of serving work: one query request and its lifecycle.
+
+A request is born at its (simulated) arrival time, then either
+
+* is **shed** by the admission controller (the system is over
+  capacity),
+* **hits** the result cache (answered immediately at cache latency), or
+* waits in the dynamic batcher, is dispatched inside a batch to one or
+  more shard devices, and **completes** when its batch's results are
+  back.
+
+Every transition stamps a simulated-clock timestamp so the metrics
+collector can decompose end-to-end latency into queueing wait and
+service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+#: Request outcomes.
+PENDING = "pending"
+COMPLETED = "completed"
+CACHE_HIT = "cache_hit"
+SHED = "shed"
+
+
+@dataclass
+class Request:
+    """One search request travelling through the serving frontend.
+
+    ``query_id`` indexes the finite query pool (the unit of popularity
+    skew and the cache key); the frontend resolves it to the actual
+    query vector at dispatch time.
+    """
+
+    request_id: int
+    query_id: int
+    arrival_s: float
+    k: int = 10
+
+    batched_s: float | None = None
+    """When the batch containing this request closed."""
+
+    start_s: float | None = None
+    """When a shard device began serving the batch."""
+
+    completion_s: float | None = None
+    """When results were available to the client."""
+
+    outcome: str = PENDING
+    result_ids: np.ndarray | None = field(default=None, repr=False)
+    result_dists: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency (arrival to completion)."""
+        if self.completion_s is None:
+            raise ValueError(f"request {self.request_id} has not completed")
+        return self.completion_s - self.arrival_s
+
+    @property
+    def wait_s(self) -> float:
+        """Time spent queued in the batcher before the batch closed."""
+        if self.batched_s is None:
+            return 0.0
+        return self.batched_s - self.arrival_s
+
+    @property
+    def done(self) -> bool:
+        return self.outcome in (COMPLETED, CACHE_HIT)

@@ -1,0 +1,157 @@
+"""Shard routing: spreading a corpus across a pool of SearSSD devices.
+
+A single SearSSD holds ~512 GB; production corpora and traffic both
+outgrow one device.  Two classic layouts are provided:
+
+* **replicated** — every shard device stores the full corpus + graph.
+  A batch is routed to *one* device (the least-loaded), so throughput
+  scales with the pool while results are bit-identical to an unsharded
+  system.  This is the layout for traffic scaling.
+* **partitioned** — the corpus is split across shards by a k-means
+  coarse quantizer (the IVF construction of :mod:`repro.ann.ivf`), one
+  sub-corpus and sub-graph per device.  A batch *broadcasts* to every
+  shard; per-shard top-k lists come back in global IDs and merge via
+  :func:`repro.ann.search.merge_topk`.  This is the layout for corpus
+  scaling (each device stores 1/N of the data).
+
+The router owns the shard backends and the ID translation; device
+*timing* (who is busy until when) stays in the frontend's event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ann.hnsw import HNSWIndex, HNSWParams
+from repro.ann.ivf import kmeans
+from repro.ann.search import merge_topk
+from repro.core.config import NDSearchConfig
+from repro.serving.backends import SearchBackend, make_backend
+from repro.sim.stats import SimResult
+
+REPLICATED = "replicated"
+PARTITIONED = "partitioned"
+SHARD_MODES = (REPLICATED, PARTITIONED)
+
+
+@dataclass
+class ShardRouter:
+    """A pool of shard backends plus the global-ID bookkeeping.
+
+    ``global_ids[s]`` maps shard ``s``'s local vertex IDs to corpus
+    IDs; ``None`` means the shard stores the full corpus (replicated
+    mode, local == global).
+    """
+
+    backends: list[SearchBackend]
+    mode: str = REPLICATED
+    global_ids: list[np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.backends:
+            raise ValueError("need at least one shard backend")
+        if self.mode not in SHARD_MODES:
+            raise ValueError(
+                f"unknown shard mode {self.mode!r}; expected one of {SHARD_MODES}"
+            )
+        if self.mode == PARTITIONED:
+            if self.global_ids is None or len(self.global_ids) != len(self.backends):
+                raise ValueError(
+                    "partitioned mode needs one global-ID map per shard"
+                )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.backends)
+
+    def search_on(
+        self, shard: int, queries: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, SimResult]:
+        """Serve a batch on one shard; IDs come back in corpus numbering."""
+        ids, dists, result = self.backends[shard].search_batch(queries, k)
+        if self.global_ids is not None:
+            local = self.global_ids[shard]
+            ids = np.where(ids >= 0, local[np.clip(ids, 0, None)], -1)
+        return ids, dists, result
+
+    def search_all(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, list[SimResult]]:
+        """Broadcast a batch to every shard and merge the top-k lists."""
+        per_ids: list[np.ndarray] = []
+        per_dists: list[np.ndarray] = []
+        results: list[SimResult] = []
+        for shard in range(self.num_shards):
+            ids, dists, result = self.search_on(shard, queries, k)
+            per_ids.append(ids)
+            per_dists.append(dists)
+            results.append(result)
+        merged_ids, merged_dists = merge_topk(per_ids, per_dists, k)
+        return merged_ids, merged_dists, results
+
+
+def build_router(
+    vectors: np.ndarray,
+    num_shards: int,
+    config: NDSearchConfig,
+    mode: str = REPLICATED,
+    platform: str = "ndsearch",
+    hnsw_params: HNSWParams | None = None,
+    metric=None,
+    ef: int | None = None,
+    seed: int = 0,
+    dataset: str = "synthetic",
+) -> ShardRouter:
+    """Construct a shard router over a corpus.
+
+    Replicated mode builds the index once and shares it across the
+    shard backends (each backend still gets its own device model with
+    the per-shard :meth:`~repro.core.config.NDSearchConfig.shard`
+    geometry).  Partitioned mode k-means-splits the corpus and builds
+    one index per sub-corpus.
+    """
+    if mode not in SHARD_MODES:
+        raise ValueError(f"unknown shard mode {mode!r}")
+    params = hnsw_params or HNSWParams(M=8, ef_construction=48)
+    try:
+        shard_config = config.shard(num_shards)
+    except ValueError:
+        # Geometry does not divide evenly: deploy a pool of full-size
+        # devices instead (scale-out rather than scale-split).
+        shard_config = config
+    kwargs = {"ef": ef, "dataset": dataset}
+    if metric is not None:
+        metric_kwargs = {"metric": metric}
+    else:
+        metric_kwargs = {}
+
+    if mode == REPLICATED:
+        index = HNSWIndex(vectors, params, **metric_kwargs)
+        # The platform models are stateless across run_batch calls
+        # (SearSSD resets its fault stream per batch), so the replicas
+        # share one backend object: identical results and timing, one
+        # graph reorder/placement instead of N.
+        backend = make_backend(platform, index, vectors, shard_config, **kwargs)
+        return ShardRouter(backends=[backend] * num_shards, mode=REPLICATED)
+
+    if num_shards > vectors.shape[0]:
+        raise ValueError("more shards than corpus vectors")
+    if num_shards == 1:
+        assignment = np.zeros(vectors.shape[0], dtype=np.int64)
+    else:
+        _, assignment = kmeans(vectors, num_shards, seed=seed)
+    backends = []
+    global_ids = []
+    for shard in range(num_shards):
+        members = np.flatnonzero(assignment == shard).astype(np.int64)
+        if members.size == 0:
+            raise ValueError(
+                f"k-means left shard {shard} empty; use fewer shards"
+            )
+        sub = np.ascontiguousarray(vectors[members])
+        index = HNSWIndex(sub, params, **metric_kwargs)
+        backends.append(make_backend(platform, index, sub, shard_config, **kwargs))
+        global_ids.append(members)
+    return ShardRouter(backends=backends, mode=PARTITIONED, global_ids=global_ids)

@@ -1,5 +1,6 @@
-"""Workload construction: query batches and persistent trace sets."""
+"""Workload construction: query batches, popularity models and
+persistent trace sets."""
 
-from repro.workloads.traces import TraceSet
+from repro.workloads.traces import TraceSet, ZipfianSampler, zipf_weights
 
-__all__ = ["TraceSet"]
+__all__ = ["TraceSet", "ZipfianSampler", "zipf_weights"]

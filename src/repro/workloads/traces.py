@@ -12,12 +12,74 @@ experiment replays from cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.ann.trace import IterationRecord, SearchTrace
+
+
+def zipf_weights(pool_size: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalised Zipf popularity weights over ``pool_size`` ranks.
+
+    Rank ``r`` (1-based) gets probability proportional to ``r**-exponent``.
+    ``exponent=0`` degenerates to uniform; production query logs typically
+    sit around 0.7-1.2 (a small head of queries dominates traffic).
+    """
+    if pool_size < 1:
+        raise ValueError("pool_size must be >= 1")
+    if exponent < 0:
+        raise ValueError("exponent must be >= 0")
+    ranks = np.arange(1, pool_size + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+@dataclass
+class ZipfianSampler:
+    """Skewed query-popularity sampler over a finite query pool.
+
+    Models the popularity skew of real serving traffic: queries are
+    drawn from a pool of ``pool_size`` distinct queries with Zipfian
+    rank-frequency weights.  By default the popularity ranking is
+    shuffled (seeded) so that "hot" queries are scattered across the
+    pool rather than being the lowest indices — pool index and
+    popularity rank stay independent, as in real query logs.
+
+    Deterministic: the same ``(pool_size, exponent, seed)`` and call
+    sequence reproduce the same query IDs.
+    """
+
+    pool_size: int
+    exponent: float = 1.0
+    seed: int = 0
+    shuffle: bool = True
+
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _weights: np.ndarray = field(init=False, repr=False)
+    _ids: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._weights = zipf_weights(self.pool_size, self.exponent)
+        self._ids = np.arange(self.pool_size, dtype=np.int64)
+        if self.shuffle:
+            self._ids = self._rng.permutation(self._ids)
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` query IDs (int64 indices into the pool)."""
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        return self._rng.choice(self._ids, size=size, p=self._weights)
+
+    def expected_hit_rate(self, cache_entries: int) -> float:
+        """Popularity mass of the ``cache_entries`` hottest queries —
+        an upper bound on the steady-state hit rate of a cache that
+        holds that many entries."""
+        if cache_entries <= 0:
+            return 0.0
+        return float(self._weights[: min(cache_entries, self.pool_size)].sum())
 
 
 @dataclass

@@ -1,0 +1,51 @@
+"""Smoke test: the package's public API imports and resolves."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+
+def test_top_level_all_resolves():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_serving_all_resolves():
+    import repro.serving as serving
+
+    for name in serving.__all__:
+        assert getattr(serving, name, None) is not None, name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.ann",
+        "repro.baselines",
+        "repro.core",
+        "repro.data",
+        "repro.flash",
+        "repro.serving",
+        "repro.sim",
+        "repro.sorting",
+        "repro.workloads",
+    ],
+)
+def test_subpackage_all_resolves(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+
+def test_top_level_serving_exports_are_the_real_ones():
+    import repro
+    from repro.serving.frontend import ServingFrontend
+
+    assert repro.ServingFrontend is ServingFrontend
+    assert repro.ZipfianSampler is importlib.import_module(
+        "repro.workloads.traces"
+    ).ZipfianSampler

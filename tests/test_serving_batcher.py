@@ -1,0 +1,110 @@
+"""Dynamic batcher policy edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.batcher import BatchPolicy, DynamicBatcher
+from repro.serving.request import Request
+
+
+def req(i: int, t: float) -> Request:
+    return Request(request_id=i, query_id=i, arrival_s=t)
+
+
+class TestBatchPolicy:
+    def test_defaults_valid(self):
+        policy = BatchPolicy()
+        assert policy.max_batch_size >= 1
+        assert policy.mode == "batch"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch_size": 0},
+            {"max_wait_s": -1.0},
+            {"mode": "nonsense"},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchPolicy(**kwargs)
+
+
+class TestSizeTrigger:
+    def test_batch_closes_at_max_size(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch_size=3, max_wait_s=1.0))
+        assert batcher.offer(req(0, 0.0)) is None
+        assert batcher.offer(req(1, 0.1)) is None
+        batch = batcher.offer(req(2, 0.2))
+        assert batch is not None and len(batch) == 3
+        assert len(batcher) == 0
+        assert batcher.batches_closed == 1
+
+    def test_batch_size_one_degenerate(self):
+        """max_batch_size=1 must dispatch every request immediately."""
+        batcher = DynamicBatcher(BatchPolicy(max_batch_size=1, max_wait_s=1.0))
+        for i in range(5):
+            batch = batcher.offer(req(i, 0.1 * i))
+            assert batch is not None and len(batch) == 1
+            assert batch[0].request_id == i
+        assert batcher.batches_closed == 5
+        assert batcher.timeout_closes == 0
+
+
+class TestTimeoutTrigger:
+    def test_timeout_fires_on_partial_batch(self):
+        """The wait-time trigger must close a partially filled batch."""
+        batcher = DynamicBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.002))
+        batcher.offer(req(0, 1.000))
+        batcher.offer(req(1, 1.001))
+        assert batcher.deadline() == pytest.approx(1.002)
+        # Not due yet.
+        assert batcher.poll(1.0015) is None
+        batch = batcher.poll(1.002)
+        assert batch is not None and len(batch) == 2
+        assert batcher.timeout_closes == 1
+        assert len(batcher) == 0
+        assert batcher.deadline() is None
+
+    def test_deadline_tracks_oldest_pending(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.01))
+        batcher.offer(req(0, 0.0))
+        batcher.offer(req(1, 0.005))
+        assert batcher.deadline() == pytest.approx(0.01)
+        assert batcher.poll(0.01) is not None
+        # Queue drained — no deadline until the next offer.
+        assert batcher.deadline() is None
+
+    def test_empty_batcher_never_polls(self):
+        batcher = DynamicBatcher(BatchPolicy())
+        assert batcher.deadline() is None
+        assert batcher.poll(100.0) is None
+        assert batcher.flush() is None
+
+
+class TestModes:
+    def test_greedy_dispatches_immediately(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=32, max_wait_s=1.0, mode="greedy")
+        )
+        batch = batcher.offer(req(0, 0.0))
+        assert batch is not None and len(batch) == 1
+
+    def test_fixed_has_no_deadline_and_flushes(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=4, max_wait_s=0.001, mode="fixed")
+        )
+        for i in range(3):
+            assert batcher.offer(req(i, 0.0)) is None
+        assert batcher.deadline() is None
+        assert batcher.poll(1e9) is None  # timeout trigger disabled
+        batch = batcher.flush()
+        assert batch is not None and len(batch) == 3
+
+    def test_fixed_still_closes_on_size(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=2, max_wait_s=0.001, mode="fixed")
+        )
+        assert batcher.offer(req(0, 0.0)) is None
+        assert batcher.offer(req(1, 0.0)) is not None

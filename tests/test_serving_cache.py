@@ -1,0 +1,107 @@
+"""LRU cache semantics and hit/miss accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.cache import LRUCache, ResultCache
+
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")        # refresh a: b is now LRU
+        cache.put("c", 3)     # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)    # refresh by overwrite
+        cache.put("c", 3)     # evicts b, not a
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_capacity_zero_disables(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.misses == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=-1)
+
+
+class TestResultCache:
+    def test_roundtrip_and_isolation(self):
+        cache = ResultCache(capacity=4)
+        ids = np.array([3, 1, 2])
+        dists = np.array([0.1, 0.2, 0.3])
+        cache.store(7, 3, ids, dists)
+        ids[0] = 99  # caller mutates its copy after storing
+        got = cache.lookup(7, 3)
+        assert got is not None
+        np.testing.assert_array_equal(got[0], [3, 1, 2])
+
+    def test_k_is_part_of_the_key(self):
+        cache = ResultCache(capacity=4)
+        cache.store(7, 3, np.arange(3), np.zeros(3))
+        assert cache.lookup(7, 5) is None
+        assert cache.lookup(7, 3) is not None
+
+
+class TestFrontendCacheAccounting:
+    def test_skewed_stream_hits_and_books_balance(self, small_vectors):
+        from repro.core.config import NDSearchConfig
+        from repro.serving import (
+            BatchPolicy,
+            PoissonArrivals,
+            QueryStream,
+            ServingConfig,
+            ServingFrontend,
+            build_router,
+        )
+
+        pool = small_vectors[:16] + 0.01
+        router = build_router(
+            small_vectors, num_shards=1, config=NDSearchConfig.scaled()
+        )
+        stream = QueryStream(
+            PoissonArrivals(500.0),
+            pool_size=pool.shape[0],
+            n_requests=150,
+            k=4,
+            zipf_exponent=1.2,
+            seed=11,
+        )
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(policy=BatchPolicy(max_batch_size=8, max_wait_s=2e-3)),
+        )
+        report = frontend.run(stream.generate(), pool)
+        # 16 distinct queries, 150 requests: repeats must hit.
+        assert report.cache_hits > 0
+        assert report.completed + report.cache_hits + report.shed == report.offered
+        assert report.cache_hit_rate == report.cache_hits / report.served
+        # Frontend counters agree with the cache's own books.
+        assert frontend.cache.hits == report.cache_hits
+        # Repeats mostly hit; a query can miss more than once only in
+        # the window between its first arrival and that batch's close,
+        # so misses stay near the pool size.
+        assert report.completed <= 2 * pool.shape[0]
+        assert report.cache_hit_rate > 0.7

@@ -1,0 +1,207 @@
+"""End-to-end frontend runs: invariants, admission, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import NDSearchConfig
+from repro.serving import (
+    BatchPolicy,
+    PoissonArrivals,
+    QueryStream,
+    ServingConfig,
+    ServingFrontend,
+    build_router,
+)
+from repro.serving.request import COMPLETED, SHED
+from repro.serving.sharding import PARTITIONED
+
+
+@pytest.fixture(scope="module")
+def config():
+    return NDSearchConfig.scaled()
+
+
+@pytest.fixture(scope="module")
+def pool(small_vectors):
+    return np.ascontiguousarray(small_vectors[:24] + 0.02)
+
+
+def make_stream(pool, n=120, rate=400.0, seed=9, zipf=0.0):
+    return QueryStream(
+        PoissonArrivals(rate),
+        pool_size=pool.shape[0],
+        n_requests=n,
+        k=5,
+        zipf_exponent=zipf,
+        seed=seed,
+    ).generate()
+
+
+class TestEndToEnd:
+    def test_report_invariants(self, small_vectors, pool, config):
+        router = build_router(small_vectors, num_shards=2, config=config)
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(policy=BatchPolicy(max_batch_size=8, max_wait_s=2e-3)),
+        )
+        requests = make_stream(pool)
+        report = frontend.run(requests, pool)
+
+        assert report.offered == len(requests)
+        assert report.served + report.shed == report.offered
+        assert report.shed == 0
+        assert report.qps > 0
+        assert (
+            report.latency_p50_s
+            <= report.latency_p95_s
+            <= report.latency_p99_s
+        )
+        assert 0.0 < report.mean_batch_size <= 8.0
+        assert len(report.shard_utilization) == 2
+        assert report.energy_j > 0
+        for request in requests:
+            if request.outcome == COMPLETED:
+                assert request.completion_s >= request.arrival_s
+                assert request.start_s >= request.batched_s >= request.arrival_s
+                assert request.result_ids is not None
+                assert request.result_ids.shape == (5,)
+
+    def test_deterministic_runs(self, small_vectors, pool, config):
+        def run():
+            router = build_router(small_vectors, num_shards=2, config=config)
+            frontend = ServingFrontend(
+                router,
+                ServingConfig(policy=BatchPolicy(max_batch_size=8, max_wait_s=2e-3)),
+            )
+            return frontend.run(make_stream(pool), pool)
+
+        a, b = run(), run()
+        assert a.qps == b.qps
+        assert a.latency_p99_s == b.latency_p99_s
+        assert a.cache_hits == b.cache_hits
+        assert a.shard_utilization == b.shard_utilization
+
+    def test_partitioned_mode_end_to_end(self, small_vectors, pool, config):
+        router = build_router(
+            small_vectors, num_shards=2, config=config, mode=PARTITIONED, seed=4
+        )
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(policy=BatchPolicy(max_batch_size=8, max_wait_s=2e-3)),
+        )
+        report = frontend.run(make_stream(pool, n=60), pool)
+        assert report.served == 60
+        # Broadcast: both shards serve every batch.
+        assert frontend.metrics.shard_batches[0] == frontend.metrics.shard_batches[1]
+        assert all(u > 0 for u in report.shard_utilization)
+
+    def test_greedy_policy_batch_of_one(self, small_vectors, pool, config):
+        router = build_router(small_vectors, num_shards=1, config=config)
+        frontend = ServingFrontend(
+            router, ServingConfig(policy=BatchPolicy(mode="greedy"), cache_capacity=0)
+        )
+        report = frontend.run(make_stream(pool, n=40), pool)
+        assert report.mean_batch_size == 1.0
+        assert report.completed == 40
+        assert report.cache_hits == 0
+
+
+class TestAdmission:
+    def test_overload_sheds_and_books_balance(self, small_vectors, pool, config):
+        router = build_router(small_vectors, num_shards=1, config=config)
+        # Fixed batches of 64 never fill from 80 requests, so the queue
+        # grows until admission (capacity 10) starts shedding.
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(
+                policy=BatchPolicy(max_batch_size=64, max_wait_s=0.0, mode="fixed"),
+                cache_capacity=0,
+                admission_capacity=10,
+            ),
+        )
+        requests = make_stream(pool, n=80, rate=10000.0)
+        report = frontend.run(requests, pool)
+        assert report.shed > 0
+        assert report.served + report.shed == 80
+        assert report.shed_rate == pytest.approx(report.shed / 80)
+        shed_requests = [r for r in requests if r.outcome == SHED]
+        assert len(shed_requests) == report.shed
+        assert all(r.completion_s is None for r in shed_requests)
+
+    def test_unbounded_never_sheds(self, small_vectors, pool, config):
+        router = build_router(small_vectors, num_shards=1, config=config)
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(policy=BatchPolicy(max_batch_size=4, max_wait_s=1e-3)),
+        )
+        report = frontend.run(make_stream(pool, n=60, rate=50000.0), pool)
+        assert report.shed == 0
+        assert report.served == 60
+
+
+@pytest.mark.slow
+class TestSoak:
+    """Long-stream soak (excluded from the default tier-1 run)."""
+
+    def test_long_bursty_stream_stays_consistent(self, small_vectors, pool, config):
+        from repro.serving import MMPPArrivals
+
+        router = build_router(small_vectors, num_shards=2, config=config)
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(
+                policy=BatchPolicy(max_batch_size=16, max_wait_s=2e-3),
+                cache_capacity=64,
+                admission_capacity=512,
+            ),
+        )
+        stream = QueryStream(
+            MMPPArrivals(5000.0),
+            pool_size=pool.shape[0],
+            n_requests=3000,
+            k=5,
+            zipf_exponent=1.0,
+            seed=23,
+        ).generate()
+        report = frontend.run(stream, pool)
+        assert report.served + report.shed == 3000
+        assert report.cache_hits > 0
+        assert report.latency_p50_s <= report.latency_p99_s
+        assert report.qps > 0
+
+
+class TestMixedK:
+    def test_mixed_k_requests_in_one_batch(self, small_vectors, pool, config):
+        """Each request gets exactly its own k results and cache key."""
+        router = build_router(small_vectors, num_shards=1, config=config)
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(policy=BatchPolicy(max_batch_size=4, max_wait_s=1e-3)),
+        )
+        requests = make_stream(pool, n=12)
+        for i, request in enumerate(requests):
+            request.k = 3 if i % 2 else 7
+        frontend.run(requests, pool)
+        for i, request in enumerate(requests):
+            want = 3 if i % 2 else 7
+            if request.outcome == COMPLETED:
+                assert request.result_ids.shape == (want,)
+                assert frontend.cache.lookup(request.query_id, want) is not None
+            elif request.outcome == "cache_hit":
+                assert request.result_ids.shape == (want,)
+
+    def test_cache_hit_result_is_isolated(self, small_vectors, pool, config):
+        """Mutating a returned result must not corrupt the cache."""
+        router = build_router(small_vectors, num_shards=1, config=config)
+        frontend = ServingFrontend(
+            router, ServingConfig(policy=BatchPolicy(max_batch_size=1))
+        )
+        requests = make_stream(pool, n=2, zipf=0.0)
+        requests[1].query_id = requests[0].query_id  # force a repeat
+        frontend.run(requests, pool)
+        assert requests[1].outcome == "cache_hit"
+        requests[1].result_ids[:] = -99
+        fresh = frontend.cache.lookup(requests[0].query_id, 5)
+        assert fresh is not None and (fresh[0] != -99).all()

@@ -1,0 +1,153 @@
+"""Shard routing: top-k merge correctness and device-pool construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import BruteForceIndex, merge_topk
+from repro.core.config import NDSearchConfig
+from repro.serving.sharding import PARTITIONED, REPLICATED, build_router
+
+
+class TestMergeTopK:
+    def test_merge_matches_unsharded_ground_truth(self, small_vectors, small_queries):
+        """Per-shard exact top-k merged == global exact top-k."""
+        k = 8
+        n = small_vectors.shape[0]
+        bounds = [0, n // 4, n // 2, 3 * n // 4, n]
+        ids_per_shard, dists_per_shard = [], []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            local_ids, dists = BruteForceIndex(small_vectors[lo:hi]).search_batch(
+                small_queries, k
+            )
+            ids_per_shard.append(local_ids + lo)
+            dists_per_shard.append(dists)
+        merged_ids, merged_dists = merge_topk(ids_per_shard, dists_per_shard, k)
+        exact_ids, exact_dists = BruteForceIndex(small_vectors).search_batch(
+            small_queries, k
+        )
+        np.testing.assert_array_equal(merged_ids, exact_ids)
+        np.testing.assert_allclose(merged_dists, exact_dists)
+
+    def test_padding_ignored(self):
+        ids = [np.array([[0, -1]]), np.array([[3, 2]])]
+        dists = [np.array([[1.0, np.inf]]), np.array([[0.5, 2.0]])]
+        merged_ids, merged_dists = merge_topk(ids, dists, k=3)
+        np.testing.assert_array_equal(merged_ids, [[3, 0, 2]])
+        np.testing.assert_allclose(merged_dists, [[0.5, 1.0, 2.0]])
+
+    def test_short_of_k_pads_output(self):
+        merged_ids, merged_dists = merge_topk(
+            [np.array([[4]])], [np.array([[1.5]])], k=3
+        )
+        np.testing.assert_array_equal(merged_ids, [[4, -1, -1]])
+        assert merged_dists[0, 0] == 1.5
+        assert np.isinf(merged_dists[0, 1:]).all()
+
+    def test_duplicates_deduplicated(self):
+        """Replicated shards return the same IDs; merge keeps one copy."""
+        ids = [np.array([[7, 3]]), np.array([[7, 3]])]
+        dists = [np.array([[0.1, 0.2]]), np.array([[0.1, 0.2]])]
+        merged_ids, _ = merge_topk(ids, dists, k=4)
+        np.testing.assert_array_equal(merged_ids, [[7, 3, -1, -1]])
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            merge_topk([], [], k=1)
+        with pytest.raises(ValueError):
+            merge_topk([np.zeros((1, 2))], [np.zeros((1, 2))], k=0)
+
+
+class TestConfigShard:
+    def test_shard_divides_channels(self):
+        config = NDSearchConfig.scaled()
+        per_shard = config.shard(4)
+        assert per_shard.geometry.channels == config.geometry.channels // 4
+        assert per_shard.geometry.total_luns * 4 == config.geometry.total_luns
+        # Per-LUN parameters are untouched.
+        assert per_shard.geometry.page_size == config.geometry.page_size
+        assert per_shard.max_queries_per_lun == config.max_queries_per_lun
+
+    def test_shard_one_is_identity(self):
+        config = NDSearchConfig.scaled()
+        assert config.shard(1) is config
+
+    def test_shard_falls_back_to_chips(self):
+        config = NDSearchConfig.scaled()  # 16 channels x 2 chips = 32 chips
+        per_shard = config.shard(32)
+        g = per_shard.geometry
+        assert (g.channels, g.chips_per_channel) == (1, 1)
+        assert g.total_luns * 32 == config.geometry.total_luns
+
+    def test_indivisible_raises(self):
+        config = NDSearchConfig.scaled()
+        with pytest.raises(ValueError):
+            config.shard(7)
+
+
+class TestRouters:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return NDSearchConfig.scaled()
+
+    def test_replicated_matches_unsharded_exactly(
+        self, small_vectors, small_queries, config
+    ):
+        """Routing must never change results: replicated == unsharded."""
+        k = 6
+        router = build_router(
+            small_vectors, num_shards=2, config=config, mode=REPLICATED
+        )
+        merged_ids, merged_dists, results = router.search_all(small_queries, k)
+        solo = build_router(small_vectors, num_shards=1, config=config)
+        solo_ids, solo_dists, _ = solo.search_all(small_queries, k)
+        np.testing.assert_array_equal(merged_ids, solo_ids)
+        np.testing.assert_allclose(merged_dists, solo_dists)
+        assert len(results) == 2
+
+    def test_partitioned_covers_corpus_disjointly(
+        self, small_vectors, config
+    ):
+        router = build_router(
+            small_vectors, num_shards=3, config=config, mode=PARTITIONED, seed=3
+        )
+        all_ids = np.concatenate(router.global_ids)
+        assert all_ids.size == small_vectors.shape[0]
+        assert np.unique(all_ids).size == small_vectors.shape[0]
+
+    def test_partitioned_recall_close_to_unsharded(
+        self, small_vectors, small_queries, config
+    ):
+        from repro.ann import recall_at_k
+
+        k = 6
+        gt, _ = BruteForceIndex(small_vectors).search_batch(small_queries, k)
+        router = build_router(
+            small_vectors, num_shards=3, config=config, mode=PARTITIONED, seed=3
+        )
+        ids, dists, results = router.search_all(small_queries, k)
+        assert len(results) == 3
+        # Global IDs, valid range, sorted by distance per row.
+        assert ids.min() >= 0 and ids.max() < small_vectors.shape[0]
+        assert np.isfinite(dists).all()
+        assert (np.diff(dists, axis=1) >= 0).all()
+        # Per-shard searches are exact within each shard at this scale,
+        # so partitioned recall should be at least near the unsharded
+        # graph's recall.
+        assert recall_at_k(ids, gt, k) >= 0.8
+
+
+class TestShardChipExactness:
+    def test_no_flash_silently_dropped(self):
+        """Every division path conserves the total chip count exactly."""
+        from dataclasses import replace
+
+        base = NDSearchConfig.scaled()
+        config = replace(
+            base, geometry=replace(base.geometry, channels=6, chips_per_channel=4)
+        )
+        total = 6 * 4
+        for shards in (2, 3, 4, 6, 8, 12, 24):
+            g = config.shard(shards).geometry
+            assert g.channels * g.chips_per_channel * shards == total, shards

@@ -1,0 +1,99 @@
+"""Arrival processes: determinism, rates, burstiness, trace replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.arrivals import (
+    MMPPArrivals,
+    PoissonArrivals,
+    QueryStream,
+    TraceReplayArrivals,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_stream(self):
+        def make():
+            return QueryStream(
+                PoissonArrivals(300.0),
+                pool_size=64,
+                n_requests=200,
+                zipf_exponent=1.0,
+                seed=42,
+            ).generate()
+
+        a, b = make(), make()
+        assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+        assert [r.query_id for r in a] == [r.query_id for r in b]
+
+    def test_different_seed_differs(self):
+        def make(seed):
+            return QueryStream(
+                PoissonArrivals(300.0), pool_size=64, n_requests=50, seed=seed
+            ).generate()
+
+        assert [r.arrival_s for r in make(1)] != [r.arrival_s for r in make(2)]
+
+    def test_arrivals_sorted_and_ids_in_pool(self):
+        stream = QueryStream(
+            MMPPArrivals(500.0), pool_size=32, n_requests=300, seed=5
+        )
+        requests = stream.generate()
+        times = [r.arrival_s for r in requests]
+        assert times == sorted(times)
+        assert all(0 <= r.query_id < 32 for r in requests)
+        assert [r.request_id for r in requests] == list(range(300))
+
+
+class TestRates:
+    def test_poisson_mean_rate(self):
+        rng = np.random.default_rng(0)
+        gaps = PoissonArrivals(1000.0).interarrival_times(20000, rng)
+        assert 1.0 / gaps.mean() == pytest.approx(1000.0, rel=0.05)
+
+    def test_mmpp_long_run_rate_matches(self):
+        rng = np.random.default_rng(0)
+        gaps = MMPPArrivals(1000.0, burstiness=0.8).interarrival_times(20000, rng)
+        assert 1.0 / gaps.mean() == pytest.approx(1000.0, rel=0.15)
+
+    def test_mmpp_is_burstier_than_poisson(self):
+        """Coefficient of variation of MMPP gaps must exceed Poisson's ~1."""
+        rng = np.random.default_rng(3)
+        poisson = PoissonArrivals(1000.0).interarrival_times(20000, rng)
+        rng = np.random.default_rng(3)
+        mmpp = MMPPArrivals(1000.0, burstiness=0.9).interarrival_times(20000, rng)
+        cv_poisson = poisson.std() / poisson.mean()
+        cv_mmpp = mmpp.std() / mmpp.mean()
+        assert cv_mmpp > cv_poisson * 1.1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(100.0, burstiness=1.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(100.0, mean_dwell_s=0.0)
+
+
+class TestTraceReplay:
+    def test_replays_and_cycles(self):
+        rng = np.random.default_rng(0)
+        replay = TraceReplayArrivals(gaps_s=(0.1, 0.2, 0.3))
+        gaps = replay.interarrival_times(7, rng)
+        np.testing.assert_allclose(gaps, [0.1, 0.2, 0.3, 0.1, 0.2, 0.3, 0.1])
+
+    def test_rescales_to_target_rate(self):
+        rng = np.random.default_rng(0)
+        replay = TraceReplayArrivals(gaps_s=(0.1, 0.3), rate_qps=100.0)
+        gaps = replay.interarrival_times(1000, rng)
+        assert 1.0 / gaps.mean() == pytest.approx(100.0, rel=1e-6)
+
+    def test_from_times(self):
+        replay = TraceReplayArrivals.from_times(np.array([0.5, 0.2, 0.9]))
+        np.testing.assert_allclose(replay.gaps_s, [0.2, 0.3, 0.4])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplayArrivals(gaps_s=())

@@ -72,3 +72,67 @@ class TestStats:
         ts = _trace_set()
         assert ts.mean_trace_length() > 0
         assert ts.mean_iterations() >= 1.0
+
+
+class TestZipfianSampler:
+    def test_weights_normalised_and_descending(self):
+        from repro.workloads import zipf_weights
+
+        w = zipf_weights(100, exponent=1.0)
+        assert w.sum() == pytest.approx(1.0)
+        assert (np.diff(w) <= 0).all()
+
+    def test_zero_exponent_is_uniform(self):
+        from repro.workloads import zipf_weights
+
+        w = zipf_weights(10, exponent=0.0)
+        np.testing.assert_allclose(w, 0.1)
+
+    def test_deterministic_given_seed(self):
+        from repro.workloads import ZipfianSampler
+
+        a = ZipfianSampler(pool_size=50, exponent=1.0, seed=3).sample(200)
+        b = ZipfianSampler(pool_size=50, exponent=1.0, seed=3).sample(200)
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 50
+
+    def test_higher_exponent_concentrates_traffic(self):
+        from repro.workloads import ZipfianSampler
+
+        def top1_share(exponent):
+            ids = ZipfianSampler(
+                pool_size=64, exponent=exponent, seed=7
+            ).sample(5000)
+            _, counts = np.unique(ids, return_counts=True)
+            return counts.max() / ids.size
+
+        assert top1_share(1.5) > top1_share(0.5)
+
+    def test_shuffle_decouples_rank_from_index(self):
+        from repro.workloads import ZipfianSampler
+
+        ids = ZipfianSampler(pool_size=1000, exponent=2.0, seed=1).sample(2000)
+        _, counts = np.unique(ids, return_counts=True)
+        hottest = np.bincount(ids, minlength=1000).argmax()
+        assert counts.max() > 100  # skew is real
+        assert hottest != 0       # but the hottest query is not index 0
+
+    def test_expected_hit_rate_monotone(self):
+        from repro.workloads import ZipfianSampler
+
+        s = ZipfianSampler(pool_size=100, exponent=1.0, seed=0)
+        rates = [s.expected_hit_rate(n) for n in (0, 1, 10, 100, 200)]
+        assert rates[0] == 0.0
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+        assert rates[3] == pytest.approx(1.0)
+        assert rates[4] == pytest.approx(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        from repro.workloads import ZipfianSampler, zipf_weights
+
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, exponent=-0.1)
+        with pytest.raises(ValueError):
+            ZipfianSampler(pool_size=10).sample(-1)
