@@ -13,6 +13,7 @@ tables inline).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -33,5 +34,20 @@ def record_table(results_dir):
     def _record(name: str, table: str) -> None:
         print("\n" + table)
         (results_dir / f"{name}.txt").write_text(table + "\n")
+
+    return _record
+
+
+@pytest.fixture()
+def record_json(results_dir):
+    """Persist machine-readable results under results/<name>.json.
+
+    The human-readable ``.txt`` tables are for eyeballs; these JSON
+    files are what the perf-trajectory tooling diffs across commits.
+    """
+
+    def _record(name: str, payload) -> None:
+        path = results_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     return _record

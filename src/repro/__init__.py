@@ -12,6 +12,10 @@ package layout mirrors the system:
   scheduling, the SearSSD architecture and the NDSearch system.
 * :mod:`repro.sorting` — the FPGA bitonic sorting kernel.
 * :mod:`repro.baselines` — CPU / CPU-T / GPU / SmartSSD / DeepStore.
+* :mod:`repro.platform` — the unified platform layer: a named registry
+  (``platform.get("ndsearch").simulate(traces, profile)``) behind which
+  every device model above serves the same interface and emits
+  phase-timeline results.
 * :mod:`repro.sim`, :mod:`repro.data`, :mod:`repro.workloads`,
   :mod:`repro.analysis`, :mod:`repro.experiments` — simulation core,
   datasets, trace sets, analysis and the per-figure experiment drivers.
@@ -31,6 +35,7 @@ Typical use::
 
 __version__ = "1.1.0"
 
+from repro import platform
 from repro.core import NDSearch, NDSearchConfig, SchedulingFlags
 from repro.serving import (
     BatchPolicy,
@@ -55,5 +60,6 @@ __all__ = [
     "TraceSet",
     "ZipfianSampler",
     "build_router",
+    "platform",
     "__version__",
 ]

@@ -32,7 +32,7 @@ from repro.baselines.common import DatasetProfile, WorkloadStats, cache_hit_coun
 from repro.core.config import HostConfig
 from repro.flash.timing import FlashTiming
 from repro.sim.energy import EnergyModel
-from repro.sim.stats import Counters, SimResult
+from repro.sim.stats import Counters, SimResult, serial_timeline
 
 
 @dataclass
@@ -101,6 +101,19 @@ class CPUModel:
         busy["sort"] = t_sort
         total = t_io + t_mem + t_compute + t_sort
 
+        # Phase timeline: the I/O front-end and the host's memory/
+        # compute/sort back-end are distinct resources, so a pipelined
+        # deployment can overlap the next batch's SSD reads with this
+        # batch's in-core work.
+        timeline = serial_timeline(
+            [
+                ("ssd_io_read", "host_io", t_io),
+                ("host_memory", "host_core", t_mem),
+                ("compute", "host_core", t_compute),
+                ("sort", "host_core", t_sort),
+            ]
+        )
+
         result = SimResult(
             platform=self.platform,
             algorithm=algorithm,
@@ -109,6 +122,7 @@ class CPUModel:
             sim_time_s=total,
             counters=counters,
             component_busy_s=busy,
+            timeline=timeline,
         )
         EnergyModel.for_platform(self.platform).attach(result)
         return result

@@ -31,7 +31,7 @@ from repro.baselines.common import DatasetProfile
 from repro.core.config import NDSearchConfig
 from repro.core.placement import VertexPlacement
 from repro.sim.energy import EnergyModel
-from repro.sim.stats import Counters, SimResult
+from repro.sim.stats import Counters, PhaseSegment, SimResult
 
 
 @dataclass
@@ -113,6 +113,11 @@ class DeepStoreModel:
         counters["pcie_bytes"] += query_bytes
         busy["pcie_host"] += t_in
         makespan = t_in
+        timeline: list[PhaseSegment] = []
+        if t_in > 0:
+            timeline.append(
+                PhaseSegment("host_in", 0.0, t_in, resource="host_in")
+            )
         t_page = self._transfer_s()
 
         max_rounds = max(t.num_iterations for t in traces)
@@ -185,10 +190,25 @@ class DeepStoreModel:
                 busy["nand_read"] += t_sense
                 busy["compute"] += t_compute
                 round_time = max(round_time, group_time)
-            makespan += t_sched + round_time + t_gather
+            t_round = t_sched + round_time + t_gather
+            if t_round > 0:
+                timeline.append(
+                    PhaseSegment(
+                        "search_round", makespan, makespan + t_round,
+                        resource="engine",
+                    )
+                )
+            makespan += t_round
 
         out_bytes = batch * 10 * 8
-        makespan += timing.host_transfer_s(out_bytes)
+        t_out = timing.host_transfer_s(out_bytes)
+        if t_out > 0:
+            timeline.append(
+                PhaseSegment(
+                    "host_out", makespan, makespan + t_out, resource="host_out"
+                )
+            )
+        makespan += t_out
         counters["pcie_bytes"] += out_bytes
 
         result = SimResult(
@@ -199,6 +219,7 @@ class DeepStoreModel:
             sim_time_s=makespan,
             counters=counters,
             component_busy_s=busy,
+            timeline=timeline,
         )
         EnergyModel.for_platform(self.platform).attach(result)
         return result

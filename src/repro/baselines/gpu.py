@@ -23,7 +23,7 @@ from repro.baselines.common import DatasetProfile, WorkloadStats
 from repro.core.config import HostConfig
 from repro.flash.timing import FlashTiming
 from repro.sim.energy import EnergyModel
-from repro.sim.stats import Counters, SimResult
+from repro.sim.stats import Counters, SimResult, serial_timeline
 
 
 @dataclass
@@ -91,6 +91,19 @@ class GPUModel:
         busy["sort"] = t_sort
         total = t_io + t_vram + t_compute + t_launch + t_sort
 
+        # Phase timeline: shard streaming over PCIe is a separate
+        # resource from the on-device traversal, so consecutive batches
+        # can overlap I/O with kernels (the stock CUDA-stream pattern).
+        timeline = serial_timeline(
+            [
+                ("ssd_io_read", "pcie", t_io),
+                ("vram", "gpu", t_vram),
+                ("compute", "gpu", t_compute),
+                ("kernel_launch", "gpu", t_launch),
+                ("sort", "gpu", t_sort),
+            ]
+        )
+
         result = SimResult(
             platform=self.platform,
             algorithm=algorithm,
@@ -99,6 +112,7 @@ class GPUModel:
             sim_time_s=total,
             counters=counters,
             component_busy_s=busy,
+            timeline=timeline,
         )
         EnergyModel.for_platform(self.platform).attach(result)
         return result

@@ -25,7 +25,7 @@ import numpy as np
 from repro.baselines.common import DatasetProfile, WorkloadStats
 from repro.core.config import NDSearchConfig
 from repro.sim.energy import EnergyModel
-from repro.sim.stats import Counters, SimResult
+from repro.sim.stats import Counters, SimResult, serial_timeline
 
 NVME_SECTOR_BYTES = 512
 
@@ -95,7 +95,19 @@ class SmartSSDModel:
         busy["sort"] = t_sort
         # Link transfer overlaps NAND service; the longer path dominates,
         # compute/sort pipeline behind it.
-        total = max(t_link, t_nand) + t_compute + t_sort
+        t_read = max(t_link, t_nand)
+        total = t_read + t_compute + t_sort
+
+        # Phase timeline: the overlapped link+NAND read path is one
+        # "media" stage; the FPGA's distance/sort work drains behind it
+        # and can overlap the next batch's reads.
+        timeline = serial_timeline(
+            [
+                ("read", "media", t_read),
+                ("compute", "fpga", t_compute),
+                ("sort", "fpga", t_sort),
+            ]
+        )
 
         result = SimResult(
             platform=self.platform,
@@ -105,6 +117,7 @@ class SmartSSDModel:
             sim_time_s=total,
             counters=counters,
             component_busy_s=busy,
+            timeline=timeline,
         )
         EnergyModel.for_platform(self.platform).attach(result)
         return result

@@ -128,6 +128,15 @@ class NDSearch:
             cached_vertices=cached,
         )
 
+    @property
+    def placement(self):
+        """The physical vertex placement of the reordered graph.
+
+        Exposed for layout-sharing platform models (the paper builds
+        DS-c/DS-cp on the same static data layout as NDSearch).
+        """
+        return self._model.placement
+
     def _cached_vertices(self) -> np.ndarray | None:
         """Hot vertices cacheable in internal DRAM (DiskANN mode)."""
         hot = getattr(self.index, "hot_vertices", None)

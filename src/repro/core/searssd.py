@@ -36,7 +36,7 @@ from repro.core.vgenerator import Vgenerator
 from repro.flash.ecc import LDPCModel
 from repro.flash.geometry import PhysicalAddress
 from repro.flash.ssd import SSD
-from repro.sim.stats import Counters, SimResult
+from repro.sim.stats import Counters, PhaseSegment, SimResult
 from repro.sorting.fpga import FPGASorter
 
 
@@ -187,6 +187,7 @@ class SearSSDModel:
         capacity = self.config.max_batch_capacity
         counters = Counters()
         busy: dict[str, float] = {}
+        timeline: list[PhaseSegment] = []
         makespan = 0.0
         for start in range(0, batch, capacity):
             sub = traces[start : start + capacity]
@@ -195,7 +196,16 @@ class SearSSDModel:
                 if speculative_sets is not None
                 else None
             )
-            t, c, b = self._run_sub_batch(sub, spec)
+            t, c, b, segments = self._run_sub_batch(sub, spec)
+            # Sub-batch segments are relative to the sub-batch's own
+            # start; shift them onto the batch clock.
+            timeline.extend(
+                PhaseSegment(
+                    s.stage, s.start + makespan, s.end + makespan,
+                    resource=s.resource,
+                )
+                for s in segments
+            )
             makespan += t
             counters.update(c)
             for key, val in b.items():
@@ -208,6 +218,7 @@ class SearSSDModel:
             sim_time_s=makespan,
             counters=counters,
             component_busy_s=busy,
+            timeline=timeline,
         )
         return result
 
@@ -237,13 +248,26 @@ class SearSSDModel:
         }
         batch = len(traces)
         if batch == 0:
-            return 0.0, counters, busy
+            return 0.0, counters, busy, []
+
+        # Phase timeline of this sub-batch, relative to its own start.
+        # Host-in/out are distinct resources (full-duplex PCIe), so the
+        # serving layer can drain batch N's results while batch N+1's
+        # queries stream in.
+        segments: list[PhaseSegment] = []
+
+        def book(stage: str, resource: str, start: float, duration: float) -> None:
+            if duration > 0:
+                segments.append(
+                    PhaseSegment(stage, start, start + duration, resource=resource)
+                )
 
         # 1. Host sends the query batch over PCIe (Fig. 5 step 1).
         query_bytes = batch * (self.dim * 4 + 16)
         t_in = timing.host_transfer_s(query_bytes)
         counters["pcie_bytes"] += query_bytes
         busy["pcie_host"] += t_in
+        book("host_in", "host_in", 0.0, t_in)
         makespan = t_in
 
         max_rounds = max(t.num_iterations for t in traces)
@@ -296,6 +320,9 @@ class SearSSDModel:
                     counters, busy,
                 )
 
+            book("schedule", "engine", makespan, t_sched)
+            book("search", "engine", makespan + t_sched, t_search)
+            book("gather", "engine", makespan + t_sched + t_search, t_gather)
             makespan += t_sched + t_search + t_gather
 
         # Sorting stage: result lists to the FPGA, top-k back to host.
@@ -308,8 +335,10 @@ class SearSSDModel:
         t_out = timing.host_transfer_s(out_bytes)
         counters["pcie_bytes"] += out_bytes
         busy["pcie_host"] += t_out
+        book("sort", "sorter", makespan, t_sort)
+        book("host_out", "host_out", makespan + t_sort, t_out)
         makespan += t_sort + t_out
-        return makespan, counters, busy
+        return makespan, counters, busy, segments
 
     # ---- round decomposition -------------------------------------------------------
     def _collect_round(

@@ -28,8 +28,8 @@ from repro.ann import (
     TOGGParams,
     recall_at_k,
 )
+from repro import platform as platform_registry
 from repro.ann.graph import ProximityGraph
-from repro.baselines import CPUModel, DeepStoreModel, GPUModel, SmartSSDModel
 from repro.baselines.common import DatasetProfile
 from repro.core import NDSearch, NDSearchConfig, SchedulingFlags
 from repro.data import Dataset, load_dataset
@@ -318,44 +318,21 @@ def _run_platform_uncached(
         )
         hot = workload.hot_vertices[:count]
 
-    if platform in ("cpu", "cpu-t"):
-        model = CPUModel(
-            timing=config.timing,
-            host=config.host,
-            terabyte_dram=(platform == "cpu-t"),
-        )
-        return model.run_batch(traces, profile, algorithm, cached_vertices=hot)
-    if platform == "gpu":
-        model = GPUModel(timing=config.timing, host=config.host)
-        return model.run_batch(traces, profile, algorithm, cached_vertices=hot)
-    if platform == "smartssd":
-        model = SmartSSDModel(config=config)
-        return model.run_batch(traces, profile, algorithm, cached_vertices=hot)
-    if platform in ("ds-c", "ds-cp"):
-        system = workload.ndsearch(config, reorder_mode=reorder_mode)
-        remapped = [
-            _remap(trace, system.new_id) for trace in traces
-        ]
-        hot_remapped = system.new_id[hot] if hot is not None else None
-        model = DeepStoreModel(
-            config=config,
-            placement=system._model.placement,
-            level="chip" if platform == "ds-cp" else "channel",
-        )
-        return model.run_batch(
-            remapped, profile, algorithm, cached_vertices=hot_remapped
-        )
-    if platform == "ndsearch":
+    # The in-storage platforms reuse the workload's cached NDSearch
+    # system (reordering + placement are the expensive offline phase);
+    # the host baselines need no construction context.
+    system = None
+    if platform in ("ndsearch", "ds-c", "ds-cp"):
         system = workload.ndsearch(
-            config, reorder_mode=reorder_mode, hard_failure_prob=hard_failure_prob
+            config,
+            reorder_mode=reorder_mode,
+            hard_failure_prob=hard_failure_prob,
         )
-        return system.simulate_traces(
-            traces, dataset=profile.name, algorithm=algorithm
-        )
-    raise ValueError(f"unknown platform {platform!r}")
-
-
-def _remap(trace, new_id):
-    from repro.ann.trace import remap_trace
-
-    return remap_trace(trace, new_id)
+    model = platform_registry.get(platform, config, system=system)
+    return model.simulate(
+        traces,
+        profile,
+        algorithm=algorithm,
+        dataset=profile.name,
+        cached_vertices=hot,
+    )

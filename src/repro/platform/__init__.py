@@ -1,0 +1,39 @@
+"""repro.platform — the unified platform layer.
+
+One interface for every device model the paper compares::
+
+    from repro import platform
+
+    model = platform.get("ndsearch", config, index=index)
+    result = model.simulate(traces, profile)     # -> SimResult
+
+``result`` carries the makespan, event counters, energy *and* a phase
+timeline — ordered ``(stage, start, end)`` occupancy segments per
+pipeline resource — which is what lets the serving layer overlap
+consecutive batches on a device (pipelined shard queues) instead of
+treating every platform as a one-batch-at-a-time black box.
+
+Registered platforms: ``cpu``, ``cpu-t``, ``gpu``, ``smartssd``,
+``ds-c``, ``ds-cp`` (alias ``deepstore``) and ``ndsearch``.  New
+platforms are one :func:`register` call — see
+:mod:`repro.platform.registry`.
+"""
+
+from repro.platform.adapters import (
+    BaselinePlatform,
+    DeepStorePlatform,
+    NDSearchPlatform,
+)
+from repro.platform.base import PlatformModel
+from repro.platform.registry import ALIASES, available, get, register
+
+__all__ = [
+    "ALIASES",
+    "BaselinePlatform",
+    "DeepStorePlatform",
+    "NDSearchPlatform",
+    "PlatformModel",
+    "available",
+    "get",
+    "register",
+]

@@ -1,0 +1,46 @@
+"""The platform protocol: one `simulate` interface for every device model.
+
+Historically the repo grew three incompatible platform surfaces — the
+baselines' ``run_batch(traces, profile, ...)``, NDSearch's
+``simulate_traces(traces, ...)`` and the DeepStore path that needed a
+placement plus trace remapping threaded in by every caller.  The
+:class:`PlatformModel` protocol is the single contract all of them now
+satisfy: feed it recorded search traces and a dataset profile, get back
+a :class:`~repro.sim.stats.SimResult` whose phase timeline obeys the
+contract in :meth:`~repro.sim.stats.SimResult.validate_timeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.ann.trace import SearchTrace
+from repro.baselines.common import DatasetProfile
+from repro.sim.stats import SimResult
+
+
+@runtime_checkable
+class PlatformModel(Protocol):
+    """A trace-driven timing model of one search platform.
+
+    ``name`` is the registry/reporting label ("cpu", "ndsearch", ...).
+    ``simulate`` replays one batch of recorded traces and returns a
+    :class:`SimResult` with makespan, counters, energy and a phase
+    timeline.
+    """
+
+    name: str
+
+    def simulate(
+        self,
+        traces: list[SearchTrace],
+        profile: DatasetProfile | None = None,
+        *,
+        algorithm: str = "hnsw",
+        dataset: str | None = None,
+        cached_vertices: np.ndarray | None = None,
+    ) -> SimResult:
+        """Simulate one batch of traces on this platform."""
+        ...

@@ -1,0 +1,184 @@
+"""The named platform registry: ``get("ndsearch").simulate(...)``.
+
+Every platform the paper compares (Figs. 13, 19, 20) is constructible
+by name through one factory.  A platform that needs a built index or
+an already-constructed :class:`~repro.core.NDSearch` system (for its
+reordered layout) takes it via the uniform construction context —
+callers never hand-roll adapters again.
+
+Adding a platform is one :func:`register` call::
+
+    @register("myplatform")
+    def _build(config, *, index=None, system=None, **_):
+        return BaselinePlatform(MyModel(config))
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import NDSearchConfig
+from repro.platform.adapters import (
+    BaselinePlatform,
+    DeepStorePlatform,
+    NDSearchPlatform,
+)
+from repro.platform.base import PlatformModel
+
+#: Factory signature: ``factory(config, *, index, system, reorder_mode,
+#: hard_failure_prob) -> PlatformModel``.
+PlatformFactory = Callable[..., PlatformModel]
+
+_REGISTRY: dict[str, PlatformFactory] = {}
+
+#: Convenience spellings resolving to canonical registry names.
+ALIASES = {"deepstore": "ds-cp", "cpu-tb": "cpu-t"}
+
+
+def register(name: str, factory: PlatformFactory | None = None):
+    """Register a platform factory under ``name`` (also a decorator)."""
+    if factory is not None:
+        _REGISTRY[name] = factory
+        return factory
+
+    def decorator(fn: PlatformFactory) -> PlatformFactory:
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def available() -> tuple[str, ...]:
+    """Canonical platform names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get(
+    name: str,
+    config: NDSearchConfig | None = None,
+    *,
+    index: object | None = None,
+    system: object | None = None,
+    reorder_mode: str = "ours",
+    hard_failure_prob: float = 0.01,
+) -> PlatformModel:
+    """Construct the named platform model.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available` (or an alias in :data:`ALIASES`).
+    config:
+        Device/host configuration; defaults to
+        :meth:`NDSearchConfig.scaled`.
+    index / system:
+        Construction context for the in-storage platforms: ``system``
+        is a pre-built :class:`~repro.core.NDSearch` (reused for its
+        reordering/placement — the expensive offline phase); ``index``
+        is any built ANNS index from which one is constructed on
+        demand.  The host baselines need neither.
+    reorder_mode / hard_failure_prob:
+        Forwarded to NDSearch construction when ``system`` is absent.
+    """
+    key = ALIASES.get(name, name)
+    factory = _REGISTRY.get(key)
+    if factory is None:
+        raise ValueError(
+            f"unknown platform {name!r}; available: {', '.join(available())}"
+        )
+    config = config or NDSearchConfig.scaled()
+    return factory(
+        config,
+        index=index,
+        system=system,
+        reorder_mode=reorder_mode,
+        hard_failure_prob=hard_failure_prob,
+    )
+
+
+# =============================================================================
+# Built-in platforms
+# =============================================================================
+def _require_system(
+    name: str, config, index, system, reorder_mode, hard_failure_prob
+):
+    """Resolve the NDSearch companion system for layout-sharing platforms."""
+    if system is not None:
+        return system
+    if index is None:
+        raise ValueError(
+            f"platform {name!r} needs a built index (index=...) or an "
+            "NDSearch system (system=...) for its physical layout"
+        )
+    from repro.core.ndsearch import NDSearch
+
+    return NDSearch(
+        index=index,
+        config=config,
+        reorder_mode=reorder_mode,
+        hard_failure_prob=hard_failure_prob,
+    )
+
+
+@register("cpu")
+def _cpu(config, *, index=None, system=None, **_):
+    from repro.baselines.cpu import CPUModel
+
+    return BaselinePlatform(CPUModel(timing=config.timing, host=config.host))
+
+
+@register("cpu-t")
+def _cpu_t(config, *, index=None, system=None, **_):
+    from repro.baselines.cpu import CPUModel
+
+    return BaselinePlatform(
+        CPUModel(timing=config.timing, host=config.host, terabyte_dram=True)
+    )
+
+
+@register("gpu")
+def _gpu(config, *, index=None, system=None, **_):
+    from repro.baselines.gpu import GPUModel
+
+    return BaselinePlatform(GPUModel(timing=config.timing, host=config.host))
+
+
+@register("smartssd")
+def _smartssd(config, *, index=None, system=None, **_):
+    from repro.baselines.smartssd import SmartSSDModel
+
+    return BaselinePlatform(SmartSSDModel(config=config))
+
+
+@register("ndsearch")
+def _ndsearch(
+    config, *, index=None, system=None, reorder_mode="ours",
+    hard_failure_prob=0.01,
+):
+    system = _require_system(
+        "ndsearch", config, index, system, reorder_mode, hard_failure_prob
+    )
+    return NDSearchPlatform(system=system)
+
+
+def _deepstore_factory(level: str) -> PlatformFactory:
+    def build(
+        config, *, index=None, system=None, reorder_mode="ours",
+        hard_failure_prob=0.01,
+    ):
+        from repro.baselines.deepstore import DeepStoreModel
+
+        name = "ds-cp" if level == "chip" else "ds-c"
+        companion = _require_system(
+            name, config, index, system, reorder_mode, hard_failure_prob
+        )
+        model = DeepStoreModel(
+            config=config, placement=companion.placement, level=level
+        )
+        return DeepStorePlatform(system=companion, model=model)
+
+    return build
+
+
+register("ds-cp", _deepstore_factory("chip"))
+register("ds-c", _deepstore_factory("channel"))

@@ -17,10 +17,13 @@ platform models:
 * :mod:`repro.serving.admission` — bounded queues and load shedding.
 * :mod:`repro.serving.metrics` — QPS, p50/p95/p99 latency, queue
   depth, hit rate, per-shard utilization, energy.
-* :mod:`repro.serving.backends` — NDSearch and CPU/GPU/SmartSSD
-  baselines behind one interface, so serving comparisons are
-  apples-to-apples.
-* :mod:`repro.serving.frontend` — the event loop tying it together.
+* :mod:`repro.serving.backends` — any platform registered in
+  :mod:`repro.platform` (NDSearch, CPU/CPU-T/GPU/SmartSSD, DS-c/DS-cp)
+  behind one interface, so serving comparisons are apples-to-apples.
+* :mod:`repro.serving.device` — pipelined shard devices: consecutive
+  batches overlap on a device's phase-timeline stages.
+* :mod:`repro.serving.frontend` — the event loop tying it together,
+  including coalescing of identical in-flight queries.
 
 Typical use::
 
@@ -52,13 +55,13 @@ from repro.serving.arrivals import (
     TraceReplayArrivals,
 )
 from repro.serving.backends import (
-    BaselineBackend,
-    NDSearchBackend,
+    PlatformBackend,
     SearchBackend,
     make_backend,
 )
 from repro.serving.batcher import BatchPolicy, DynamicBatcher
 from repro.serving.cache import LRUCache, ResultCache
+from repro.serving.device import ShardDevice
 from repro.serving.frontend import ServingConfig, ServingFrontend
 from repro.serving.metrics import MetricsCollector, ServingReport
 from repro.serving.request import Request
@@ -66,13 +69,12 @@ from repro.serving.sharding import ShardRouter, build_router
 
 __all__ = [
     "AdmissionController",
-    "BaselineBackend",
     "BatchPolicy",
     "DynamicBatcher",
     "LRUCache",
     "MMPPArrivals",
     "MetricsCollector",
-    "NDSearchBackend",
+    "PlatformBackend",
     "PoissonArrivals",
     "QueryStream",
     "Request",
@@ -81,6 +83,7 @@ __all__ = [
     "ServingConfig",
     "ServingFrontend",
     "ServingReport",
+    "ShardDevice",
     "ShardRouter",
     "TraceReplayArrivals",
     "build_router",

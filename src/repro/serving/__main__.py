@@ -19,6 +19,7 @@ import sys
 
 import numpy as np
 
+from repro import platform as platform_registry
 from repro.ann import BruteForceIndex, HNSWIndex, HNSWParams, recall_at_k
 from repro.core import NDSearch, NDSearchConfig
 from repro.data.synthetic import clustered_gaussian, split_queries
@@ -48,8 +49,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--mode", choices=SHARD_MODES, default=REPLICATED,
                         help="shard layout (default replicated)")
     parser.add_argument("--backend", default="ndsearch",
-                        choices=("ndsearch", "cpu", "cpu-t", "gpu", "smartssd"),
+                        choices=platform_registry.available(),
                         help="platform behind the frontend (default ndsearch)")
+    parser.add_argument("--blocking-devices", action="store_true",
+                        help="disable pipelined shard stages "
+                             "(one batch at a time per device)")
+    parser.add_argument("--no-coalesce", action="store_true",
+                        help="disable coalescing of identical "
+                             "in-flight queries")
     parser.add_argument("--arrivals", choices=("poisson", "mmpp"),
                         default="poisson", help="arrival process")
     parser.add_argument("--zipf", type=float, default=1.0,
@@ -111,6 +118,8 @@ def main(argv: list[str] | None = None) -> int:
             policy=policy,
             cache_capacity=args.cache,
             admission_capacity=args.admission,
+            pipelined=not args.blocking_devices,
+            coalesce=not args.no_coalesce,
         ),
     )
     print(

@@ -2,18 +2,21 @@
 
 The frontend is backend-agnostic: anything implementing
 ``search_batch(queries, k) -> (ids, dists, SimResult)`` can sit behind
-the shard router.  Two adapters cover the repo's platforms:
+the shard router.  Since the platform layer unified every device model
+behind :class:`repro.platform.PlatformModel`, a single adapter covers
+them all:
 
-* :class:`NDSearchBackend` — wraps :class:`repro.core.NDSearch`
-  (functional search + SearSSD timing simulation), the paper's system.
-* :class:`BaselineBackend` — runs the functional search on a host
-  index and replays the recorded traces on one of the baseline timing
-  models (CPU / CPU-T / GPU / SmartSSD), so the *same* frontend, batch
-  policy, cache and arrival stream produce apples-to-apples serving
-  comparisons across platforms (the online analogue of Fig. 13).
+* :class:`PlatformBackend` — a functional index (producing results and
+  access traces) paired with any registered platform model (pricing the
+  traces).  The *same* frontend, batch policy, cache and arrival stream
+  therefore produce apples-to-apples serving comparisons across
+  NDSearch, the host baselines and the DeepStore variants (the online
+  analogue of Fig. 13).
 
 Service time is the model's simulated batch makespan — the serving
 layer advances simulated time by it, it never waits on the wall clock.
+The returned :class:`~repro.sim.stats.SimResult` also carries the phase
+timeline the pipelined shard devices replay.
 """
 
 from __future__ import annotations
@@ -23,14 +26,11 @@ from typing import Protocol
 
 import numpy as np
 
-from repro.baselines import CPUModel, GPUModel, SmartSSDModel
+from repro import platform as platform_registry
 from repro.baselines.common import DatasetProfile
 from repro.core.config import NDSearchConfig
-from repro.core.ndsearch import NDSearch
+from repro.platform.base import PlatformModel
 from repro.sim.stats import SimResult
-
-#: Baseline platforms the serving frontend can drive.
-BASELINE_PLATFORMS = ("cpu", "cpu-t", "gpu", "smartssd")
 
 
 class SearchBackend(Protocol):
@@ -46,54 +46,42 @@ class SearchBackend(Protocol):
 
 
 @dataclass
-class NDSearchBackend:
-    """An NDSearch system as a serving backend."""
-
-    system: NDSearch
-    ef: int | None = None
-    dataset: str = "synthetic"
-    name: str = "ndsearch"
-
-    def search_batch(
-        self, queries: np.ndarray, k: int
-    ) -> tuple[np.ndarray, np.ndarray, SimResult]:
-        return self.system.search_batch(
-            queries, k, ef=self.ef, dataset=self.dataset
-        )
-
-
-@dataclass
-class BaselineBackend:
-    """A host index + baseline timing model as a serving backend.
+class PlatformBackend:
+    """A host index + platform timing model as a serving backend.
 
     The index produces results and access traces; the platform model
     prices the traces.  ``index`` is any of the :mod:`repro.ann`
-    indexes (their ``search_batch`` returns traces).
+    indexes (their ``search_batch`` returns traces); ``model`` is any
+    :class:`~repro.platform.PlatformModel`, typically from
+    :func:`repro.platform.get`.
     """
 
     index: object
-    model: CPUModel | GPUModel | SmartSSDModel
+    model: PlatformModel
     profile: DatasetProfile
     ef: int | None = None
     algorithm: str = "hnsw"
+    dataset: str = "synthetic"
     name: str = field(default="")
 
     def __post_init__(self) -> None:
         if not self.name:
-            self.name = self.model.platform
+            self.name = self.model.name
 
     def search_batch(
         self, queries: np.ndarray, k: int
     ) -> tuple[np.ndarray, np.ndarray, SimResult]:
         ids, dists, traces = self.index.search_batch(queries, k, ef=self.ef)
-        result = self.model.run_batch(traces, self.profile, self.algorithm)
+        result = self.model.simulate(
+            traces, self.profile, algorithm=self.algorithm, dataset=self.dataset
+        )
         return ids, dists, result
 
 
 def dataset_profile(
     vectors: np.ndarray, index: object, name: str = "synthetic"
 ) -> DatasetProfile:
-    """Profile a corpus + index for the baseline models' capacity checks."""
+    """Profile a corpus + index for the platform models' capacity checks."""
     graph = index.base_graph()
     footprint = int(vectors.nbytes + graph.indptr.nbytes + graph.indices.nbytes)
     return DatasetProfile(
@@ -114,26 +102,15 @@ def make_backend(
     algorithm: str = "hnsw",
     dataset: str = "synthetic",
 ) -> SearchBackend:
-    """Build a serving backend for one platform over a built index."""
-    if platform == "ndsearch":
-        system = NDSearch(index=index, config=config)
-        return NDSearchBackend(system=system, ef=ef, dataset=dataset)
+    """Build a serving backend for one registered platform over an index."""
+    model = platform_registry.get(platform, config, index=index)
     profile = dataset_profile(vectors, index, name=dataset)
-    if platform in ("cpu", "cpu-t"):
-        model = CPUModel(
-            timing=config.timing,
-            host=config.host,
-            terabyte_dram=(platform == "cpu-t"),
-        )
-    elif platform == "gpu":
-        model = GPUModel(timing=config.timing, host=config.host)
-    elif platform == "smartssd":
-        model = SmartSSDModel(config=config)
-    else:
-        raise ValueError(
-            f"unknown platform {platform!r}; expected 'ndsearch' or one of "
-            f"{BASELINE_PLATFORMS}"
-        )
-    return BaselineBackend(
-        index=index, model=model, profile=profile, ef=ef, algorithm=algorithm
+    return PlatformBackend(
+        index=index,
+        model=model,
+        profile=profile,
+        ef=ef,
+        algorithm=algorithm,
+        dataset=dataset,
+        name=platform,
     )

@@ -1,0 +1,101 @@
+"""Shard device timelines: blocking or pipelined batch service.
+
+The original frontend kept one ``free_at`` scalar per shard — a device
+served one batch at a time, start to finish.  But the platform models
+now report *phase timelines* (:class:`~repro.sim.stats.PhaseSegment`),
+and the stages of consecutive batches occupy different hardware: while
+batch N sits in the FPGA sorter and its results stream out over PCIe,
+the NAND array and MAC groups are idle — exactly when batch N+1's
+read/MAC work could run (the paper's Fig. 19 sub-batching argument,
+applied online).
+
+:class:`ShardDevice` models that: each pipeline resource named by a
+batch's :meth:`~repro.sim.stats.SimResult.pipeline_stages` is a FIFO
+queue.  A batch walks its stage chain in order; each stage starts no
+earlier than (a) the previous stage of the *same* batch finishing and
+(b) the resource draining the previous batch's stage.  With
+``pipelined=False`` the device collapses to the one-batch-at-a-time
+scalar, which is the blocking baseline the benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+from repro.sim.stats import SimResult
+
+
+class ShardDevice:
+    """Occupancy state of one shard device across a serving run."""
+
+    def __init__(self, pipelined: bool = True) -> None:
+        self.pipelined = pipelined
+        self._stage_free: dict[str, float] = {}
+        self._entry_resource: str | None = None
+        self._drain_at = 0.0
+        self._occupied_until = 0.0
+        self.busy_s = 0.0
+        """Union of this device's service intervals: time with at least
+        one batch in flight.  Overlapped pipeline stages count once, so
+        ``busy_s / horizon`` is a true utilization."""
+
+        self.batches_served = 0
+
+    @property
+    def drain_at(self) -> float:
+        """When the device is fully empty (last stage of last batch)."""
+        return self._drain_at
+
+    def earliest_start(self, at: float) -> float:
+        """Earliest time a batch arriving at ``at`` could begin service.
+
+        Pipelined devices admit a new batch as soon as their *entry*
+        stage frees up; blocking devices only when fully drained.
+        """
+        if not self.pipelined:
+            return max(at, self._drain_at)
+        if self._entry_resource is None:
+            return at
+        return max(at, self._stage_free.get(self._entry_resource, 0.0))
+
+    def serve(self, result: SimResult, at: float) -> tuple[float, float]:
+        """Book one batch onto the device; returns ``(start, completion)``.
+
+        ``start`` is when the first stage begins executing, ``completion``
+        when the last stage ends.  An unloaded device reproduces the
+        batch's ``sim_time_s`` exactly in either mode.
+        """
+        if not self.pipelined:
+            start = max(at, self._drain_at)
+            completion = start + result.sim_time_s
+            self._drain_at = completion
+            self._book_busy(start, completion)
+            self.batches_served += 1
+            return start, completion
+
+        t = at
+        start: float | None = None
+        # pipeline_stages() is never empty (opaque results collapse to
+        # one "device" stage), so `start` is always set in the loop.
+        for resource, duration in result.pipeline_stages():
+            if self._entry_resource is None:
+                self._entry_resource = resource
+            stage_start = max(t, self._stage_free.get(resource, 0.0))
+            stage_end = stage_start + duration
+            self._stage_free[resource] = stage_end
+            if start is None:
+                start = stage_start
+            t = stage_end
+        self._drain_at = max(self._drain_at, t)
+        self._book_busy(start, t)
+        self.batches_served += 1
+        return start, t
+
+    def _book_busy(self, start: float, completion: float) -> None:
+        """Accumulate the union of service intervals.
+
+        Batches are served in dispatch order, so interval starts are
+        monotone and the union reduces to clipping each interval at
+        the previous high-water mark.
+        """
+        if completion > self._occupied_until:
+            self.busy_s += completion - max(start, self._occupied_until)
+            self._occupied_until = completion

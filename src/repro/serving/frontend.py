@@ -1,12 +1,13 @@
 """The serving frontend: a discrete-event loop over simulated time.
 
 This is the orchestrator-over-simulator layer: requests arrive on a
-simulated clock, flow through admission control, the result cache and
-the dynamic batcher, and closed batches are served by shard devices
-whose *service times* come from the trace-driven platform simulators
-(:class:`~repro.sim.stats.SimResult.sim_time_s`).  Nothing waits on
-the wall clock, so a minute of simulated heavy traffic runs in
-seconds and every run is exactly reproducible.
+simulated clock, flow through admission control, the result cache, the
+request coalescer and the dynamic batcher, and closed batches are
+served by shard devices whose *stage occupancy* comes from the
+trace-driven platform simulators (the phase timeline each
+:class:`~repro.sim.stats.SimResult` carries).  Nothing waits on the
+wall clock, so a minute of simulated heavy traffic runs in seconds and
+every run is exactly reproducible.
 
 Event-loop invariants:
 
@@ -14,11 +15,23 @@ Event-loop invariants:
   batcher deadline that expired in the gap fires first (so timeout
   closes happen at their exact simulated time, not at the next
   arrival).
-* A shard device serves one batch at a time: a batch closed at time
-  ``t`` starts at ``max(t, device_free_at)`` and completes after its
-  simulated service time.  Replicated mode picks the earliest-free
-  device; partitioned mode broadcasts and completes at the slowest
-  shard (fan-out join).
+* Shard devices are :class:`~repro.serving.device.ShardDevice`
+  pipelines: a batch closed at time ``t`` enters the device's first
+  stage no earlier than ``max(t, entry-stage free)`` and each stage
+  queues FIFO per resource, so batch N+1's read/MAC work overlaps
+  batch N's sort/output drain.  ``ServingConfig(pipelined=False)``
+  restores the classic one-batch-at-a-time device.  Replicated mode
+  picks the shard that can start earliest; partitioned mode broadcasts
+  and completes at the slowest shard (fan-out join).
+* Identical in-flight queries coalesce (:class:`Coalescer`): a request
+  whose query is already queued (or already dispatched but not yet
+  completed) piggybacks on the leader's batch and completes with it —
+  one search serves all followers.  Coalescing runs *before* admission
+  and the cache: followers are answered work, not queue load, so they
+  are never shed, and while a search is in flight repeats complete
+  with it rather than reading its future results out of the cache (the
+  cache is written at dispatch time, so an in-flight entry holds
+  results that do not causally exist yet).
 * Admission counts the whole system — batcher queue plus dispatched
   but incomplete requests — so shedding reflects true backlog, not
   just the waiting room.
@@ -34,9 +47,102 @@ import numpy as np
 from repro.serving.admission import AdmissionController
 from repro.serving.batcher import BatchPolicy, DynamicBatcher
 from repro.serving.cache import ResultCache
+from repro.serving.device import ShardDevice
 from repro.serving.metrics import MetricsCollector, ServingReport
-from repro.serving.request import CACHE_HIT, COMPLETED, SHED, Request
+from repro.serving.request import (
+    CACHE_HIT,
+    COALESCED,
+    COMPLETED,
+    SHED,
+    Request,
+)
 from repro.serving.sharding import PARTITIONED, REPLICATED, ShardRouter
+
+
+class Coalescer:
+    """Deduplicates identical in-flight queries.
+
+    Tracks two kinds of leaders: *queued* (still in the batcher; their
+    followers resolve at dispatch) and *dispatched* (results priced but
+    not yet back; followers resolve immediately against the pending
+    entry).  Entries retire once their completion time passes — from
+    then on the result cache answers repeats.
+    """
+
+    def __init__(self, observe) -> None:
+        self._observe = observe
+        """Metrics callback invoked once per resolved follower."""
+
+        self._queued_leader: dict[int, Request] = {}
+        self._followers: dict[int, list[Request]] = {}
+        # query_id -> (completion_s, ids_row, dists_row, searched_k)
+        self._inflight: dict[int, tuple[float, np.ndarray, np.ndarray, int]] = {}
+        self._retire_heap: list[tuple[float, int]] = []
+
+    def try_coalesce(self, request: Request, now: float) -> bool:
+        """Piggyback ``request`` on an identical in-flight query, if any.
+
+        A dispatched-but-incomplete search is preferred (it finishes
+        soonest); otherwise the request attaches to a queued leader.
+        The follower must not want more results than the leader's
+        search produces.
+        """
+        entry = self._inflight.get(request.query_id)
+        if entry is not None:
+            completion, _, _, searched_k = entry
+            if completion > now and request.k <= searched_k:
+                self._resolve(request, entry)
+                return True
+        leader = self._queued_leader.get(request.query_id)
+        if leader is not None and request.k <= leader.k:
+            self._followers.setdefault(leader.request_id, []).append(request)
+            return True
+        return False
+
+    def note_queued(self, request: Request) -> None:
+        """``request`` entered the batcher; it can lead followers.
+
+        The widest-k queued request leads: its search covers every
+        narrower duplicate, so later arrivals coalesce instead of
+        re-searching.
+        """
+        leader = self._queued_leader.get(request.query_id)
+        if leader is None or request.k > leader.k:
+            self._queued_leader[request.query_id] = request
+
+    def on_dispatch(
+        self,
+        request: Request,
+        ids_row: np.ndarray,
+        dists_row: np.ndarray,
+        searched_k: int,
+        completion: float,
+    ) -> None:
+        """A batch member's results are priced: resolve its followers
+        and open the dispatched-entry piggyback window."""
+        if self._queued_leader.get(request.query_id) is request:
+            del self._queued_leader[request.query_id]
+        entry = (completion, ids_row, dists_row, searched_k)
+        for follower in self._followers.pop(request.request_id, ()):
+            self._resolve(follower, entry)
+        self._inflight[request.query_id] = entry
+        heapq.heappush(self._retire_heap, (completion, request.query_id))
+
+    def retire(self, now: float) -> None:
+        """Drop dispatched entries whose results have landed."""
+        while self._retire_heap and self._retire_heap[0][0] <= now:
+            completion, query_id = heapq.heappop(self._retire_heap)
+            entry = self._inflight.get(query_id)
+            if entry is not None and entry[0] <= completion:
+                del self._inflight[query_id]
+
+    def _resolve(self, request: Request, entry) -> None:
+        completion, ids, dists, _ = entry
+        request.completion_s = completion
+        request.outcome = COALESCED
+        request.result_ids = ids[: request.k].copy()
+        request.result_dists = dists[: request.k].copy()
+        self._observe(request)
 
 
 @dataclass(frozen=True)
@@ -51,6 +157,13 @@ class ServingConfig:
     admission_capacity: int | None = None
     """Max requests in the system (queued + in service); None = unbounded."""
 
+    pipelined: bool = True
+    """Overlap consecutive batches on a shard's pipeline stages; False
+    restores the blocking one-batch-at-a-time device."""
+
+    coalesce: bool = True
+    """Piggyback identical in-flight queries on the leader's batch."""
+
 
 class ServingFrontend:
     """Runs a request stream against a shard router, collecting metrics."""
@@ -62,8 +175,12 @@ class ServingFrontend:
         self.cache = ResultCache(self.config.cache_capacity)
         self.admission = AdmissionController(self.config.admission_capacity)
         self.metrics = MetricsCollector(router.num_shards)
-        self._free_at = [0.0] * router.num_shards
+        self.devices = [
+            ShardDevice(pipelined=self.config.pipelined)
+            for _ in range(router.num_shards)
+        ]
         self._in_service: list[tuple[float, int]] = []  # (completion_s, count) heap
+        self.coalescer = Coalescer(self.metrics.observe_coalesced)
 
     def run(
         self, requests: list[Request], query_pool: np.ndarray
@@ -84,6 +201,15 @@ class ServingFrontend:
             self._retire_in_service(now)
             depth = len(self.batcher) + self._in_service_count()
             self.metrics.observe_arrival(request, depth)
+            # Coalescing precedes admission and the cache: a follower
+            # adds no queue load (so it is never shed), and while its
+            # query's search is in flight the causally-correct answer
+            # is to complete *with* it, not to read its future results
+            # out of the dispatch-time cache write.
+            if self.config.coalesce and self.coalescer.try_coalesce(
+                request, now
+            ):
+                continue
             if not self.admission.admit(depth):
                 request.outcome = SHED
                 self.metrics.observe_shed(request)
@@ -95,6 +221,8 @@ class ServingFrontend:
                 request.outcome = CACHE_HIT
                 self.metrics.observe_cache_hit(request)
                 continue
+            if self.config.coalesce:
+                self.coalescer.note_queued(request)
             batch = self.batcher.offer(request)
             if batch is not None:
                 self._dispatch(batch, pool, close_time=now)
@@ -105,6 +233,9 @@ class ServingFrontend:
         batch = self.batcher.flush()
         if batch is not None:
             self._dispatch(batch, pool, close_time=flush_time)
+        # Utilization comes from true device occupancy (overlapped
+        # pipeline stages count once), not summed batch makespans.
+        self.metrics.set_shard_busy([d.busy_s for d in self.devices])
         return self.metrics.report()
 
     # ---- event-loop internals -------------------------------------------
@@ -132,20 +263,23 @@ class ServingFrontend:
         self.metrics.observe_batch(len(batch), timeout_closed=timeout_closed)
 
         if self.router.mode == REPLICATED:
-            shard = int(np.argmin(self._free_at))
+            shard = min(
+                range(self.router.num_shards),
+                key=lambda s: (
+                    self.devices[s].earliest_start(close_time),
+                    self.devices[s].drain_at,
+                ),
+            )
             ids, dists, result = self.router.search_on(shard, queries, k)
-            start = max(close_time, self._free_at[shard])
-            completion = start + result.sim_time_s
-            self._free_at[shard] = completion
+            start, completion = self.devices[shard].serve(result, close_time)
             self.metrics.observe_shard_service(shard, result)
         else:  # PARTITIONED: broadcast, join on the slowest shard
             ids, dists, results = self.router.search_all(queries, k)
-            start = close_time
-            completion = close_time
+            start = completion = close_time
             for shard, result in enumerate(results):
-                shard_start = max(close_time, self._free_at[shard])
-                shard_done = shard_start + result.sim_time_s
-                self._free_at[shard] = shard_done
+                shard_start, shard_done = self.devices[shard].serve(
+                    result, close_time
+                )
                 completion = max(completion, shard_done)
                 start = max(start, shard_start)
                 self.metrics.observe_shard_service(shard, result)
@@ -163,10 +297,17 @@ class ServingFrontend:
                 request.result_dists,
             )
             self.metrics.observe_completion(request)
+            if self.config.coalesce:
+                self.coalescer.on_dispatch(
+                    request, ids[i], dists[i], k, completion
+                )
 
     def _retire_in_service(self, now: float) -> None:
         while self._in_service and self._in_service[0][0] <= now:
             heapq.heappop(self._in_service)
+        # Results that have landed are no longer coalescing targets —
+        # from now on the cache answers repeats of these queries.
+        self.coalescer.retire(now)
 
     def _in_service_count(self) -> int:
         return sum(count for _, count in self._in_service)

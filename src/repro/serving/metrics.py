@@ -30,6 +30,7 @@ class ServingReport:
     offered: int
     completed: int
     cache_hits: int
+    coalesced: int
     shed: int
     horizon_s: float
     qps: float
@@ -49,8 +50,8 @@ class ServingReport:
 
     @property
     def served(self) -> int:
-        """Requests answered (searched or from cache)."""
-        return self.completed + self.cache_hits
+        """Requests answered (searched, coalesced or from cache)."""
+        return self.completed + self.cache_hits + self.coalesced
 
     @property
     def qps_per_watt(self) -> float:
@@ -65,6 +66,7 @@ class ServingReport:
             ["served", self.served],
             ["  searched", self.completed],
             ["  cache hits", self.cache_hits],
+            ["  coalesced", self.coalesced],
             ["shed", self.shed],
             ["QPS", f"{self.qps:,.0f}"],
             ["p50 latency", f"{self.latency_p50_s * 1e3:.3f} ms"],
@@ -95,6 +97,7 @@ class MetricsCollector:
         self.num_shards = num_shards
         self.latencies_s: list[float] = []
         self.cache_hits = 0
+        self.coalesced = 0
         self.completed = 0
         self.shed = 0
         self.batch_sizes: list[int] = []
@@ -121,6 +124,11 @@ class MetricsCollector:
         self.cache_hits += 1
         self._observe_done(request)
 
+    def observe_coalesced(self, request: Request) -> None:
+        """A follower that piggybacked on an identical in-flight query."""
+        self.coalesced += 1
+        self._observe_done(request)
+
     def observe_shed(self, request: Request) -> None:
         self.shed += 1
 
@@ -134,12 +142,23 @@ class MetricsCollector:
         """One shard device serving (its slice of) a batch.
 
         A replicated-mode batch lands on one shard; a partitioned-mode
-        batch fans out and produces one observation per shard.
+        batch fans out and produces one observation per shard.  Busy
+        time is *not* accumulated here: with pipelined devices,
+        consecutive batches overlap, so summing per-batch makespans
+        would double-count — the frontend reports true device
+        occupancy via :meth:`set_shard_busy` instead.
         """
-        self.shard_busy_s[shard] += result.sim_time_s
         self.shard_batches[shard] += 1
         self.energy_j += result.energy_j
         self.counters.update(result.counters)
+
+    def set_shard_busy(self, busy_s: list[float]) -> None:
+        """Authoritative per-shard occupancy (union of service intervals)."""
+        if len(busy_s) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} busy values, got {len(busy_s)}"
+            )
+        self.shard_busy_s = list(busy_s)
 
     def _observe_done(self, request: Request) -> None:
         self.latencies_s.append(request.latency_s)
@@ -148,7 +167,7 @@ class MetricsCollector:
     # ---- reduction ------------------------------------------------------
     def report(self) -> ServingReport:
         lat = np.asarray(self.latencies_s, dtype=np.float64)
-        served = self.completed + self.cache_hits
+        served = self.completed + self.cache_hits + self.coalesced
         offered = served + self.shed
         start = self.first_arrival_s or 0.0
         horizon = max(self.last_completion_s - start, 0.0)
@@ -163,6 +182,7 @@ class MetricsCollector:
             offered=offered,
             completed=self.completed,
             cache_hits=self.cache_hits,
+            coalesced=self.coalesced,
             shed=self.shed,
             horizon_s=horizon,
             qps=served / horizon if horizon > 0 else 0.0,

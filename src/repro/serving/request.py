@@ -4,7 +4,10 @@ A request is born at its (simulated) arrival time, then either
 
 * is **shed** by the admission controller (the system is over
   capacity),
-* **hits** the result cache (answered immediately at cache latency), or
+* **hits** the result cache (answered immediately at cache latency),
+* is **coalesced** onto an identical in-flight query: it piggybacks on
+  the leader's batch and completes when the leader's results arrive —
+  no second search is performed, or
 * waits in the dynamic batcher, is dispatched inside a batch to one or
   more shard devices, and **completes** when its batch's results are
   back.
@@ -25,6 +28,7 @@ import numpy as np
 PENDING = "pending"
 COMPLETED = "completed"
 CACHE_HIT = "cache_hit"
+COALESCED = "coalesced"
 SHED = "shed"
 
 
@@ -71,4 +75,4 @@ class Request:
 
     @property
     def done(self) -> bool:
-        return self.outcome in (COMPLETED, CACHE_HIT)
+        return self.outcome in (COMPLETED, CACHE_HIT, COALESCED)

@@ -129,10 +129,11 @@ def build_router(
 
     if mode == REPLICATED:
         index = HNSWIndex(vectors, params, **metric_kwargs)
-        # The platform models are stateless across run_batch calls
+        # The platform models are stateless across simulate calls
         # (SearSSD resets its fault stream per batch), so the replicas
         # share one backend object: identical results and timing, one
-        # graph reorder/placement instead of N.
+        # graph reorder/placement instead of N.  Per-shard *occupancy*
+        # lives in the frontend's ShardDevice pipelines, not here.
         backend = make_backend(platform, index, vectors, shard_config, **kwargs)
         return ShardRouter(backends=[backend] * num_shards, mode=REPLICATED)
 

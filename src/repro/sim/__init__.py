@@ -14,7 +14,7 @@ that style of simulation:
 """
 
 from repro.sim.engine import Resource, ResourcePool, Timeline
-from repro.sim.stats import Counters, SimResult
+from repro.sim.stats import Counters, PhaseSegment, SimResult, serial_timeline
 from repro.sim.energy import ComponentPower, EnergyModel
 from repro.sim.area import AreaModel, ComponentArea
 
@@ -23,7 +23,9 @@ __all__ = [
     "ResourcePool",
     "Timeline",
     "Counters",
+    "PhaseSegment",
     "SimResult",
+    "serial_timeline",
     "ComponentPower",
     "EnergyModel",
     "AreaModel",

@@ -96,7 +96,13 @@ class TestFrontendCacheAccounting:
         report = frontend.run(stream.generate(), pool)
         # 16 distinct queries, 150 requests: repeats must hit.
         assert report.cache_hits > 0
-        assert report.completed + report.cache_hits + report.shed == report.offered
+        # Books balance: every request is searched, a cache hit,
+        # coalesced onto an in-flight search, or shed.
+        assert (
+            report.completed + report.cache_hits + report.coalesced
+            + report.shed
+            == report.offered
+        )
         assert report.cache_hit_rate == report.cache_hits / report.served
         # Frontend counters agree with the cache's own books.
         assert frontend.cache.hits == report.cache_hits

@@ -1,0 +1,248 @@
+"""Pipelined shard devices and request coalescing."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.config import NDSearchConfig
+from repro.serving import (
+    BatchPolicy,
+    MMPPArrivals,
+    PoissonArrivals,
+    QueryStream,
+    ServingConfig,
+    ServingFrontend,
+    ShardDevice,
+    build_router,
+)
+from repro.serving.request import COALESCED, COMPLETED, SHED
+from repro.sim.stats import SimResult, serial_timeline
+
+
+def _result(stages, batch=8):
+    """A SimResult with the given (stage, resource, duration) chain."""
+    timeline = serial_timeline(stages)
+    total = timeline[-1].end if timeline else 0.0
+    return SimResult("x", "hnsw", "synthetic", batch, total, timeline=timeline)
+
+
+class TestShardDevice:
+    def test_unloaded_latency_matches_either_mode(self):
+        result = _result([("in", "a", 1.0), ("work", "b", 3.0), ("out", "c", 1.0)])
+        for pipelined in (False, True):
+            device = ShardDevice(pipelined=pipelined)
+            start, completion = device.serve(result, at=2.0)
+            assert start == 2.0
+            assert completion == pytest.approx(7.0)
+
+    def test_blocking_serializes_whole_batches(self):
+        result = _result([("in", "a", 1.0), ("work", "b", 3.0)])
+        device = ShardDevice(pipelined=False)
+        device.serve(result, at=0.0)
+        start, completion = device.serve(result, at=0.0)
+        assert start == 4.0 and completion == 8.0
+
+    def test_pipelined_overlaps_consecutive_batches(self):
+        """Batch 2 enters stage 'a' while batch 1 occupies stage 'b'."""
+        result = _result([("in", "a", 1.0), ("work", "b", 3.0), ("out", "c", 1.0)])
+        device = ShardDevice(pipelined=True)
+        _, done1 = device.serve(result, at=0.0)
+        start2, done2 = device.serve(result, at=0.0)
+        assert done1 == pytest.approx(5.0)
+        # Entry stage frees at t=1, bottleneck 'b' frees at t=4:
+        # batch 2 runs a[1,2] b[4,7] c[7,8] instead of [5,10] blocking.
+        assert start2 == pytest.approx(1.0)
+        assert done2 == pytest.approx(8.0)
+        blocking = ShardDevice(pipelined=False)
+        blocking.serve(result, at=0.0)
+        _, blocking_done2 = blocking.serve(result, at=0.0)
+        assert done2 < blocking_done2
+
+    def test_pipelined_respects_per_resource_fifo(self):
+        """The bottleneck stage never runs two batches at once."""
+        result = _result([("in", "a", 1.0), ("work", "b", 3.0)])
+        device = ShardDevice(pipelined=True)
+        ends = [device.serve(result, at=0.0)[1] for _ in range(4)]
+        # Steady state is bottleneck-limited: one 'work' every 3 s.
+        assert np.allclose(np.diff(ends), 3.0)
+
+    def test_earliest_start_tracks_entry_stage(self):
+        result = _result([("in", "a", 1.0), ("work", "b", 3.0)])
+        pipelined = ShardDevice(pipelined=True)
+        blocking = ShardDevice(pipelined=False)
+        pipelined.serve(result, at=0.0)
+        blocking.serve(result, at=0.0)
+        assert pipelined.earliest_start(0.0) == pytest.approx(1.0)
+        assert blocking.earliest_start(0.0) == pytest.approx(4.0)
+
+    def test_opaque_result_behaves_like_blocking(self):
+        result = SimResult("x", "hnsw", "synthetic", 8, 2.0)  # no timeline
+        device = ShardDevice(pipelined=True)
+        device.serve(result, at=0.0)
+        start2, done2 = device.serve(result, at=0.0)
+        assert (start2, done2) == (2.0, 4.0)
+
+
+def _run_stream(router, *, pipelined, coalesce=False, rate=20000.0,
+                n=200, zipf=0.0, pool=None, seed=33):
+    stream = QueryStream(
+        MMPPArrivals(rate), pool_size=pool.shape[0], n_requests=n, k=5,
+        zipf_exponent=zipf, seed=seed,
+    )
+    frontend = ServingFrontend(
+        router,
+        ServingConfig(
+            policy=BatchPolicy(max_batch_size=16, max_wait_s=2e-3),
+            cache_capacity=0,
+            pipelined=pipelined,
+            coalesce=coalesce,
+        ),
+    )
+    return frontend.run(stream.generate(), pool)
+
+
+class TestPipelinedServing:
+    @pytest.fixture(scope="class")
+    def pool(self, small_vectors):
+        return np.ascontiguousarray(small_vectors[:32] + 0.02)
+
+    @pytest.mark.parametrize("platform", ["ndsearch", "cpu", "smartssd"])
+    def test_pipelining_never_hurts_throughput(
+        self, small_vectors, pool, platform
+    ):
+        """Same bursty stream: pipelined QPS >= blocking QPS."""
+        config = NDSearchConfig.scaled()
+        router = build_router(
+            small_vectors, num_shards=2, config=config, platform=platform
+        )
+        blocking = _run_stream(router, pipelined=False, pool=pool)
+        pipelined = _run_stream(router, pipelined=True, pool=pool)
+        assert pipelined.served == blocking.served
+        assert pipelined.qps >= blocking.qps * (1 - 1e-9)
+        assert pipelined.latency_p99_s <= blocking.latency_p99_s * (1 + 1e-9)
+
+    def test_pipelining_wins_on_io_bound_platform(self, small_vectors, pool):
+        """A spilling CPU host overlaps batch N+1's SSD reads with batch
+        N's in-core work: strictly higher sustained QPS under bursts."""
+        config = NDSearchConfig.scaled()
+        config = replace(
+            config, host=replace(config.host, dram_capacity_bytes=16 * 1024)
+        )
+        router = build_router(
+            small_vectors, num_shards=2, config=config, platform="cpu"
+        )
+        blocking = _run_stream(router, pipelined=False, pool=pool)
+        pipelined = _run_stream(router, pipelined=True, pool=pool)
+        assert pipelined.qps > blocking.qps
+        assert pipelined.latency_p99_s <= blocking.latency_p99_s
+
+
+class TestCoalescing:
+    @pytest.fixture(scope="class")
+    def pool(self, small_vectors):
+        return np.ascontiguousarray(small_vectors[:8] + 0.02)
+
+    @pytest.fixture(scope="class")
+    def router(self, small_vectors):
+        return build_router(
+            small_vectors, num_shards=1, config=NDSearchConfig.scaled()
+        )
+
+    def test_duplicates_coalesce_and_books_balance(self, router, pool):
+        report = _run_stream(
+            router, pipelined=True, coalesce=True, zipf=1.2, n=150, pool=pool
+        )
+        assert report.coalesced > 0
+        assert report.served == 150
+        assert (
+            report.completed + report.cache_hits + report.coalesced
+            == report.served
+        )
+
+    def test_followers_get_leader_results(self, router, pool):
+        stream = QueryStream(
+            PoissonArrivals(5000.0), pool_size=pool.shape[0], n_requests=60,
+            k=5, zipf_exponent=1.5, seed=7,
+        ).generate()
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(
+                policy=BatchPolicy(max_batch_size=8, max_wait_s=2e-3),
+                cache_capacity=0,
+                coalesce=True,
+            ),
+        )
+        frontend.run(stream, pool)
+        followers = [r for r in stream if r.outcome == COALESCED]
+        leaders = {
+            r.query_id: r for r in stream if r.outcome == COMPLETED
+        }
+        assert followers, "skewed stream at this rate must coalesce"
+        for follower in followers:
+            assert follower.done
+            assert follower.completion_s >= follower.arrival_s
+            assert follower.result_ids is not None
+            assert follower.result_ids.shape == (follower.k,)
+            # A leader with the same query exists and the follower's
+            # results match some completed search of that query.
+            leader = leaders.get(follower.query_id)
+            assert leader is not None
+            np.testing.assert_array_equal(
+                follower.result_ids, leader.result_ids[: follower.k]
+            )
+
+    def test_coalescing_reduces_searches(self, router, pool):
+        with_c = _run_stream(
+            router, pipelined=True, coalesce=True, zipf=1.2, n=150, pool=pool
+        )
+        without = _run_stream(
+            router, pipelined=True, coalesce=False, zipf=1.2, n=150, pool=pool
+        )
+        assert with_c.completed < without.completed
+        assert with_c.served == without.served == 150
+
+    def test_disabled_coalescing_has_no_coalesced_outcomes(self, router, pool):
+        report = _run_stream(
+            router, pipelined=True, coalesce=False, zipf=1.2, n=100, pool=pool
+        )
+        assert report.coalesced == 0
+
+    def test_followers_are_never_shed(self, router, pool):
+        """Coalescing precedes admission: a duplicate of an in-flight
+        query is answered work, not queue load, even at capacity."""
+        stream = QueryStream(
+            PoissonArrivals(50000.0), pool_size=pool.shape[0],
+            n_requests=200, k=5, zipf_exponent=1.5, seed=19,
+        ).generate()
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(
+                policy=BatchPolicy(max_batch_size=8, max_wait_s=2e-3),
+                cache_capacity=0,
+                admission_capacity=4,
+                coalesce=True,
+            ),
+        )
+        report = frontend.run(stream, pool)
+        assert report.shed > 0, "overload setup must actually shed"
+        assert report.coalesced > 0
+        # No shed request had a coalescible in-flight leader: every
+        # shed query was either absent from the system or only present
+        # as another shed/completed-before-arrival request.
+        shed = [r for r in stream if r.outcome == SHED]
+        for request in shed:
+            leaders = [
+                other
+                for other in stream
+                if other.query_id == request.query_id
+                and other.outcome == COMPLETED
+                and other.arrival_s <= request.arrival_s
+                and (other.completion_s or 0) > request.arrival_s
+            ]
+            assert not leaders, (
+                f"request {request.request_id} shed despite in-flight "
+                f"leader(s) {[o.request_id for o in leaders]}"
+            )
