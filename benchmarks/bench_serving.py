@@ -12,7 +12,11 @@ the replicated device pool and the offered load.  Expected shape:
 * pipelined shard devices (phase-timeline stage overlap) sustain at
   least blocking throughput everywhere, and strictly more on an
   I/O-bound platform under bursty arrivals, where batch N+1's SSD
-  reads overlap batch N's in-core drain.
+  reads overlap batch N's in-core drain;
+* selective shard probing (partitioned mode, IVF nprobe at the device
+  pool) cuts per-query device work proportionally to nprobe while
+  recall falls gracefully toward — and matches exactly at
+  nprobe = num_shards — the broadcast result.
 
 Besides the human-readable table, the sweep persists
 ``benchmarks/results/serving_sweep.json`` for the perf-trajectory
@@ -26,6 +30,7 @@ from dataclasses import replace
 import numpy as np
 
 from repro.analysis.reporting import format_table
+from repro.ann import BruteForceIndex, recall_at_k
 from repro.core.config import NDSearchConfig
 from repro.data.synthetic import clustered_gaussian, split_queries
 from repro.serving import (
@@ -37,6 +42,7 @@ from repro.serving import (
     ServingFrontend,
     build_router,
 )
+from repro.serving.sharding import PARTITIONED
 
 POLICIES = ("batch", "greedy")
 SHARDS = (1, 4)
@@ -45,10 +51,16 @@ RATES = (500.0, 20000.0)
 #: Bursty-arrival rates for the pipelined-vs-blocking comparison.
 PIPELINE_RATES = (10000.0, 40000.0)
 
+#: Shard count and offered rate for the broadcast-vs-selective rows.
+PARTITION_SHARDS = 4
+PARTITION_RATE = 2000.0
+
 CORPUS, DIM, POOL, REQUESTS, K = 800, 16, 128, 400, 10
 
 
-def _run_cell(router, pool, *, arrivals, policy, pipelined, coalesce, zipf=0.0):
+def _run_cell(
+    router, pool, *, arrivals, policy, pipelined, coalesce, zipf=0.0, nprobe=None
+):
     stream = QueryStream(
         arrivals,
         pool_size=POOL,
@@ -64,6 +76,7 @@ def _run_cell(router, pool, *, arrivals, policy, pipelined, coalesce, zipf=0.0):
             cache_capacity=0,  # no cache noise in the sweeps
             pipelined=pipelined,
             coalesce=coalesce,
+            nprobe=nprobe,
         ),
     )
     return frontend.run(stream.generate(), pool)
@@ -151,6 +164,53 @@ def collect() -> dict:
                 }
             )
 
+    # ---- partitioned mode: broadcast vs selective shard probing ---------
+    # IVF nprobe lifted to the device pool: each query fans out only to
+    # the nprobe shards whose k-means centroids are nearest.  Recall is
+    # measured offline on the query pool, against exact ground truth
+    # and against the replicated pool's results (the "no partitioning"
+    # reference a deployment would compare to).
+    part_router = build_router(
+        vectors,
+        num_shards=PARTITION_SHARDS,
+        config=config,
+        mode=PARTITIONED,
+        seed=35,
+    )
+    gt, _ = BruteForceIndex(vectors).search_batch(pool, K)
+    replicated_ids, _, _ = routers[1].search_all(pool, K)
+    recall_replicated = recall_at_k(replicated_ids, gt, K)
+    partition_rows = []
+    for nprobe in (None, 1, 2, PARTITION_SHARDS):
+        if nprobe is None:
+            ids, _, _ = part_router.search_all(pool, K)
+        else:
+            ids, _, _ = part_router.search_probed(pool, K, nprobe)
+        report = _run_cell(
+            part_router,
+            pool,
+            arrivals=PoissonArrivals(PARTITION_RATE),
+            policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3),
+            pipelined=True,
+            coalesce=False,
+            nprobe=nprobe,
+        )
+        partition_rows.append(
+            {
+                "routing": "broadcast" if nprobe is None else f"nprobe={nprobe}",
+                "nprobe": PARTITION_SHARDS if nprobe is None else nprobe,
+                "qps": report.qps,
+                "p50_ms": report.latency_p50_s * 1e3,
+                "p99_ms": report.latency_p99_s * 1e3,
+                "probes_per_query": report.mean_probes_per_query,
+                "shard_probes": list(report.shard_probe_counts),
+                "energy_j": report.energy_j,
+                "recall": recall_at_k(ids, gt, K),
+                "recall_vs_replicated": recall_at_k(ids, replicated_ids, K),
+                "recall_replicated_baseline": recall_replicated,
+            }
+        )
+
     # ---- request coalescing on a skewed bursty stream -------------------
     coalesce_rows = []
     for coalesce in (False, True):
@@ -173,7 +233,12 @@ def collect() -> dict:
             }
         )
 
-    return {"sweep": sweep, "pipeline": pipeline, "coalescing": coalesce_rows}
+    return {
+        "sweep": sweep,
+        "pipeline": pipeline,
+        "partitioned": partition_rows,
+        "coalescing": coalesce_rows,
+    }
 
 
 def run(results: dict | None = None) -> str:
@@ -211,7 +276,29 @@ def run(results: dict | None = None) -> str:
         ],
         title="pipelined vs blocking shard devices (bursty MMPP arrivals)",
     )
-    return sweep_table + "\n\n" + pipeline_table
+    partition_table = format_table(
+        ["routing", "QPS", "p50 ms", "p99 ms", "probes/q", "energy J",
+         "recall", "vs repl"],
+        [
+            [
+                r["routing"],
+                f"{r['qps']:,.0f}",
+                f"{r['p50_ms']:.3f}",
+                f"{r['p99_ms']:.3f}",
+                f"{r['probes_per_query']:.2f}",
+                f"{r['energy_j']:.3g}",
+                f"{r['recall']:.4f}",
+                f"{r['recall_vs_replicated']:.4f}",
+            ]
+            for r in results["partitioned"]
+        ],
+        title=(
+            f"partitioned x{PARTITION_SHARDS}: broadcast vs selective probing "
+            f"(replicated baseline recall "
+            f"{results['partitioned'][0]['recall_replicated_baseline']:.4f})"
+        ),
+    )
+    return sweep_table + "\n\n" + pipeline_table + "\n\n" + partition_table
 
 
 def test_bench_serving(benchmark, record_table, record_json):
@@ -250,6 +337,26 @@ def test_bench_serving(benchmark, record_table, record_json):
         and r["p99_ms_pipelined"] <= r["p99_ms_blocking"] * (1 + 1e-9)
         for r in results["pipeline"]
     ), results["pipeline"]
+
+    # Selective probing: nprobe = num_shards reproduces broadcast
+    # exactly; smaller nprobe strictly reduces per-query device work
+    # while recall degrades gracefully and monotonically.
+    part = {r["routing"]: r for r in results["partitioned"]}
+    broadcast = part["broadcast"]
+    full = part[f"nprobe={PARTITION_SHARDS}"]
+    assert full["qps"] == broadcast["qps"]
+    assert full["p99_ms"] == broadcast["p99_ms"]
+    assert full["recall"] == broadcast["recall"]
+    assert broadcast["probes_per_query"] == PARTITION_SHARDS
+    assert part["nprobe=1"]["probes_per_query"] == 1.0
+    assert part["nprobe=1"]["energy_j"] < broadcast["energy_j"]
+    by_nprobe = sorted(
+        (r for r in results["partitioned"] if r["routing"] != "broadcast"),
+        key=lambda r: r["nprobe"],
+    )
+    for lo, hi in zip(by_nprobe[:-1], by_nprobe[1:]):
+        assert lo["recall_vs_replicated"] <= hi["recall_vs_replicated"] + 1e-9
+        assert lo["probes_per_query"] < hi["probes_per_query"]
 
     # Coalescing piggybacks duplicate in-flight queries: fewer searches
     # for the same served count.

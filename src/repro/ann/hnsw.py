@@ -16,10 +16,26 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.ann.distance import DistanceMetric, distances_to_query
+from repro.ann.distance import DistanceMetric, distances_to_query, pairwise_distances
 from repro.ann.graph import ProximityGraph
 from repro.ann.search import greedy_beam_search, top_k_from_results
 from repro.ann.trace import SearchTrace, TraceRecorder
+
+#: Cap on the number of extra layer-0 entry points seeded per search.
+#: Greedy beam search from a single entry can park in a local minimum on
+#: adversarial clouds (a stored vector is then not its own nearest
+#: neighbor at small ``ef``); seeding the beam with a few well-spread
+#: pivots restarts it from other basins.  Distant pivots never expand
+#: (the beam pops candidates in distance order and terminates on the
+#: ef-th result), so the cost is one batch of extra distance
+#: computations, not extra traversal.
+MAX_SEARCH_PIVOTS = 32
+
+#: Corpora up to this size get the exact nearest-neighbor in-link pass
+#: at build time (chunked O(n^2) distances).  Larger corpora skip it:
+#: they are built with production-grade M / ef_construction, where the
+#: single-entry miss is already vanishingly rare.
+NEAREST_INLINK_MAX_N = 4096
 
 
 @dataclass(frozen=True)
@@ -84,6 +100,96 @@ class HNSWIndex:
             self.layers[layer][0] = []
         for v in range(1, n):
             self._insert(v)
+        self._ensure_nearest_inlink()
+        self._pivots = self._select_pivots()
+        self._ensure_reachable()
+
+    def _ensure_nearest_inlink(self) -> None:
+        """Guarantee each vector an in-edge from its true nearest neighbor.
+
+        Greedy beam search always expands the best result it returns,
+        so if the nearest other vertex ``w*`` of a stored vector ``v``
+        links to ``v``, any search for ``v`` that reaches ``w*`` also
+        reaches ``v``.  Degree capping (:meth:`_shrink`) can silently
+        drop exactly these edges; this pass restores the missing ones
+        and re-shrinks over-cap lists with the nearest-in-links
+        protected.  Skipped above :data:`NEAREST_INLINK_MAX_N` (the
+        exact pass is chunked O(n^2)).
+        """
+        n = self.vectors.shape[0]
+        if n < 2 or n > NEAREST_INLINK_MAX_N:
+            return
+        nearest = np.empty(n, dtype=np.int64)
+        chunk = 512
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            d = pairwise_distances(self.vectors[lo:hi], self.vectors, self.metric)
+            d[np.arange(hi - lo), np.arange(lo, hi)] = np.inf
+            nearest[lo:hi] = np.argmin(d, axis=1)
+        required: dict[int, set[int]] = {}
+        for v in range(n):
+            required.setdefault(int(nearest[v]), set()).add(v)
+        adj = self.layers[0]
+        cap = self.params.max_degree0
+        for w, targets in required.items():
+            neigh = adj.setdefault(w, [])
+            neigh.extend(v for v in targets if v not in neigh)
+            if len(neigh) > cap:
+                self._shrink(w, 0, cap, protect=targets)
+
+    def _ensure_reachable(self) -> None:
+        """Guarantee every vertex is reachable from the search seeds.
+
+        Degree capping makes layer 0 a *directed* graph, so a small
+        vertex group can end up with no in-edges from the rest — a
+        single-entry search can then never return it.  Any vertex a
+        BFS from entry point + pivots cannot reach promotes a
+        representative of its component to the pivot list (cheapest
+        repair: no graph surgery, no degree-cap interactions).
+        """
+        adj = self.layers[0]
+        n = self.vectors.shape[0]
+        seen = np.zeros(n, dtype=bool)
+        stack = list({int(self.entry_point), *self._pivots})
+        for s in stack:
+            seen[s] = True
+        while True:
+            while stack:
+                u = stack.pop()
+                for w in adj.get(u, ()):
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+            if seen.all():
+                return
+            rep = int(np.flatnonzero(~seen)[0])
+            self._pivots.append(rep)
+            seen[rep] = True
+            stack = [rep]
+
+    def _select_pivots(self) -> list[int]:
+        """Well-spread restart entries for layer-0 searches.
+
+        Greedy maximin (k-center) selection: start from the entry point
+        and repeatedly add the vertex farthest from the current pivot
+        set.  This deliberately picks the most isolated points — the
+        outliers and stray components that a single-entry beam misses —
+        so a search seeded with the pivots always starts within reach
+        of every region of the corpus.  Deterministic, O(n · pivots)
+        distance computations at build time.
+        """
+        n = self.vectors.shape[0]
+        pivots = [int(self.entry_point)]
+        d = distances_to_query(self.vectors, self.vectors[pivots[0]], self.metric)
+        for _ in range(min(n, MAX_SEARCH_PIVOTS) - 1):
+            far = int(np.argmax(d))
+            if d[far] <= 0.0:
+                break  # remaining points duplicate a pivot
+            pivots.append(far)
+            d = np.minimum(
+                d, distances_to_query(self.vectors, self.vectors[far], self.metric)
+            )
+        return pivots
 
     def _search_layer(
         self, query: np.ndarray, entries: list[int], ef: int, layer: int
@@ -159,12 +265,27 @@ class HNSWIndex:
                     selected.append((dist_q, u))
         return selected
 
-    def _shrink(self, u: int, layer: int, m_cap: int) -> None:
+    def _shrink(
+        self, u: int, layer: int, m_cap: int, protect: set[int] | frozenset = frozenset()
+    ) -> None:
         adj = self.layers[layer]
         neigh = np.asarray(adj[u], dtype=np.int64)
         dists = distances_to_query(self.vectors[neigh], self.vectors[u], self.metric)
         candidates = [(float(d), int(x)) for d, x in zip(dists, neigh)]
-        kept = self._select_neighbors(self.vectors[u], candidates, m_cap)
+        if protect:
+            # Nearest-in-link edges survive the heuristic unconditionally
+            # (the cap may be exceeded on pathological duplicate-heavy
+            # data, where one vertex is the nearest neighbor of many).
+            kept_protected = [(d, x) for d, x in candidates if x in protect]
+            free = [(d, x) for d, x in candidates if x not in protect]
+            m_free = max(m_cap - len(kept_protected), 0)
+            kept = kept_protected + (
+                self._select_neighbors(self.vectors[u], free, m_free)
+                if m_free
+                else []
+            )
+        else:
+            kept = self._select_neighbors(self.vectors[u], candidates, m_cap)
         adj[u] = [x for _, x in kept]
 
     # ---- search ----------------------------------------------------------------
@@ -175,21 +296,30 @@ class HNSWIndex:
         ef: int | None = None,
         recorder: TraceRecorder | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Top-k search; optionally records the layer-0 access trace."""
+        """Top-k search; optionally records the layer-0 access trace.
+
+        The layer-0 beam is seeded with the greedy-descent entry *plus*
+        the index's restart pivots, and ``ef`` is floored at ``Mmax0``
+        (= 2M): both guard against the single-entry beam parking in a
+        local minimum, which on adversarial clouds could miss even a
+        stored vector queried at ``k=1``.
+        """
         if ef is None:
             ef = max(k, self.params.ef_construction // 2)
         if ef < k:
             raise ValueError("ef must be >= k")
+        ef = max(ef, self.params.max_degree0)
         entry = self.entry_point
         for layer in range(int(self.levels[self.entry_point]), 0, -1):
             nearest = self._search_layer(query, [entry], 1, layer)
             entry = nearest[0][1]
         adj = self.layers[0]
+        entries = [entry] + [p for p in self._pivots if p != entry]
         results = greedy_beam_search(
             self.vectors,
             lambda v: np.asarray(adj.get(v, ()), dtype=np.int64),
             query,
-            [entry],
+            entries,
             ef,
             self.metric,
             recorder=recorder,

@@ -36,8 +36,9 @@ def kmeans(
     """Plain Lloyd's k-means: returns (centroids, assignment).
 
     Deterministic given the seed; empty clusters are re-seeded from the
-    point currently farthest from its centroid, so every centroid stays
-    live.
+    points currently farthest from their centroids — each empty cluster
+    takes a *distinct* farthest point, so simultaneously-empty clusters
+    never collapse onto identical centroids.
     """
     if n_clusters < 1:
         raise ValueError("n_clusters must be >= 1")
@@ -51,12 +52,13 @@ def kmeans(
         dmat = pairwise_distances(vectors, centroids, DistanceMetric.EUCLIDEAN)
         assignment = np.argmin(dmat, axis=1)
         nearest = dmat[np.arange(n), assignment]
+        farthest = iter(np.argsort(-nearest, kind="stable"))
         for c in range(n_clusters):
             members = vectors[assignment == c]
             if members.shape[0]:
                 centroids[c] = members.mean(axis=0)
             else:
-                centroids[c] = vectors[int(np.argmax(nearest))]
+                centroids[c] = vectors[int(next(farthest))]
     return centroids.astype(np.float32), assignment
 
 

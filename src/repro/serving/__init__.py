@@ -11,7 +11,8 @@ platform models:
 * :mod:`repro.serving.batcher` — dynamic batching
   (max-batch-size / max-wait-time, greedy and fixed policies).
 * :mod:`repro.serving.sharding` — replicated and IVF-partitioned
-  device pools with shard-aware top-k merging.
+  device pools with shard-aware top-k merging and selective shard
+  probing (IVF ``nprobe`` at the device-pool level).
 * :mod:`repro.serving.cache` — an LRU result cache exploiting query
   skew.
 * :mod:`repro.serving.admission` — bounded queues and load shedding.
@@ -65,7 +66,7 @@ from repro.serving.device import ShardDevice
 from repro.serving.frontend import ServingConfig, ServingFrontend
 from repro.serving.metrics import MetricsCollector, ServingReport
 from repro.serving.request import Request
-from repro.serving.sharding import ShardRouter, build_router
+from repro.serving.sharding import ShardJob, ShardRouter, build_router
 
 __all__ = [
     "AdmissionController",
@@ -84,6 +85,7 @@ __all__ = [
     "ServingFrontend",
     "ServingReport",
     "ShardDevice",
+    "ShardJob",
     "ShardRouter",
     "TraceReplayArrivals",
     "build_router",

@@ -48,6 +48,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="max batching wait in ms (default 2)")
     parser.add_argument("--mode", choices=SHARD_MODES, default=REPLICATED,
                         help="shard layout (default replicated)")
+    parser.add_argument("--nprobe", type=int, default=None,
+                        help="partitioned mode: probe only the nprobe "
+                             "nearest shards per query "
+                             "(default: broadcast to all)")
     parser.add_argument("--backend", default="ndsearch",
                         choices=platform_registry.available(),
                         help="platform behind the frontend (default ndsearch)")
@@ -75,10 +79,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="results per query (default 10)")
     parser.add_argument("--seed", type=int, default=7, help="stream seed")
     args = parser.parse_args(argv)
+    if args.nprobe is not None and args.mode == REPLICATED:
+        parser.error("--nprobe requires --mode partitioned")
 
+    routing = ""
+    if args.mode != REPLICATED:
+        routing = (
+            f", nprobe {args.nprobe}" if args.nprobe is not None
+            else ", broadcast"
+        )
     print(
         f"corpus {args.corpus} x {args.dim}, pool {args.pool} queries, "
-        f"{args.shards} x {args.backend} shard(s) [{args.mode}]"
+        f"{args.shards} x {args.backend} shard(s) [{args.mode}{routing}]"
     )
     vectors = clustered_gaussian(args.corpus, args.dim, seed=args.seed)
     pool = split_queries(vectors, args.pool, seed=args.seed + 1)
@@ -120,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
             admission_capacity=args.admission,
             pipelined=not args.blocking_devices,
             coalesce=not args.no_coalesce,
+            nprobe=args.nprobe,
         ),
     )
     print(
@@ -163,6 +176,19 @@ def main(argv: list[str] | None = None) -> int:
         print("OK: replicated sharding matches unsharded recall to 1e-6")
     else:
         print("note: partitioned recall may differ (per-shard graphs)")
+        # Recall-vs-nprobe: what selective probing trades away, per
+        # step, against the broadcast (= nprobe = num_shards) result.
+        print("\nrecall vs nprobe (selective shard probing):")
+        for nprobe in range(1, router.num_shards + 1):
+            probe_ids, _, jobs = router.search_probed(pool, args.k, nprobe)
+            probe_recall = recall_at_k(probe_ids, gt, args.k)
+            probed = sum(int(job.rows.size) for job in jobs)
+            print(
+                f"  nprobe {nprobe}: recall@{args.k} {probe_recall:.4f} "
+                f"({probed / pool.shape[0]:.2f} shards probed/query; "
+                f"broadcast recall {recall_sharded:.4f}, "
+                f"replicated baseline {recall_unsharded:.4f})"
+            )
     return 0
 
 

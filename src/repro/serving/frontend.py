@@ -22,7 +22,14 @@ Event-loop invariants:
   batch N's sort/output drain.  ``ServingConfig(pipelined=False)``
   restores the classic one-batch-at-a-time device.  Replicated mode
   picks the shard that can start earliest; partitioned mode broadcasts
-  and completes at the slowest shard (fan-out join).
+  and completes at the slowest shard (fan-out join).  With
+  ``ServingConfig(nprobe=n)`` a partitioned batch instead fans out
+  *selectively*: each query goes only to its ``n`` nearest shards
+  (:meth:`~repro.serving.sharding.ShardRouter.search_probed`), the
+  per-shard sub-batches are booked on their device pipelines
+  independently, and a query completes at the slowest of *its* probed
+  shards — so requests in one batch can have different completion
+  times.
 * Identical in-flight queries coalesce (:class:`Coalescer`): a request
   whose query is already queued (or already dispatched but not yet
   completed) piggybacks on the leader's batch and completes with it —
@@ -164,6 +171,12 @@ class ServingConfig:
     coalesce: bool = True
     """Piggyback identical in-flight queries on the leader's batch."""
 
+    nprobe: int | None = None
+    """Partitioned mode only: route each query to its ``nprobe``
+    nearest shards (IVF nprobe at the device-pool level) instead of
+    broadcasting.  ``None`` keeps the broadcast fan-out;
+    ``nprobe = num_shards`` reproduces broadcast results exactly."""
+
 
 class ServingFrontend:
     """Runs a request stream against a shard router, collecting metrics."""
@@ -171,6 +184,18 @@ class ServingFrontend:
     def __init__(self, router: ShardRouter, config: ServingConfig | None = None):
         self.router = router
         self.config = config or ServingConfig()
+        if self.config.nprobe is not None:
+            if router.mode != PARTITIONED:
+                raise ValueError("nprobe requires a partitioned router")
+            if not 1 <= self.config.nprobe <= router.num_shards:
+                raise ValueError(
+                    f"nprobe must be in [1, {router.num_shards}], "
+                    f"got {self.config.nprobe}"
+                )
+            if router.centroids is None:
+                raise ValueError(
+                    "nprobe requires a router built with routing centroids"
+                )
         self.batcher = DynamicBatcher(self.config.policy)
         self.cache = ResultCache(self.config.cache_capacity)
         self.admission = AdmissionController(self.config.admission_capacity)
@@ -180,6 +205,7 @@ class ServingFrontend:
             for _ in range(router.num_shards)
         ]
         self._in_service: list[tuple[float, int]] = []  # (completion_s, count) heap
+        self._in_service_total = 0
         self.coalescer = Coalescer(self.metrics.observe_coalesced)
 
     def run(
@@ -261,6 +287,7 @@ class ServingFrontend:
         # k and trim per request below.
         k = max(r.k for r in batch)
         self.metrics.observe_batch(len(batch), timeout_closed=timeout_closed)
+        n = len(batch)
 
         if self.router.mode == REPLICATED:
             shard = min(
@@ -273,7 +300,11 @@ class ServingFrontend:
             ids, dists, result = self.router.search_on(shard, queries, k)
             start, completion = self.devices[shard].serve(result, close_time)
             self.metrics.observe_shard_service(shard, result)
-        else:  # PARTITIONED: broadcast, join on the slowest shard
+            self.metrics.observe_probes(shard, n)
+            starts = np.full(n, start)
+            completions = np.full(n, completion)
+        elif self.config.nprobe is None:
+            # PARTITIONED broadcast: join on the slowest shard.
             ids, dists, results = self.router.search_all(queries, k)
             start = completion = close_time
             for shard, result in enumerate(results):
@@ -283,11 +314,42 @@ class ServingFrontend:
                 completion = max(completion, shard_done)
                 start = max(start, shard_start)
                 self.metrics.observe_shard_service(shard, result)
+                self.metrics.observe_probes(shard, n)
+            starts = np.full(n, start)
+            completions = np.full(n, completion)
+        else:
+            # PARTITIONED selective: each shard serves a sub-batch of
+            # the queries that probed it, on its own device timeline;
+            # a query joins on the slowest of *its* probed shards, not
+            # on the whole pool.
+            ids, dists, jobs = self.router.search_probed(
+                queries, k, self.config.nprobe
+            )
+            starts = np.full(n, close_time)
+            completions = np.full(n, close_time)
+            for job in jobs:
+                shard_start, shard_done = self.devices[job.shard].serve(
+                    job.result, close_time
+                )
+                self.metrics.observe_shard_service(job.shard, job.result)
+                self.metrics.observe_probes(job.shard, int(job.rows.size))
+                starts[job.rows] = np.maximum(starts[job.rows], shard_start)
+                completions[job.rows] = np.maximum(
+                    completions[job.rows], shard_done
+                )
 
-        heapq.heappush(self._in_service, (completion, len(batch)))
+        # One heap entry per distinct completion time: replicated and
+        # broadcast batches collapse to a single entry, selective
+        # probing adds one per fan-out join group.
+        values, counts = np.unique(completions, return_counts=True)
+        for value, count in zip(values, counts):
+            heapq.heappush(self._in_service, (float(value), int(count)))
+        self._in_service_total += len(batch)
+
         for i, request in enumerate(batch):
+            completion = float(completions[i])
             request.batched_s = close_time
-            request.start_s = start
+            request.start_s = float(starts[i])
             request.completion_s = completion
             request.outcome = COMPLETED
             request.result_ids = ids[i, : request.k]
@@ -304,10 +366,11 @@ class ServingFrontend:
 
     def _retire_in_service(self, now: float) -> None:
         while self._in_service and self._in_service[0][0] <= now:
-            heapq.heappop(self._in_service)
+            _, count = heapq.heappop(self._in_service)
+            self._in_service_total -= count
         # Results that have landed are no longer coalescing targets —
         # from now on the cache answers repeats of these queries.
         self.coalescer.retire(now)
 
     def _in_service_count(self) -> int:
-        return sum(count for _, count in self._in_service)
+        return self._in_service_total

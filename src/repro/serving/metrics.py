@@ -47,6 +47,13 @@ class ServingReport:
     shard_utilization: tuple[float, ...]
     energy_j: float
     counters: Counters = field(default_factory=Counters)
+    shard_probe_counts: tuple[int, ...] = ()
+    """Queries routed to each shard (selective probing: a query counts
+    only on the shards it probed; broadcast counts it on every shard)."""
+
+    mean_probes_per_query: float = 0.0
+    """Average shards probed per dispatched query (replicated = 1,
+    partitioned broadcast = num_shards, selective = nprobe)."""
 
     @property
     def served(self) -> int:
@@ -83,6 +90,11 @@ class ServingReport:
                 "shard utilization",
                 " ".join(f"{u:.0%}" for u in self.shard_utilization),
             ],
+            [
+                "shard probes",
+                " ".join(str(c) for c in self.shard_probe_counts),
+            ],
+            ["probed shards/query", f"{self.mean_probes_per_query:.2f}"],
             ["energy", f"{self.energy_j:.3g} J"],
         ]
         return format_table(["metric", "value"], rows, title=title)
@@ -104,6 +116,7 @@ class MetricsCollector:
         self.queue_depths: list[int] = []
         self.shard_busy_s = [0.0] * num_shards
         self.shard_batches = [0] * num_shards
+        self.shard_query_probes = [0] * num_shards
         self.energy_j = 0.0
         self.counters = Counters()
         self.first_arrival_s: float | None = None
@@ -152,6 +165,17 @@ class MetricsCollector:
         self.energy_j += result.energy_j
         self.counters.update(result.counters)
 
+    def observe_probes(self, shard: int, n_queries: int) -> None:
+        """``n_queries`` of a dispatched batch were routed to ``shard``.
+
+        The per-query currency of routing work: a replicated batch
+        books its whole batch on one shard, a partitioned broadcast on
+        every shard, selective probing only on the ``nprobe`` shards
+        each query chose — so ``sum(shard_query_probes)`` divided by
+        the dispatched query count is the effective probes-per-query.
+        """
+        self.shard_query_probes[shard] += n_queries
+
     def set_shard_busy(self, busy_s: list[float]) -> None:
         """Authoritative per-shard occupancy (union of service intervals)."""
         if len(busy_s) != self.num_shards:
@@ -178,6 +202,8 @@ class MetricsCollector:
             )
             mean = float(lat.mean())
         n_batches = len(self.batch_sizes)
+        dispatched = sum(self.batch_sizes)
+        total_probes = sum(self.shard_query_probes)
         return ServingReport(
             offered=offered,
             completed=self.completed,
@@ -208,4 +234,8 @@ class MetricsCollector:
             ),
             energy_j=self.energy_j,
             counters=self.counters,
+            shard_probe_counts=tuple(self.shard_query_probes),
+            mean_probes_per_query=(
+                total_probes / dispatched if dispatched else 0.0
+            ),
         )

@@ -14,6 +14,18 @@ outgrow one device.  Two classic layouts are provided:
   :func:`repro.ann.search.merge_topk`.  This is the layout for corpus
   scaling (each device stores 1/N of the data).
 
+Partitioned mode additionally supports **selective probing** — IVF
+``nprobe`` lifted to the device-pool level (the paper's Section VIII-B
+generalisation).  The router keeps the k-means centroids it split the
+corpus with; :meth:`ShardRouter.probe` routes each query to its
+``nprobe`` nearest shards, and :meth:`ShardRouter.search_probed`
+regroups the batch into per-shard sub-batches, serves each through
+:meth:`ShardRouter.search_selected` and merges the partial top-k lists
+(per-query shard masks: a query only contributes candidates from the
+shards it probed).  ``nprobe = num_shards`` reproduces the broadcast
+results exactly; smaller ``nprobe`` trades recall for a fraction of
+the per-query device work.
+
 The router owns the shard backends and the ID translation; device
 *timing* (who is busy until when) stays in the frontend's event loop.
 """
@@ -24,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.ann.distance import DistanceMetric, pairwise_distances
 from repro.ann.hnsw import HNSWIndex, HNSWParams
 from repro.ann.ivf import kmeans
 from repro.ann.search import merge_topk
@@ -36,18 +49,36 @@ PARTITIONED = "partitioned"
 SHARD_MODES = (REPLICATED, PARTITIONED)
 
 
+@dataclass(frozen=True)
+class ShardJob:
+    """One shard's slice of a selectively-probed batch.
+
+    ``rows`` are the batch-row indices routed to ``shard`` (ascending),
+    ``result`` the shard's :class:`~repro.sim.stats.SimResult` for that
+    sub-batch — what the frontend books onto the shard's device
+    timeline.
+    """
+
+    shard: int
+    rows: np.ndarray
+    result: SimResult
+
+
 @dataclass
 class ShardRouter:
     """A pool of shard backends plus the global-ID bookkeeping.
 
     ``global_ids[s]`` maps shard ``s``'s local vertex IDs to corpus
     IDs; ``None`` means the shard stores the full corpus (replicated
-    mode, local == global).
+    mode, local == global).  ``centroids`` holds the k-means coarse
+    quantizer a partitioned corpus was split with — the routing table
+    for selective probing.
     """
 
     backends: list[SearchBackend]
     mode: str = REPLICATED
     global_ids: list[np.ndarray] | None = None
+    centroids: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if not self.backends:
@@ -61,6 +92,10 @@ class ShardRouter:
                 raise ValueError(
                     "partitioned mode needs one global-ID map per shard"
                 )
+            if self.centroids is not None and self.centroids.shape[0] != len(
+                self.backends
+            ):
+                raise ValueError("need one routing centroid per shard")
 
     @property
     def num_shards(self) -> int:
@@ -75,6 +110,77 @@ class ShardRouter:
             local = self.global_ids[shard]
             ids = np.where(ids >= 0, local[np.clip(ids, 0, None)], -1)
         return ids, dists, result
+
+    def probe(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
+        """Route each query to its ``nprobe`` nearest shards.
+
+        Returns a ``(batch, nprobe)`` array of shard indices, ordered
+        by ascending centroid distance (stable ties), one row per
+        query.  Requires a partitioned router built with centroids.
+        """
+        if self.mode != PARTITIONED or self.centroids is None:
+            raise ValueError(
+                "selective probing needs a partitioned router with centroids"
+            )
+        if not 1 <= nprobe <= self.num_shards:
+            raise ValueError(
+                f"nprobe must be in [1, {self.num_shards}], got {nprobe}"
+            )
+        dmat = pairwise_distances(
+            np.atleast_2d(queries), self.centroids, DistanceMetric.EUCLIDEAN
+        )
+        return np.argsort(dmat, axis=1, kind="stable")[:, :nprobe]
+
+    def search_selected(
+        self, shard: int, subbatch: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, SimResult]:
+        """Serve a probed sub-batch on one shard (corpus-ID results).
+
+        The selective-probing leg of :meth:`search_probed`; results are
+        identical to :meth:`search_on` because per-query searches are
+        independent of batch composition — only the *timing* (the
+        returned :class:`~repro.sim.stats.SimResult`) reflects the
+        sub-batch size.
+        """
+        return self.search_on(shard, subbatch, k)
+
+    def search_probed(
+        self, queries: np.ndarray, k: int, nprobe: int
+    ) -> tuple[np.ndarray, np.ndarray, list[ShardJob]]:
+        """Selective fan-out: probe, regroup per shard, merge top-k.
+
+        Each query fans out only to its ``nprobe`` nearest shards; each
+        shard serves one sub-batch holding exactly the queries that
+        probed it.  Partial top-k lists merge under per-query shard
+        masks (rows a query did not probe stay ``-1``/``inf`` padded,
+        which :func:`repro.ann.search.merge_topk` skips), so with
+        ``nprobe = num_shards`` the merge — and therefore the results —
+        is bit-identical to :meth:`search_all`.  Returns the merged
+        ``(ids, dists)`` plus one :class:`ShardJob` per probed shard
+        for the frontend's device timelines.
+        """
+        queries = np.atleast_2d(queries)
+        assignment = self.probe(queries, nprobe)
+        batch = queries.shape[0]
+        per_ids: list[np.ndarray] = []
+        per_dists: list[np.ndarray] = []
+        jobs: list[ShardJob] = []
+        for shard in range(self.num_shards):
+            rows = np.flatnonzero((assignment == shard).any(axis=1))
+            # Masked per-shard candidate block: unprobed rows stay padded.
+            ids = np.full((batch, k), -1, dtype=np.int64)
+            dists = np.full((batch, k), np.inf, dtype=np.float64)
+            if rows.size:
+                sub_ids, sub_dists, result = self.search_selected(
+                    shard, queries[rows], k
+                )
+                ids[rows, : sub_ids.shape[1]] = sub_ids
+                dists[rows, : sub_dists.shape[1]] = sub_dists
+                jobs.append(ShardJob(shard=shard, rows=rows, result=result))
+            per_ids.append(ids)
+            per_dists.append(dists)
+        merged_ids, merged_dists = merge_topk(per_ids, per_dists, k)
+        return merged_ids, merged_dists, jobs
 
     def search_all(
         self, queries: np.ndarray, k: int
@@ -141,8 +247,9 @@ def build_router(
         raise ValueError("more shards than corpus vectors")
     if num_shards == 1:
         assignment = np.zeros(vectors.shape[0], dtype=np.int64)
+        centroids = vectors.mean(axis=0, keepdims=True).astype(np.float32)
     else:
-        _, assignment = kmeans(vectors, num_shards, seed=seed)
+        centroids, assignment = kmeans(vectors, num_shards, seed=seed)
     backends = []
     global_ids = []
     for shard in range(num_shards):
@@ -155,4 +262,9 @@ def build_router(
         index = HNSWIndex(sub, params, **metric_kwargs)
         backends.append(make_backend(platform, index, sub, shard_config, **kwargs))
         global_ids.append(members)
-    return ShardRouter(backends=backends, mode=PARTITIONED, global_ids=global_ids)
+    return ShardRouter(
+        backends=backends,
+        mode=PARTITIONED,
+        global_ids=global_ids,
+        centroids=centroids,
+    )

@@ -7,19 +7,28 @@ exercise the paper-scale ratios.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import settings
 
-# The whole repo promises "identical commands produce identical
-# results"; hold the property tests to it too.  Randomized example
-# generation once surfaced an HNSW cloud where a stored vector is not
-# its own nearest neighbor at ef=8 (greedy beam search is approximate
-# — a latent, data-dependent miss, not a regression), which made the
-# tier-1 gate flaky.  Deterministic generation keeps the gate stable;
-# the approximate-recall property itself is tracked in ROADMAP.md.
+# Property tests run *randomized* by default: random example generation
+# is what once surfaced the HNSW self-recall miss (a stored vector not
+# returned at distance 0 for k=1, ef=8 — fixed since by multi-entry
+# restart pivots, the nearest-neighbor in-link pass and the ef floor in
+# HNSWIndex.search), and randomization is the suite's bug-finding
+# power.  Set REPRO_DERANDOMIZE=1 to pin example generation (the
+# fixed-seed fallback CI's tier-1 gate uses, so that gate stays
+# deterministic while a separate CI job keeps hunting with fresh
+# examples).
 settings.register_profile("deterministic", derandomize=True)
-settings.load_profile("deterministic")
+settings.register_profile("randomized", derandomize=False)
+settings.load_profile(
+    "deterministic"
+    if os.environ.get("REPRO_DERANDOMIZE", "") not in ("", "0")
+    else "randomized"
+)
 
 from repro.ann import HNSWIndex, HNSWParams
 from repro.ann.distance import DistanceMetric

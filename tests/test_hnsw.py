@@ -102,3 +102,63 @@ class TestSearch:
         gt, _ = bf.search_batch(small_queries, 5)
         ids, _, _ = index.search_batch(small_queries, 5, ef=48)
         assert recall_at_k(ids, gt) >= 0.8
+
+
+def _adversarial_cloud(n: int, dim: int, seed: int) -> np.ndarray:
+    """The PR 2 property-test cloud family (4 Gaussian clusters)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(4, dim))
+    assign = rng.integers(0, 4, size=n)
+    return (centers[assign] + 0.4 * rng.normal(size=(n, dim))).astype(
+        np.float32
+    )
+
+
+class TestSelfRecallRegression:
+    """Clouds where the pre-fix single-entry beam missed a stored vector.
+
+    Each case was found by randomized property testing (PR 2 and the
+    PR 3 stress runs): ``search(vectors[probe], k=1, ef=8)`` returned a
+    non-zero distance.  The fix — maximin restart pivots, the
+    nearest-neighbor in-link pass and the ef floor — must keep all of
+    them self-retrievable.
+    """
+
+    CASES = [  # (n, dim, cloud seed == index seed, probe vertex)
+        (72, 7, 619379841, 57),
+        (118, 11, 496254106, 32),
+        (100, 7, 2141063300, 0),
+        (119, 5, 1304948310, 22),
+        (91, 9, 274008642, 89),
+        (107, 10, 765335761, 71),
+        (115, 12, 1618076485, 35),
+        (99, 12, 1872236628, 9),
+        (110, 4, 485126279, 99),
+        (74, 4, 410274922, 52),
+        (94, 11, 1605792215, 85),
+        (108, 12, 565771716, 0),   # probe had no in-path from the entry
+        (108, 8, 1900992776, 104),  # nearest in-link pruned by shrink
+    ]
+
+    @pytest.mark.parametrize("n,dim,seed,probe", CASES)
+    def test_stored_vector_self_retrievable(self, n, dim, seed, probe):
+        vectors = _adversarial_cloud(n, dim, seed)
+        index = HNSWIndex(vectors, HNSWParams(M=4, ef_construction=12, seed=seed))
+        ids, dists = index.search(vectors[probe], k=1, ef=8)
+        assert ids[0] == probe
+        assert dists[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_every_vertex_reachable_from_seeds(self):
+        """The build-time repair: BFS from entry + pivots spans layer 0."""
+        vectors = _adversarial_cloud(108, 12, 565771716)
+        index = HNSWIndex(vectors, HNSWParams(M=4, ef_construction=12,
+                                              seed=565771716))
+        adj = index.layers[0]
+        seen = {index.entry_point, *index._pivots}
+        stack = list(seen)
+        while stack:
+            for w in adj.get(stack.pop(), ()):
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        assert len(seen) == vectors.shape[0]

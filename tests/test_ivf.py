@@ -38,6 +38,31 @@ class TestKMeans:
         with pytest.raises(ValueError):
             kmeans(small_vectors[:3], 10)
 
+    def test_simultaneous_empty_clusters_reseed_distinctly(self):
+        """Several clusters emptying in one iteration must not collapse.
+
+        Ten copies of the origin plus four distinct outliers: with
+        seed 0 all five initial centroids are drawn from the duplicate
+        block, so four clusters go empty in the *same* Lloyd
+        iteration.  Re-seeding used to give them all the same farthest
+        point (identical centroids forever after); each must instead
+        take a distinct farthest point.
+        """
+        vectors = np.vstack([
+            np.zeros((10, 2), dtype=np.float32),
+            np.array(
+                [[10, 0], [20, 0], [30, 0], [40, 0]], dtype=np.float32
+            ),
+        ])
+        centroids, assignment = kmeans(vectors, 5, seed=0)
+        assert np.unique(centroids, axis=0).shape[0] == 5
+        # Every outlier location won its own centroid: the re-seed
+        # walked successive farthest points instead of re-using one.
+        for point in ((10, 0), (20, 0), (30, 0), (40, 0)):
+            assert (np.abs(centroids - np.asarray(point)).sum(axis=1) < 1e-5).any()
+        # No cluster is left empty under the returned assignment.
+        assert set(np.unique(assignment)) == set(range(5))
+
 
 @pytest.fixture(scope="module")
 def ivf(request):

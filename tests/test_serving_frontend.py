@@ -97,6 +97,123 @@ class TestEndToEnd:
         assert frontend.metrics.shard_batches[0] == frontend.metrics.shard_batches[1]
         assert all(u > 0 for u in report.shard_utilization)
 
+    def test_partitioned_selective_full_probe_matches_broadcast(
+        self, small_vectors, pool, config
+    ):
+        """nprobe = num_shards reproduces the broadcast run exactly."""
+        router = build_router(
+            small_vectors, num_shards=2, config=config, mode=PARTITIONED, seed=4
+        )
+
+        def run(nprobe):
+            requests = make_stream(pool, n=60)
+            frontend = ServingFrontend(
+                router,
+                ServingConfig(
+                    policy=BatchPolicy(max_batch_size=8, max_wait_s=2e-3),
+                    nprobe=nprobe,
+                ),
+            )
+            return frontend.run(requests, pool), requests
+
+        bcast_report, bcast_requests = run(None)
+        probe_report, probe_requests = run(2)
+        assert probe_report.qps == bcast_report.qps
+        assert probe_report.latency_p99_s == bcast_report.latency_p99_s
+        assert probe_report.energy_j == bcast_report.energy_j
+        assert probe_report.shard_utilization == bcast_report.shard_utilization
+        assert probe_report.mean_probes_per_query == 2.0
+        for a, b in zip(bcast_requests, probe_requests):
+            assert a.outcome == b.outcome
+            assert a.completion_s == b.completion_s
+            if a.result_ids is not None:
+                np.testing.assert_array_equal(a.result_ids, b.result_ids)
+                np.testing.assert_array_equal(a.result_dists, b.result_dists)
+
+    def test_selective_probing_leaves_unprobed_shards_idle(
+        self, small_vectors, config
+    ):
+        """nprobe=1 books device time only on the shards queries probed."""
+        router = build_router(
+            small_vectors, num_shards=4, config=config, mode=PARTITIONED, seed=4
+        )
+        # A tight pool drawn from one shard's sub-corpus: with nprobe=1
+        # every query routes to a strict subset of the pool.
+        members = router.global_ids[0][:12]
+        tight_pool = np.ascontiguousarray(small_vectors[members] + 0.01)
+        assignment = router.probe(tight_pool, 1)
+        probed = set(int(s) for s in np.unique(assignment))
+        assert len(probed) < router.num_shards  # precondition: some idle
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(
+                policy=BatchPolicy(max_batch_size=8, max_wait_s=2e-3),
+                cache_capacity=0,
+                coalesce=False,
+                nprobe=1,
+            ),
+        )
+        report = frontend.run(make_stream(tight_pool, n=60), tight_pool)
+        assert report.completed == 60
+        assert report.mean_probes_per_query == 1.0
+        for shard in range(router.num_shards):
+            if shard not in probed:
+                assert frontend.devices[shard].busy_s == 0.0
+                assert frontend.devices[shard].batches_served == 0
+                assert frontend.metrics.shard_batches[shard] == 0
+                assert report.shard_probe_counts[shard] == 0
+                assert report.shard_utilization[shard] == 0.0
+
+    def test_selective_probing_returns_valid_global_ids(
+        self, small_vectors, pool, config
+    ):
+        router = build_router(
+            small_vectors, num_shards=4, config=config, mode=PARTITIONED, seed=4
+        )
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(
+                policy=BatchPolicy(max_batch_size=8, max_wait_s=2e-3),
+                cache_capacity=0,
+                coalesce=False,
+                nprobe=2,
+            ),
+        )
+        requests = make_stream(pool, n=60)
+        report = frontend.run(requests, pool)
+        assert report.completed == 60
+        for request in requests:
+            assert request.result_ids is not None
+            valid = request.result_ids >= 0
+            assert valid.any()
+            assert request.result_ids[valid].max() < small_vectors.shape[0]
+            # A query's completion joins only its own probed shards, so
+            # it is still a real fan-out join time.
+            assert request.completion_s >= request.batched_s
+
+    def test_nprobe_validation(self, small_vectors, pool, config):
+        replicated = build_router(small_vectors, num_shards=2, config=config)
+        with pytest.raises(ValueError):
+            ServingFrontend(replicated, ServingConfig(nprobe=1))
+        partitioned = build_router(
+            small_vectors, num_shards=2, config=config, mode=PARTITIONED, seed=4
+        )
+        with pytest.raises(ValueError):
+            ServingFrontend(partitioned, ServingConfig(nprobe=3))
+        with pytest.raises(ValueError):
+            ServingFrontend(partitioned, ServingConfig(nprobe=0))
+        # A partitioned router assembled without routing centroids must
+        # fail at construction, not mid-run on the first dispatch.
+        from repro.serving import ShardRouter
+
+        centroidless = ShardRouter(
+            backends=list(partitioned.backends),
+            mode=PARTITIONED,
+            global_ids=partitioned.global_ids,
+        )
+        with pytest.raises(ValueError):
+            ServingFrontend(centroidless, ServingConfig(nprobe=1))
+
     def test_greedy_policy_batch_of_one(self, small_vectors, pool, config):
         router = build_router(small_vectors, num_shards=1, config=config)
         frontend = ServingFrontend(

@@ -138,6 +138,92 @@ class TestRouters:
         assert recall_at_k(ids, gt, k) >= 0.8
 
 
+class TestSelectiveProbing:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return NDSearchConfig.scaled()
+
+    @pytest.fixture(scope="class")
+    def router(self, small_vectors, config):
+        return build_router(
+            small_vectors, num_shards=4, config=config, mode=PARTITIONED, seed=3
+        )
+
+    def test_probe_shape_and_range(self, router, small_queries):
+        assignment = router.probe(small_queries, 2)
+        assert assignment.shape == (small_queries.shape[0], 2)
+        assert assignment.min() >= 0 and assignment.max() < 4
+        # A query never probes the same shard twice.
+        for row in assignment:
+            assert len(set(row.tolist())) == 2
+
+    def test_probe_orders_by_centroid_distance(self, router, small_queries):
+        from repro.ann.distance import DistanceMetric, pairwise_distances
+
+        assignment = router.probe(small_queries, 4)
+        dmat = pairwise_distances(
+            small_queries, router.centroids, DistanceMetric.EUCLIDEAN
+        )
+        for i in range(small_queries.shape[0]):
+            d = dmat[i, assignment[i]]
+            assert (np.diff(d) >= 0).all()
+
+    def test_probe_validation(self, router, small_vectors, small_queries, config):
+        with pytest.raises(ValueError):
+            router.probe(small_queries, 0)
+        with pytest.raises(ValueError):
+            router.probe(small_queries, 5)
+        replicated = build_router(small_vectors, num_shards=2, config=config)
+        with pytest.raises(ValueError):
+            replicated.probe(small_queries, 1)
+
+    def test_full_probe_bit_identical_to_broadcast(self, router, small_queries):
+        """nprobe = num_shards must reproduce search_all exactly."""
+        k = 6
+        bcast_ids, bcast_dists, _ = router.search_all(small_queries, k)
+        probe_ids, probe_dists, jobs = router.search_probed(
+            small_queries, k, nprobe=4
+        )
+        np.testing.assert_array_equal(probe_ids, bcast_ids)
+        np.testing.assert_array_equal(probe_dists, bcast_dists)
+        assert [job.shard for job in jobs] == [0, 1, 2, 3]
+        for job in jobs:
+            np.testing.assert_array_equal(
+                job.rows, np.arange(small_queries.shape[0])
+            )
+
+    def test_jobs_cover_each_query_nprobe_times(self, router, small_queries):
+        for nprobe in (1, 2, 3):
+            _, _, jobs = router.search_probed(small_queries, 5, nprobe)
+            counts = np.zeros(small_queries.shape[0], dtype=int)
+            for job in jobs:
+                assert (np.diff(job.rows) > 0).all()  # ascending, unique
+                counts[job.rows] += 1
+            assert (counts == nprobe).all()
+
+    def test_merged_ids_are_valid_corpus_ids(
+        self, router, small_vectors, small_queries
+    ):
+        ids, dists, _ = router.search_probed(small_queries, 5, nprobe=1)
+        valid = ids >= 0
+        assert valid[:, 0].all()  # at least one result per query
+        assert ids[valid].max() < small_vectors.shape[0]
+        assert np.isfinite(dists[valid]).all()
+
+    def test_selective_recall_monotone_in_nprobe(
+        self, router, small_vectors, small_queries
+    ):
+        from repro.ann import recall_at_k
+
+        k = 5
+        gt, _ = BruteForceIndex(small_vectors).search_batch(small_queries, k)
+        recalls = []
+        for nprobe in (1, 2, 4):
+            ids, _, _ = router.search_probed(small_queries, k, nprobe)
+            recalls.append(recall_at_k(ids, gt, k))
+        assert recalls[0] <= recalls[1] + 1e-9 <= recalls[2] + 2e-9
+
+
 class TestShardChipExactness:
     def test_no_flash_silently_dropped(self):
         """Every division path conserves the total chip count exactly."""
