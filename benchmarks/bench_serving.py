@@ -16,11 +16,19 @@ the replicated device pool and the offered load.  Expected shape:
 * selective shard probing (partitioned mode, IVF nprobe at the device
   pool) cuts per-query device work proportionally to nprobe while
   recall falls gracefully toward — and matches exactly at
-  nprobe = num_shards — the broadcast result.
+  nprobe = num_shards — the broadcast result;
+* with ``--slo``: deadline-driven batch closing (the ``slo`` policy's
+  drain-time prediction) misses fewer deadlines than a fixed max-wait
+  at every deadline, miss rate falls monotonically as the deadline
+  loosens, and high-priority attainment stays >= 95%;
+* with ``--autoscale``: offered load above a static replica's capacity
+  — the autoscaled pool grows, sheds less and holds a lower p99 than
+  the static pool.
 
 Besides the human-readable table, the sweep persists
 ``benchmarks/results/serving_sweep.json`` for the perf-trajectory
-tooling.
+tooling (CI runs with both flags so the artifact carries the full
+sweep).
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from repro.ann import BruteForceIndex, recall_at_k
 from repro.core.config import NDSearchConfig
 from repro.data.synthetic import clustered_gaussian, split_queries
 from repro.serving import (
+    AutoscalePolicy,
     BatchPolicy,
     MMPPArrivals,
     PoissonArrivals,
@@ -55,11 +64,28 @@ PIPELINE_RATES = (10000.0, 40000.0)
 PARTITION_SHARDS = 4
 PARTITION_RATE = 2000.0
 
+#: High-priority deadlines for the SLO sweep (--slo); the best-effort
+#: class gets 4x the budget.  Monotone loosening: the deadline-miss
+#: rate must be non-increasing left to right.
+SLO_DEADLINES_MS = (2.0, 4.0, 8.0, 16.0)
+SLO_RATE = 4000.0
+SLO_HIGH_FRAC = 0.25
+SLO_MARGIN_S = 3e-4
+
+#: Offered load / pool bounds for the static-vs-autoscaled comparison
+#: (--autoscale): far above one replica's capacity with small batches,
+#: so the static pool's in-service backlog fills the admission bound.
+AUTOSCALE_RATE = 25000.0
+AUTOSCALE_MAX_REPLICAS = 4
+AUTOSCALE_CAPACITY = 48
+
 CORPUS, DIM, POOL, REQUESTS, K = 800, 16, 128, 400, 10
 
 
 def _run_cell(
-    router, pool, *, arrivals, policy, pipelined, coalesce, zipf=0.0, nprobe=None
+    router, pool, *, arrivals, policy, pipelined, coalesce, zipf=0.0,
+    nprobe=None, priorities=(0,), weights=None, slo=None, admission=None,
+    autoscale=None,
 ):
     stream = QueryStream(
         arrivals,
@@ -68,6 +94,9 @@ def _run_cell(
         k=K,
         zipf_exponent=zipf,
         seed=33,
+        priorities=priorities,
+        priority_weights=weights,
+        slo_s=slo,
     )
     frontend = ServingFrontend(
         router,
@@ -77,12 +106,14 @@ def _run_cell(
             pipelined=pipelined,
             coalesce=coalesce,
             nprobe=nprobe,
+            admission_capacity=admission,
+            autoscale=autoscale,
         ),
     )
     return frontend.run(stream.generate(), pool)
 
 
-def collect() -> dict:
+def collect(slo: bool = False, autoscale: bool = False) -> dict:
     vectors = clustered_gaussian(CORPUS, DIM, seed=31)
     pool = split_queries(vectors, POOL, seed=32)
     config = NDSearchConfig.scaled()
@@ -233,12 +264,104 @@ def collect() -> dict:
             }
         )
 
-    return {
+    results = {
         "sweep": sweep,
         "pipeline": pipeline,
         "partitioned": partition_rows,
         "coalescing": coalesce_rows,
     }
+
+    # ---- SLO sweep: deadline-driven closes vs a fixed max-wait ----------
+    # Two priority classes share the stream (the high class carries the
+    # tight deadline, the best-effort class 4x the budget); each
+    # deadline runs under the slo policy (drain-time-predicted closes)
+    # and under the classic max-wait policy, same stream and pool.
+    if slo:
+        slo_rows = []
+        for deadline_ms in SLO_DEADLINES_MS:
+            slo_spec = {1: deadline_ms * 1e-3, 0: 4 * deadline_ms * 1e-3}
+            cells = {}
+            for mode in ("slo", "batch"):
+                # The margin absorbs service-model error (per-query
+                # trace variance around the affine fit); it only means
+                # anything to the slo policy.
+                report = _run_cell(
+                    routers[1],
+                    pool,
+                    arrivals=PoissonArrivals(SLO_RATE),
+                    policy=BatchPolicy(
+                        max_batch_size=32, max_wait_s=20e-3, mode=mode,
+                        slo_margin_s=SLO_MARGIN_S if mode == "slo" else 0.0,
+                    ),
+                    pipelined=True,
+                    coalesce=False,
+                    priorities=(0, 1),
+                    weights=(1.0 - SLO_HIGH_FRAC, SLO_HIGH_FRAC),
+                    slo=slo_spec,
+                )
+                cells[mode] = report
+            slo_report, batch_report = cells["slo"], cells["batch"]
+            slo_rows.append(
+                {
+                    "deadline_ms": deadline_ms,
+                    "miss_rate_slo": slo_report.deadline_miss_rate,
+                    "miss_rate_max_wait": batch_report.deadline_miss_rate,
+                    "attainment_high_slo":
+                        slo_report.priority_stats[1]["attainment"],
+                    "attainment_high_max_wait":
+                        batch_report.priority_stats[1]["attainment"],
+                    "high_served_slo": slo_report.priority_stats[1]["served"],
+                    "high_shed_slo": slo_report.priority_stats[1]["shed"],
+                    "goodput_slo": slo_report.goodput_qps,
+                    "goodput_max_wait": batch_report.goodput_qps,
+                    "p99_ms_slo": slo_report.latency_p99_s * 1e3,
+                    "p99_ms_max_wait": batch_report.latency_p99_s * 1e3,
+                    "mean_batch_slo": slo_report.mean_batch_size,
+                    "mean_batch_max_wait": batch_report.mean_batch_size,
+                }
+            )
+        results["slo"] = slo_rows
+
+    # ---- autoscaling: static pool vs epoch-scaled pool under overload --
+    if autoscale:
+        autoscale_rows = []
+        for scaled in (False, True):
+            policy = (
+                AutoscalePolicy(
+                    min_replicas=1,
+                    max_replicas=AUTOSCALE_MAX_REPLICAS,
+                    interval_s=2e-3,
+                    high_utilization=0.7,
+                    high_queue_depth=8.0,
+                )
+                if scaled
+                else None
+            )
+            report = _run_cell(
+                build_router(vectors, num_shards=1, config=config),
+                pool,
+                arrivals=PoissonArrivals(AUTOSCALE_RATE),
+                policy=BatchPolicy(max_batch_size=4, max_wait_s=2e-3),
+                pipelined=True,
+                coalesce=False,
+                admission=AUTOSCALE_CAPACITY,
+                autoscale=policy,
+            )
+            autoscale_rows.append(
+                {
+                    "pool": "autoscaled" if scaled else "static",
+                    "qps": report.qps,
+                    "shed": report.shed,
+                    "shed_rate": report.shed_rate,
+                    "p99_ms": report.latency_p99_s * 1e3,
+                    "mean_queue_depth": report.mean_queue_depth,
+                    "scale_events": list(report.scale_events),
+                    "replicas_final": report.replicas_final,
+                }
+            )
+        results["autoscale"] = autoscale_rows
+
+    return results
 
 
 def run(results: dict | None = None) -> str:
@@ -298,11 +421,68 @@ def run(results: dict | None = None) -> str:
             f"{results['partitioned'][0]['recall_replicated_baseline']:.4f})"
         ),
     )
-    return sweep_table + "\n\n" + pipeline_table + "\n\n" + partition_table
+    tables = [sweep_table, pipeline_table, partition_table]
+    if "slo" in results:
+        tables.append(
+            format_table(
+                ["deadline ms", "miss slo", "miss wait", "hi attain slo",
+                 "hi attain wait", "goodput slo", "p99 slo", "p99 wait",
+                 "batch slo"],
+                [
+                    [
+                        f"{r['deadline_ms']:g}",
+                        f"{r['miss_rate_slo']:.1%}",
+                        f"{r['miss_rate_max_wait']:.1%}",
+                        f"{r['attainment_high_slo']:.1%}",
+                        f"{r['attainment_high_max_wait']:.1%}",
+                        f"{r['goodput_slo']:,.0f}",
+                        f"{r['p99_ms_slo']:.3f}",
+                        f"{r['p99_ms_max_wait']:.3f}",
+                        f"{r['mean_batch_slo']:.1f}",
+                    ]
+                    for r in results["slo"]
+                ],
+                title=(
+                    f"slo policy vs max-wait @ {SLO_RATE:g} QPS "
+                    f"(high-priority deadline sweep, best-effort = 4x)"
+                ),
+            )
+        )
+    if "autoscale" in results:
+        tables.append(
+            format_table(
+                ["pool", "QPS", "shed", "shed rate", "p99 ms", "queue",
+                 "events", "replicas"],
+                [
+                    [
+                        r["pool"],
+                        f"{r['qps']:,.0f}",
+                        r["shed"],
+                        f"{r['shed_rate']:.1%}",
+                        f"{r['p99_ms']:.3f}",
+                        f"{r['mean_queue_depth']:.1f}",
+                        len(r["scale_events"]),
+                        r["replicas_final"],
+                    ]
+                    for r in results["autoscale"]
+                ],
+                title=(
+                    f"static vs autoscaled pool @ {AUTOSCALE_RATE:g} QPS "
+                    f"(capacity {AUTOSCALE_CAPACITY}, "
+                    f"max {AUTOSCALE_MAX_REPLICAS} replicas)"
+                ),
+            )
+        )
+    return "\n\n".join(tables)
 
 
-def test_bench_serving(benchmark, record_table, record_json):
-    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+def test_bench_serving(benchmark, record_table, record_json, request):
+    slo = request.config.getoption("--slo")
+    autoscale = request.config.getoption("--autoscale")
+    results = benchmark.pedantic(
+        lambda: collect(slo=slo, autoscale=autoscale),
+        rounds=1, iterations=1,
+    )
     record_table("serving_sweep", run(results))
     record_json("serving_sweep", results)
     rows = results["sweep"]
@@ -363,3 +543,31 @@ def test_bench_serving(benchmark, record_table, record_json):
     off, on = results["coalescing"]
     assert on["coalesced"] > 0
     assert on["searched"] < off["searched"]
+
+    # SLO sweep (--slo): loosening the deadline never raises the miss
+    # rate, the slo policy keeps >= 95% high-priority attainment, and
+    # it never misses more than the fixed max-wait policy it replaces.
+    if "slo" in results:
+        slo_rows = results["slo"]
+        for tight, loose in zip(slo_rows[:-1], slo_rows[1:]):
+            assert loose["miss_rate_slo"] <= tight["miss_rate_slo"] + 1e-9, (
+                tight, loose,
+            )
+        for r in slo_rows:
+            # Attainment must be earned, not vacuous: the high class
+            # actually gets served, and nearly all of it on time.
+            assert r["high_served_slo"] > 0, r
+            assert r["high_shed_slo"] == 0, r
+            assert r["attainment_high_slo"] >= 0.95, r
+            assert r["miss_rate_slo"] <= r["miss_rate_max_wait"] + 1e-9, r
+
+    # Autoscaling (--autoscale): above a static replica's capacity the
+    # scaled pool sheds less and holds a lower p99.
+    if "autoscale" in results:
+        static, scaled = results["autoscale"]
+        assert static["pool"] == "static" and scaled["pool"] == "autoscaled"
+        assert static["shed"] > 0
+        assert scaled["shed"] < static["shed"]
+        assert scaled["p99_ms"] < static["p99_ms"]
+        assert scaled["scale_events"]
+        assert scaled["replicas_final"] > 1

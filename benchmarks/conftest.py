@@ -21,6 +21,25 @@ import pytest
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
+def pytest_addoption(parser):
+    """Opt-in sweep sections for the serving benchmark.
+
+    ``--slo`` adds the deadline sweep (slo policy vs max-wait across
+    loosening deadlines) and ``--autoscale`` the static-vs-autoscaled
+    overload comparison to ``bench_serving``; both extend
+    ``results/serving_sweep.json``.  CI runs with both so the uploaded
+    artifact carries the full sweep.
+    """
+    parser.addoption(
+        "--slo", action="store_true", default=False,
+        help="include the SLO deadline sweep in bench_serving",
+    )
+    parser.addoption(
+        "--autoscale", action="store_true", default=False,
+        help="include the static-vs-autoscaled sweep in bench_serving",
+    )
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)

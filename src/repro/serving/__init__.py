@@ -9,7 +9,12 @@ platform models:
 * :mod:`repro.serving.arrivals` — request streams (Poisson, bursty
   MMPP, trace replay) with Zipfian query popularity.
 * :mod:`repro.serving.batcher` — dynamic batching
-  (max-batch-size / max-wait-time, greedy and fixed policies).
+  (max-batch-size / max-wait-time, greedy, fixed and SLO deadline-
+  driven policies).
+* :mod:`repro.serving.slo` — the calibrated per-size service model
+  behind the ``slo`` policy's drain-time prediction.
+* :mod:`repro.serving.autoscale` — epoch-based replica autoscaling
+  from windowed utilization and queue-depth signals.
 * :mod:`repro.serving.sharding` — replicated and IVF-partitioned
   device pools with shard-aware top-k merging and selective shard
   probing (IVF ``nprobe`` at the device-pool level).
@@ -55,6 +60,7 @@ from repro.serving.arrivals import (
     QueryStream,
     TraceReplayArrivals,
 )
+from repro.serving.autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
 from repro.serving.backends import (
     PlatformBackend,
     SearchBackend,
@@ -67,9 +73,12 @@ from repro.serving.frontend import ServingConfig, ServingFrontend
 from repro.serving.metrics import MetricsCollector, ServingReport
 from repro.serving.request import Request
 from repro.serving.sharding import ShardJob, ShardRouter, build_router
+from repro.serving.slo import ServiceModel
 
 __all__ = [
     "AdmissionController",
+    "AutoscalePolicy",
+    "Autoscaler",
     "BatchPolicy",
     "DynamicBatcher",
     "LRUCache",
@@ -80,7 +89,9 @@ __all__ = [
     "QueryStream",
     "Request",
     "ResultCache",
+    "ScaleEvent",
     "SearchBackend",
+    "ServiceModel",
     "ServingConfig",
     "ServingFrontend",
     "ServingReport",

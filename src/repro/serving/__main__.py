@@ -24,6 +24,7 @@ from repro.ann import BruteForceIndex, HNSWIndex, HNSWParams, recall_at_k
 from repro.core import NDSearch, NDSearchConfig
 from repro.data.synthetic import clustered_gaussian, split_queries
 from repro.serving.arrivals import MMPPArrivals, PoissonArrivals, QueryStream
+from repro.serving.autoscale import AutoscalePolicy
 from repro.serving.batcher import POLICY_MODES, BatchPolicy
 from repro.serving.frontend import ServingConfig, ServingFrontend
 from repro.serving.sharding import REPLICATED, SHARD_MODES, build_router
@@ -41,11 +42,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=4,
                         help="shard device count (default 4)")
     parser.add_argument("--policy", choices=POLICY_MODES, default="batch",
-                        help="batching policy (default batch)")
+                        help="batching policy (default batch; 'slo' closes "
+                             "on predicted deadline breach)")
     parser.add_argument("--batch-size", type=int, default=32,
                         help="max batch size (default 32)")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
                         help="max batching wait in ms (default 2)")
+    parser.add_argument("--slo-ms", type=float, default=None,
+                        help="completion deadline in ms attached to every "
+                             "request (default: no deadlines)")
+    parser.add_argument("--tight-slo-ms", type=float, default=None,
+                        help="deadline for the high-priority class; "
+                             "implies two priority classes (see --high-frac)")
+    parser.add_argument("--high-frac", type=float, default=0.2,
+                        help="fraction of requests in the high-priority "
+                             "class when --tight-slo-ms is set (default 0.2)")
+    parser.add_argument("--slo-margin-ms", type=float, default=0.0,
+                        help="slo policy: close this much earlier than the "
+                             "predicted breach (absorbs model error)")
+    parser.add_argument("--priority-admission", action="store_true",
+                        help="shed lowest-priority/latest-deadline work "
+                             "first instead of arrival order")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="autoscale the replicated pool between epochs "
+                             "(replicated mode only)")
+    parser.add_argument("--autoscale-max", type=int, default=8,
+                        help="autoscaler replica ceiling (default 8)")
+    parser.add_argument("--autoscale-interval-ms", type=float, default=50.0,
+                        help="autoscaler epoch length in ms (default 50)")
     parser.add_argument("--mode", choices=SHARD_MODES, default=REPLICATED,
                         help="shard layout (default replicated)")
     parser.add_argument("--nprobe", type=int, default=None,
@@ -81,6 +105,26 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.nprobe is not None and args.mode == REPLICATED:
         parser.error("--nprobe requires --mode partitioned")
+    if args.autoscale and args.mode != REPLICATED:
+        parser.error("--autoscale requires --mode replicated")
+    if args.policy == "slo" and args.slo_ms is None and args.tight_slo_ms is None:
+        parser.error("--policy slo needs --slo-ms and/or --tight-slo-ms")
+
+    # Priority classes: one best-effort/base class, plus a high class
+    # when a tight SLO is requested.
+    priorities: tuple[int, ...] = (0,)
+    weights = None
+    slo_s: float | dict[int, float] | None = (
+        args.slo_ms * 1e-3 if args.slo_ms is not None else None
+    )
+    if args.tight_slo_ms is not None:
+        if not 0.0 < args.high_frac < 1.0:
+            parser.error("--high-frac must be in (0, 1)")
+        priorities = (0, 1)
+        weights = (1.0 - args.high_frac, args.high_frac)
+        slo_s = {1: args.tight_slo_ms * 1e-3}
+        if args.slo_ms is not None:
+            slo_s[0] = args.slo_ms * 1e-3
 
     routing = ""
     if args.mode != REPLICATED:
@@ -118,11 +162,23 @@ def main(argv: list[str] | None = None) -> int:
         k=args.k,
         zipf_exponent=args.zipf,
         seed=args.seed,
+        priorities=priorities,
+        priority_weights=weights,
+        slo_s=slo_s,
     )
     policy = BatchPolicy(
         max_batch_size=args.batch_size,
         max_wait_s=args.max_wait_ms * 1e-3,
         mode=args.policy,
+        slo_margin_s=args.slo_margin_ms * 1e-3,
+    )
+    autoscale = (
+        AutoscalePolicy(
+            max_replicas=args.autoscale_max,
+            interval_s=args.autoscale_interval_ms * 1e-3,
+        )
+        if args.autoscale
+        else None
     )
     frontend = ServingFrontend(
         router,
@@ -133,6 +189,8 @@ def main(argv: list[str] | None = None) -> int:
             pipelined=not args.blocking_devices,
             coalesce=not args.no_coalesce,
             nprobe=args.nprobe,
+            priority_admission=args.priority_admission,
+            autoscale=autoscale,
         ),
     )
     print(
@@ -152,6 +210,31 @@ def main(argv: list[str] | None = None) -> int:
         f"p99 {report.latency_p99_s * 1e3:.3f} ms | "
         f"cache hit rate {report.cache_hit_rate:.1%}"
     )
+    if report.deadline_total:
+        print(
+            f"SLO: {report.deadline_total - report.deadline_misses}"
+            f"/{report.deadline_total} deadlines met "
+            f"(miss rate {report.deadline_miss_rate:.1%}, "
+            f"goodput {report.goodput_qps:,.0f} QPS on time)"
+        )
+        for priority in sorted(report.priority_stats, reverse=True):
+            stats = report.priority_stats[priority]
+            print(
+                f"  priority {priority}: attainment {stats['attainment']:.1%} "
+                f"({stats['served']:.0f} served, {stats['shed']:.0f} shed)"
+            )
+    if args.autoscale:
+        print(
+            f"autoscaling: {len(report.scale_events)} scale events, "
+            f"final {report.replicas_final} replicas"
+        )
+        for event in report.scale_events:
+            print(
+                f"  t={event['time_s'] * 1e3:8.2f} ms  "
+                f"{event['replicas_before']} -> {event['replicas_after']} "
+                f"({event['reason']}: util {event['utilization']:.0%}, "
+                f"queue {event['queue_depth']:.1f})"
+            )
 
     # ---- parity check: sharded vs. unsharded results --------------------
     print("\nparity check: sharded pool vs. unsharded NDSearch ...")

@@ -1,4 +1,4 @@
-"""Admission control: bounded queues and load shedding.
+"""Admission control: bounded queues and priority-aware load shedding.
 
 An open-loop arrival stream offered above system capacity grows the
 queue without bound — latency diverges and every request eventually
@@ -11,13 +11,55 @@ bounded, predictable tail latency.
 frontend's in-system count (batcher queue + dispatched-but-incomplete
 requests).  ``capacity=None`` disables shedding, which is the right
 setting for closed-loop or underloaded experiments.
+
+Plain admission sheds in *arrival order*: whoever arrives while the
+system is full is rejected, regardless of who is queued.  With
+priority-aware admission (``ServingConfig(priority_admission=True)``)
+an arrival that is more urgent than the least urgent *queued* request
+preempts it instead: the victim is shed, the arrival takes its place.
+Urgency orders by priority class first (higher wins), then by deadline
+(earlier wins; no deadline sorts last) — so under overload the system
+sheds lowest-priority / latest-deadline work first rather than
+whatever happened to arrive during the burst.
 """
 
 from __future__ import annotations
 
+import math
+from typing import Iterable
+
+from repro.serving.request import Request
+
+
+def urgency_key(request: Request) -> tuple[int, float]:
+    """Sort key: larger = more urgent.
+
+    Priority class dominates; within a class an earlier deadline is
+    more urgent and a missing deadline (best-effort) is least urgent.
+    """
+    deadline = (
+        request.deadline_s if request.deadline_s is not None else math.inf
+    )
+    return (request.priority, -deadline)
+
+
+def select_victim(
+    pending: Iterable[Request], incoming: Request
+) -> Request | None:
+    """The queued request ``incoming`` should preempt, if any.
+
+    Returns the least urgent queued request *strictly* less urgent
+    than ``incoming`` (ties keep the incumbent — preemption must buy
+    urgency, not churn), or ``None`` when the arrival should be shed.
+    """
+    victim = min(pending, key=urgency_key, default=None)
+    if victim is None or urgency_key(incoming) <= urgency_key(victim):
+        return None
+    return victim
+
 
 class AdmissionController:
-    """Bounded-in-flight admission with shed accounting."""
+    """Bounded-in-flight admission with shed and preemption accounting."""
 
     def __init__(self, capacity: int | None = None) -> None:
         if capacity is not None and capacity < 1:
@@ -25,6 +67,8 @@ class AdmissionController:
         self.capacity = capacity
         self.admitted = 0
         self.shed = 0
+        self.preemptions = 0
+        """Arrivals admitted by shedding a less urgent queued request."""
 
     def admit(self, in_system: int) -> bool:
         """Decide one arrival given the current in-system request count."""
@@ -35,6 +79,20 @@ class AdmissionController:
             return False
         self.admitted += 1
         return True
+
+    def preempt(self) -> None:
+        """Reclassify the last rejection as a preemption.
+
+        The arrival :meth:`admit` just counted as shed was admitted
+        after all, in place of a queued victim — the in-system count is
+        unchanged (one out, one in), and the victim stays in
+        ``admitted`` (it *was* admitted; it is shed now).
+        """
+        if self.shed == 0:
+            raise ValueError("no rejection to reclassify")
+        self.shed -= 1
+        self.admitted += 1
+        self.preemptions += 1
 
     @property
     def offered(self) -> int:

@@ -137,6 +137,14 @@ class QueryStream:
     ``query_id`` from a :class:`~repro.workloads.traces.ZipfianSampler`
     (``zipf_exponent=0`` gives uniform popularity, i.e. no cacheable
     skew).
+
+    SLO workloads mix priority classes: each request draws its
+    ``priority`` from ``priorities`` (weighted by ``priority_weights``,
+    uniform when omitted) and gets an absolute deadline
+    ``arrival + slo_s`` — pass a ``{priority: offset}`` mapping to give
+    classes different budgets (a class absent from the mapping stays
+    best-effort), or a scalar to apply one SLO to every request.
+    ``slo_s=None`` (the default) generates deadline-free streams.
     """
 
     arrivals: PoissonArrivals | MMPPArrivals | TraceReplayArrivals
@@ -145,6 +153,39 @@ class QueryStream:
     k: int = 10
     zipf_exponent: float = 1.0
     seed: int = 0
+    priorities: tuple[int, ...] = (0,)
+    priority_weights: tuple[float, ...] | None = None
+    slo_s: float | dict[int, float] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.priorities:
+            raise ValueError("need at least one priority class")
+        if self.priority_weights is not None:
+            if len(self.priority_weights) != len(self.priorities):
+                raise ValueError(
+                    "priority_weights must match priorities in length"
+                )
+            if any(w < 0 for w in self.priority_weights) or not any(
+                self.priority_weights
+            ):
+                raise ValueError(
+                    "priority_weights must be non-negative and not all zero"
+                )
+        offsets = (
+            self.slo_s.values()
+            if isinstance(self.slo_s, dict)
+            else [] if self.slo_s is None else [self.slo_s]
+        )
+        if any(offset <= 0 for offset in offsets):
+            raise ValueError("SLO offsets must be positive")
+
+    def _deadline(self, priority: int, arrival: float) -> float | None:
+        if self.slo_s is None:
+            return None
+        if isinstance(self.slo_s, dict):
+            offset = self.slo_s.get(priority)
+            return None if offset is None else arrival + offset
+        return arrival + self.slo_s
 
     def generate(self) -> list[Request]:
         """Materialise the stream (sorted by arrival time)."""
@@ -159,12 +200,23 @@ class QueryStream:
             seed=self.seed + 1,
         )
         query_ids = sampler.sample(self.n_requests)
+        weights = self.priority_weights
+        if weights is not None:
+            total = sum(weights)
+            weights = [w / total for w in weights]
+        priorities = rng.choice(
+            np.asarray(self.priorities, dtype=np.int64),
+            size=self.n_requests,
+            p=weights,
+        )
         return [
             Request(
                 request_id=i,
                 query_id=int(query_ids[i]),
                 arrival_s=float(times[i]),
                 k=self.k,
+                priority=int(priorities[i]),
+                deadline_s=self._deadline(int(priorities[i]), float(times[i])),
             )
             for i in range(self.n_requests)
         ]

@@ -1,0 +1,210 @@
+"""Autoscaling: growing and shrinking the replica pool under load.
+
+A static replica pool is sized for one operating point: provision for
+the peak and the fleet idles off-peak; provision for the mean and
+bursts shed.  The serving loop already records exactly the signals an
+autoscaler needs — per-device busy time (the union of service
+intervals each :class:`~repro.serving.device.ShardDevice` books) and
+the queue depth observed at every arrival — so scaling decisions can
+ride the same simulated clock as everything else.
+
+:class:`Autoscaler` evaluates those signals over fixed *epochs* of
+simulated time.  At each epoch boundary it compares the windowed mean
+utilization of the active replicas and the windowed mean queue depth
+against the policy thresholds and moves the active-replica count one
+step at a time:
+
+* **scale up** when utilization exceeds ``high_utilization`` *or* the
+  queue is deeper than ``high_queue_depth`` (a queue can grow while
+  devices look busy-but-not-saturated during a burst — either signal
+  alone is too slow);
+* **scale down** only when *both* utilization and queue depth sit
+  below the low-water marks (never shed capacity into a backlog).
+
+Scaling is replicated-mode only: replicas share one index, so a grown
+pool serves identical results and a shrunk replica simply stops
+receiving traffic and drains.  Partitioned pools would need data
+movement, which is future work.
+
+Every decision that changes the pool is recorded as a
+:class:`ScaleEvent` and lands in the :class:`ServingReport`, so sweeps
+can correlate scale timing with tail latency and shed rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Thresholds and bounds for epoch-based replica scaling."""
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    interval_s: float = 0.05
+    """Epoch length on the simulated clock: signals are windowed over,
+    and the pool re-evaluated every, this long."""
+
+    high_utilization: float = 0.80
+    """Windowed mean utilization of active replicas above which the
+    pool grows by one."""
+
+    low_utilization: float = 0.30
+    """Utilization below which the pool may shrink (queue must also be
+    below ``low_queue_depth``)."""
+
+    high_queue_depth: float = 16.0
+    """Windowed mean queue depth above which the pool grows by one."""
+
+    low_queue_depth: float = 2.0
+    """Queue depth below which the pool may shrink."""
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if not 0.0 < self.high_utilization <= 1.0:
+            raise ValueError("high_utilization must be in (0, 1]")
+        if not 0.0 <= self.low_utilization < self.high_utilization:
+            raise ValueError(
+                "low_utilization must be in [0, high_utilization)"
+            )
+        if self.high_queue_depth < 0 or self.low_queue_depth < 0:
+            raise ValueError("queue-depth thresholds must be >= 0")
+        if self.low_queue_depth > self.high_queue_depth:
+            raise ValueError(
+                "low_queue_depth must not exceed high_queue_depth"
+            )
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One replica-count change, with the signals that caused it."""
+
+    time_s: float
+    replicas_before: int
+    replicas_after: int
+    reason: str
+    utilization: float
+    queue_depth: float
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form for reports and the benchmark sweep."""
+        return {
+            "time_s": self.time_s,
+            "replicas_before": self.replicas_before,
+            "replicas_after": self.replicas_after,
+            "reason": self.reason,
+            "utilization": self.utilization,
+            "queue_depth": self.queue_depth,
+        }
+
+
+class Autoscaler:
+    """Epoch-windowed scaling decisions over utilization + queue depth."""
+
+    def __init__(self, policy: AutoscalePolicy) -> None:
+        self.policy = policy
+        self.events: list[ScaleEvent] = []
+        self._epoch_end: float | None = None
+        self._depth_sum = 0.0
+        self._depth_count = 0
+        self._busy_snapshot: list[float] = []
+        self._busy_carry: list[float] = []
+        """Per-device busy time committed beyond the evaluated epoch
+        (bookings extend into the future); spent in later epochs so a
+        long service interval is attributed to the epochs it actually
+        spans instead of inflating the first one."""
+
+    def observe_depth(self, depth: int) -> None:
+        """Record one arrival's queue depth into the current window."""
+        self._depth_sum += depth
+        self._depth_count += 1
+
+    def decide(
+        self, now: float, active: int, busy_s: list[float]
+    ) -> int:
+        """Re-evaluate the pool; returns the new active-replica count.
+
+        ``busy_s`` is each device's cumulative busy time (active
+        devices first); the window's utilization is the per-epoch delta
+        averaged over the active replicas.  Call on every event — the
+        method is a no-op until the current epoch ends, and steps
+        through multiple elapsed epochs after a long arrival gap (each
+        step re-windows, so one quiet gap sheds at most one replica per
+        elapsed epoch).
+        """
+        if self._epoch_end is None:
+            self._epoch_end = now + self.policy.interval_s
+            self._busy_snapshot = list(busy_s)
+            self._busy_carry = [0.0] * len(busy_s)
+            return active
+        while now >= self._epoch_end:
+            active = self._evaluate(self._epoch_end, active, busy_s)
+            self._epoch_end += self.policy.interval_s
+        return active
+
+    def _evaluate(self, at: float, active: int, busy_s: list[float]) -> int:
+        while len(self._busy_snapshot) < len(busy_s):
+            self._busy_snapshot.append(0.0)
+            self._busy_carry.append(0.0)
+        window = self.policy.interval_s
+        # `active` can exceed len(busy_s) mid-catch-up (a scale-up this
+        # call: the frontend grows the device list only after decide()
+        # returns); replicas without a device yet are idle by
+        # definition and contribute zero busy time.
+        known = min(active, len(busy_s))
+        busy = 0.0
+        for i in range(len(busy_s)):
+            raw = busy_s[i] - self._busy_snapshot[i] + self._busy_carry[i]
+            # Busy time is booked at dispatch and can extend past the
+            # epoch boundary; the clamp keeps a saturated device at
+            # 1.0 for this epoch and the excess carries into the
+            # epochs the committed work actually spans.  Inactive
+            # replicas keep draining on the same arithmetic — their
+            # occupancy just does not count toward the pool signal.
+            spent = min(raw, window)
+            self._busy_carry[i] = raw - spent
+            self._busy_snapshot[i] = busy_s[i]
+            if i < known:
+                busy += spent
+        utilization = busy / (active * window) if active else 0.0
+        depth = (
+            self._depth_sum / self._depth_count if self._depth_count else 0.0
+        )
+        self._depth_sum = 0.0
+        self._depth_count = 0
+
+        target, reason = active, None
+        if active < self.policy.max_replicas and (
+            utilization > self.policy.high_utilization
+            or depth > self.policy.high_queue_depth
+        ):
+            target = active + 1
+            reason = (
+                "high utilization"
+                if utilization > self.policy.high_utilization
+                else "deep queue"
+            )
+        elif (
+            active > self.policy.min_replicas
+            and utilization < self.policy.low_utilization
+            and depth < self.policy.low_queue_depth
+        ):
+            target, reason = active - 1, "idle capacity"
+        if reason is not None:
+            self.events.append(
+                ScaleEvent(
+                    time_s=at,
+                    replicas_before=active,
+                    replicas_after=target,
+                    reason=reason,
+                    utilization=utilization,
+                    queue_depth=depth,
+                )
+            )
+        return target

@@ -44,17 +44,27 @@ class ShardDevice:
         """When the device is fully empty (last stage of last batch)."""
         return self._drain_at
 
-    def earliest_start(self, at: float) -> float:
+    def earliest_start(
+        self, at: float, entry_resource: str | None = None
+    ) -> float:
         """Earliest time a batch arriving at ``at`` could begin service.
 
-        Pipelined devices admit a new batch as soon as their *entry*
+        Pipelined devices admit a new batch as soon as its *entry*
         stage frees up; blocking devices only when fully drained.
+        ``entry_resource`` names the first stage of the candidate
+        batch's chain when the caller knows it; otherwise the most
+        recently served chain's entry stage is assumed (stage chains
+        are homogeneous across batches on one platform, but a
+        heterogeneous history — e.g. a spill changing the front stage —
+        must read the *current* chain's FIFO, not the first-ever one).
         """
         if not self.pipelined:
             return max(at, self._drain_at)
-        if self._entry_resource is None:
+        if entry_resource is None:
+            entry_resource = self._entry_resource
+        if entry_resource is None:
             return at
-        return max(at, self._stage_free.get(self._entry_resource, 0.0))
+        return max(at, self._stage_free.get(entry_resource, 0.0))
 
     def serve(self, result: SimResult, at: float) -> tuple[float, float]:
         """Book one batch onto the device; returns ``(start, completion)``.
@@ -71,22 +81,54 @@ class ShardDevice:
             self.batches_served += 1
             return start, completion
 
-        t = at
-        start: float | None = None
+        chain = result.pipeline_stages()
         # pipeline_stages() is never empty (opaque results collapse to
-        # one "device" stage), so `start` is always set in the loop.
-        for resource, duration in result.pipeline_stages():
-            if self._entry_resource is None:
-                self._entry_resource = resource
-            stage_start = max(t, self._stage_free.get(resource, 0.0))
-            stage_end = stage_start + duration
-            self._stage_free[resource] = stage_end
-            if start is None:
-                start = stage_start
-            t = stage_end
+        # one "device" stage).  The entry resource tracks the *latest*
+        # chain: earliest_start must read the FIFO a new batch would
+        # actually queue on, not the first-ever batch's front stage.
+        self._entry_resource = chain[0][0]
+        start, t = self._walk_chain(chain, at, self._stage_free)
         self._drain_at = max(self._drain_at, t)
         self._book_busy(start, t)
         self.batches_served += 1
+        return start, t
+
+    def predict(
+        self, chain: list[tuple[str, float]], at: float
+    ) -> tuple[float, float]:
+        """Dry-run a ``(resource, duration)`` chain against the current
+        FIFO state without booking it; returns ``(start, completion)``.
+
+        This is the drain-time prediction behind the ``slo`` batch
+        policy: given a :class:`~repro.serving.slo.ServiceModel`
+        estimate of a candidate batch's stage chain, it answers "when
+        would this batch complete if closed at ``at``" from the same
+        state :meth:`serve` will book it into.
+        """
+        if not chain:
+            raise ValueError("need a non-empty stage chain")
+        if not self.pipelined:
+            start = max(at, self._drain_at)
+            return start, start + sum(d for _, d in chain)
+        return self._walk_chain(chain, at, dict(self._stage_free))
+
+    def _walk_chain(
+        self,
+        chain: list[tuple[str, float]],
+        at: float,
+        stage_free: dict[str, float],
+    ) -> tuple[float, float]:
+        """Queue a stage chain through per-resource FIFOs (mutates
+        ``stage_free``); returns ``(start, completion)``."""
+        t = at
+        start: float | None = None
+        for resource, duration in chain:
+            stage_start = max(t, stage_free.get(resource, 0.0))
+            stage_end = stage_start + duration
+            stage_free[resource] = stage_end
+            if start is None:
+                start = stage_start
+            t = stage_end
         return start, t
 
     def _book_busy(self, start: float, completion: float) -> None:

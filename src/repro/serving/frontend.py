@@ -39,9 +39,23 @@ Event-loop invariants:
   with it rather than reading its future results out of the cache (the
   cache is written at dispatch time, so an in-flight entry holds
   results that do not causally exist yet).
+* The result cache is consulted *before* admission: a hit is answered
+  from host DRAM and never enters the system, so it neither consumes
+  admission capacity nor can be shed.
 * Admission counts the whole system — batcher queue plus dispatched
   but incomplete requests — so shedding reflects true backlog, not
-  just the waiting room.
+  just the waiting room.  With ``priority_admission=True`` a rejected
+  arrival that is more urgent than the least urgent *queued* request
+  preempts it instead (the victim is shed in its place).
+* Under the ``slo`` batch policy, the batcher's close deadline comes
+  from drain-time prediction: a :class:`~repro.serving.slo.ServiceModel`
+  calibrated on every dispatched batch estimates a candidate batch's
+  stage chain, and the shard devices dry-run it against their FIFO
+  state (:meth:`~repro.serving.device.ShardDevice.predict`).
+* With ``autoscale=AutoscalePolicy(...)`` (replicated mode only) an
+  :class:`~repro.serving.autoscale.Autoscaler` re-evaluates the active
+  replica count every epoch from windowed utilization and queue depth;
+  grown replicas share the corpus index, shrunk ones drain.
 """
 
 from __future__ import annotations
@@ -51,8 +65,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.serving.admission import AdmissionController
-from repro.serving.batcher import BatchPolicy, DynamicBatcher
+from repro.serving.admission import AdmissionController, select_victim
+from repro.serving.autoscale import AutoscalePolicy, Autoscaler
+from repro.serving.batcher import GREEDY, SLO, BatchPolicy, DynamicBatcher
 from repro.serving.cache import ResultCache
 from repro.serving.device import ShardDevice
 from repro.serving.metrics import MetricsCollector, ServingReport
@@ -64,6 +79,7 @@ from repro.serving.request import (
     Request,
 )
 from repro.serving.sharding import PARTITIONED, REPLICATED, ShardRouter
+from repro.serving.slo import ServiceModel
 
 
 class Coalescer:
@@ -143,6 +159,17 @@ class Coalescer:
             if entry is not None and entry[0] <= completion:
                 del self._inflight[query_id]
 
+    def has_followers(self, request: Request) -> bool:
+        """Whether ``request`` leads coalesced followers (and so must
+        not be preempted — its followers would dangle unresolved)."""
+        return bool(self._followers.get(request.request_id))
+
+    def forget_queued(self, request: Request) -> None:
+        """``request`` left the batcher without dispatching (preempted);
+        stop offering it as a coalescing leader."""
+        if self._queued_leader.get(request.query_id) is request:
+            del self._queued_leader[request.query_id]
+
     def _resolve(self, request: Request, entry) -> None:
         completion, ids, dists, _ = entry
         request.completion_s = completion
@@ -177,6 +204,17 @@ class ServingConfig:
     broadcasting.  ``None`` keeps the broadcast fan-out;
     ``nprobe = num_shards`` reproduces broadcast results exactly."""
 
+    priority_admission: bool = False
+    """Shed lowest-priority / latest-deadline work first: a rejected
+    arrival preempts a strictly less urgent queued request instead of
+    being shed itself (see :mod:`repro.serving.admission`)."""
+
+    autoscale: AutoscalePolicy | None = None
+    """Replicated mode only: grow/shrink the active replica pool every
+    ``interval_s`` epoch from windowed utilization and queue depth
+    (see :mod:`repro.serving.autoscale`).  ``None`` keeps the pool
+    static."""
+
 
 class ServingFrontend:
     """Runs a request stream against a shard router, collecting metrics."""
@@ -196,7 +234,10 @@ class ServingFrontend:
                 raise ValueError(
                     "nprobe requires a router built with routing centroids"
                 )
-        self.batcher = DynamicBatcher(self.config.policy)
+        self.service_model = ServiceModel()
+        self.batcher = DynamicBatcher(
+            self.config.policy, predictor=self.predict_completion
+        )
         self.cache = ResultCache(self.config.cache_capacity)
         self.admission = AdmissionController(self.config.admission_capacity)
         self.metrics = MetricsCollector(router.num_shards)
@@ -204,6 +245,26 @@ class ServingFrontend:
             ShardDevice(pipelined=self.config.pipelined)
             for _ in range(router.num_shards)
         ]
+        self.autoscaler: Autoscaler | None = None
+        self._active = router.num_shards
+        if self.config.autoscale is not None:
+            if router.mode != REPLICATED:
+                raise ValueError(
+                    "autoscaling requires a replicated router (partitioned "
+                    "pools would need data movement to rebalance)"
+                )
+            if router.num_shards > self.config.autoscale.max_replicas:
+                raise ValueError(
+                    f"router has {router.num_shards} replicas but the "
+                    f"autoscale policy caps the pool at "
+                    f"{self.config.autoscale.max_replicas}; raise "
+                    f"max_replicas or build a smaller pool"
+                )
+            self.autoscaler = Autoscaler(self.config.autoscale)
+            self._active = max(
+                router.num_shards, self.config.autoscale.min_replicas
+            )
+            self._grow_pool(self._active)
         self._in_service: list[tuple[float, int]] = []  # (completion_s, count) heap
         self._in_service_total = 0
         self.coalescer = Coalescer(self.metrics.observe_coalesced)
@@ -219,14 +280,24 @@ class ServingFrontend:
         report.
         """
         pool = np.ascontiguousarray(query_pool, dtype=np.float32)
+        if (
+            self.config.policy.mode == SLO
+            and not self.service_model.calibrated
+            and requests
+        ):
+            self._calibrate(pool, max(r.k for r in requests))
         last_time = 0.0
         for request in sorted(requests, key=lambda r: r.arrival_s):
             now = request.arrival_s
             last_time = max(last_time, now)
             self._fire_due_deadlines(pool, now)
             self._retire_in_service(now)
+            if self.autoscaler is not None:
+                self._apply_scaling(now)
             depth = len(self.batcher) + self._in_service_count()
             self.metrics.observe_arrival(request, depth)
+            if self.autoscaler is not None:
+                self.autoscaler.observe_depth(depth)
             # Coalescing precedes admission and the cache: a follower
             # adds no queue load (so it is never shed), and while its
             # query's search is in flight the causally-correct answer
@@ -236,10 +307,9 @@ class ServingFrontend:
                 request, now
             ):
                 continue
-            if not self.admission.admit(depth):
-                request.outcome = SHED
-                self.metrics.observe_shed(request)
-                continue
+            # The cache precedes admission: a hit is answered from host
+            # DRAM and never enters the system, so it cannot be shed
+            # (and must not preempt queued work to be answered).
             cached = self.cache.lookup(request.query_id, request.k)
             if cached is not None:
                 request.result_ids, request.result_dists = cached
@@ -247,33 +317,142 @@ class ServingFrontend:
                 request.outcome = CACHE_HIT
                 self.metrics.observe_cache_hit(request)
                 continue
+            if not self.admission.admit(depth):
+                if not self._try_preempt(request):
+                    request.outcome = SHED
+                    self.metrics.observe_shed(request)
+                    continue
             if self.config.coalesce:
                 self.coalescer.note_queued(request)
             batch = self.batcher.offer(request)
             if batch is not None:
                 self._dispatch(batch, pool, close_time=now)
+            # An urgent arrival can make the queued batch's slo
+            # deadline immediately due (or, with max_wait_s=0, its own
+            # wait expires at arrival): fire at its exact time.
+            self._fire_due_deadlines(pool, now)
         # End of stream: let a pending deadline fire at its real time,
         # then flush stragglers (fixed mode has no deadline).
         deadline = self.batcher.deadline()
         flush_time = deadline if deadline is not None else last_time
         batch = self.batcher.flush()
         if batch is not None:
-            self._dispatch(batch, pool, close_time=flush_time)
+            self._dispatch(batch, pool, close_time=max(flush_time, last_time))
         # Utilization comes from true device occupancy (overlapped
         # pipeline stages count once), not summed batch makespans.
         self.metrics.set_shard_busy([d.busy_s for d in self.devices])
+        if self.autoscaler is not None:
+            self.metrics.set_scaling(
+                [event.to_dict() for event in self.autoscaler.events],
+                self._active,
+            )
         return self.metrics.report()
 
     # ---- event-loop internals -------------------------------------------
+    def _calibrate(self, pool: np.ndarray, k: int) -> None:
+        """Prime the service model with offline probe batches.
+
+        The ``slo`` policy's first closes would otherwise run on an
+        uncalibrated predictor and fall back to ``max_wait_s`` — one
+        probe at each extreme batch size anchors the affine fit before
+        the first request arrives (the timing-model equivalent of a
+        deployment's warm-up calibration).  Probes price timing only:
+        nothing is booked on the devices and no metrics are recorded.
+        """
+        sizes = sorted({1, self.config.policy.max_batch_size})
+        backends = list({id(b): b for b in self.router.backends}.values())
+        for size in sizes:
+            queries = pool[np.arange(size) % pool.shape[0]]
+            for backend in backends:
+                _, _, result = backend.search_batch(queries, k)
+                self.service_model.observe(size, result.pipeline_stages())
+
     def _fire_due_deadlines(self, pool: np.ndarray, now: float) -> None:
         while True:
+            # Computed once per iteration: in slo mode every deadline()
+            # call runs the completion predictor over the device chains.
             deadline = self.batcher.deadline()
-            if deadline is None or deadline > now:
+            if deadline is None or not self.batcher.expired(now, deadline):
                 return
-            batch = self.batcher.poll(deadline)
+            batch = self.batcher.poll(now, deadline)
             if batch is None:
                 return
-            self._dispatch(batch, pool, close_time=deadline, timeout_closed=True)
+            self._dispatch(
+                batch, pool, close_time=deadline,
+                timeout_closed=self.batcher.policy.mode != GREEDY,
+            )
+
+    def _try_preempt(self, request: Request) -> bool:
+        """Admit a rejected arrival by shedding a less urgent queued
+        request; returns whether a victim was preempted."""
+        if not self.config.priority_admission:
+            return False
+        candidates = self.batcher.pending
+        if self.config.coalesce:
+            # A leader with followers must dispatch; shedding it would
+            # leave its coalesced followers unresolved.
+            candidates = [
+                r for r in candidates if not self.coalescer.has_followers(r)
+            ]
+        victim = select_victim(candidates, request)
+        if victim is None:
+            return False
+        self.batcher.evict(victim)
+        if self.config.coalesce:
+            self.coalescer.forget_queued(victim)
+        victim.outcome = SHED
+        self.metrics.observe_shed(victim)
+        self.admission.preempt()
+        return True
+
+    def _apply_scaling(self, now: float) -> None:
+        new_active = self.autoscaler.decide(
+            now, self._active, [d.busy_s for d in self.devices]
+        )
+        if new_active > len(self.devices):
+            self._grow_pool(new_active)
+        self._active = new_active
+
+    def _grow_pool(self, replicas: int) -> None:
+        """Add shared-index replicas (devices + router + metrics)."""
+        while self.router.num_shards < replicas:
+            self.router.add_replica()
+        while len(self.devices) < replicas:
+            self.devices.append(ShardDevice(pipelined=self.config.pipelined))
+        self.metrics.ensure_shards(len(self.devices))
+
+    def predict_completion(self, batch_size: int, at: float) -> float | None:
+        """Drain-time prediction: when a batch of ``batch_size`` closed
+        at ``at`` would complete, or ``None`` until the service model
+        has observed a batch.
+
+        The prediction mirrors the dispatch rule: replicated pools
+        predict on the device ``_dispatch`` will pick (its
+        earliest-entry / earliest-drain key — not the device with the
+        soonest predicted *completion*, which dispatch does not
+        consult); partitioned broadcast joins on the slowest shard.
+        Selective probing is approximated: each shard's chain is
+        estimated at the *expected* sub-batch size
+        (``n * nprobe / num_shards`` — the exact per-shard regrouping
+        is only known after routing) and the join still spans the
+        pool, since a typical batch's per-query probe sets union to
+        nearly every shard.
+        """
+        if self.config.nprobe is not None:
+            batch_size = max(
+                1,
+                round(batch_size * self.config.nprobe / self.router.num_shards),
+            )
+        chain = self.service_model.estimate_chain(batch_size)
+        if chain is None:
+            return None
+        if self.router.mode == REPLICATED:
+            device = min(
+                self.devices[: self._active],
+                key=lambda d: (d.earliest_start(at), d.drain_at),
+            )
+            return device.predict(chain, at)[1]
+        return max(device.predict(chain, at)[1] for device in self.devices)
 
     def _dispatch(
         self,
@@ -290,8 +469,10 @@ class ServingFrontend:
         n = len(batch)
 
         if self.router.mode == REPLICATED:
+            # Dispatch only to the active replicas (the autoscaler may
+            # have shrunk the pool; drained replicas take no traffic).
             shard = min(
-                range(self.router.num_shards),
+                range(self._active),
                 key=lambda s: (
                     self.devices[s].earliest_start(close_time),
                     self.devices[s].drain_at,
@@ -299,6 +480,7 @@ class ServingFrontend:
             )
             ids, dists, result = self.router.search_on(shard, queries, k)
             start, completion = self.devices[shard].serve(result, close_time)
+            self.service_model.observe(n, result.pipeline_stages())
             self.metrics.observe_shard_service(shard, result)
             self.metrics.observe_probes(shard, n)
             starts = np.full(n, start)
@@ -313,6 +495,7 @@ class ServingFrontend:
                 )
                 completion = max(completion, shard_done)
                 start = max(start, shard_start)
+                self.service_model.observe(n, result.pipeline_stages())
                 self.metrics.observe_shard_service(shard, result)
                 self.metrics.observe_probes(shard, n)
             starts = np.full(n, start)
@@ -330,6 +513,9 @@ class ServingFrontend:
             for job in jobs:
                 shard_start, shard_done = self.devices[job.shard].serve(
                     job.result, close_time
+                )
+                self.service_model.observe(
+                    int(job.rows.size), job.result.pipeline_stages()
                 )
                 self.metrics.observe_shard_service(job.shard, job.result)
                 self.metrics.observe_probes(job.shard, int(job.rows.size))
@@ -352,8 +538,13 @@ class ServingFrontend:
             request.start_s = float(starts[i])
             request.completion_s = completion
             request.outcome = COMPLETED
-            request.result_ids = ids[i, : request.k]
-            request.result_dists = dists[i, : request.k]
+            # Copies, not views: a view would pin the whole (n, k)
+            # batch array in memory for as long as any single row
+            # lives, and a client mutating its result row in place
+            # would write through into the shared buffer the coalescer
+            # resolves followers from.
+            request.result_ids = ids[i, : request.k].copy()
+            request.result_dists = dists[i, : request.k].copy()
             self.cache.store(
                 request.query_id, request.k, request.result_ids,
                 request.result_dists,
@@ -361,7 +552,7 @@ class ServingFrontend:
             self.metrics.observe_completion(request)
             if self.config.coalesce:
                 self.coalescer.on_dispatch(
-                    request, ids[i], dists[i], k, completion
+                    request, ids[i].copy(), dists[i].copy(), k, completion
                 )
 
     def _retire_in_service(self, now: float) -> None:

@@ -55,6 +55,31 @@ class ServingReport:
     """Average shards probed per dispatched query (replicated = 1,
     partitioned broadcast = num_shards, selective = nprobe)."""
 
+    deadline_total: int = 0
+    """Requests that carried a deadline (served or shed)."""
+
+    deadline_misses: int = 0
+    """Deadline-carrying requests that completed late or were shed."""
+
+    deadline_miss_rate: float = 0.0
+    """``deadline_misses / deadline_total`` (0 when no deadlines)."""
+
+    goodput_qps: float = 0.0
+    """Deadline-carrying requests answered *on time* per second — the
+    SLO currency of throughput (late answers do not count)."""
+
+    priority_stats: dict[int, dict[str, float]] = field(default_factory=dict)
+    """Per priority class: ``offered`` / ``served`` / ``shed`` counts,
+    ``met`` deadlines, and ``attainment`` (met / served-with-deadline;
+    1.0 when the class carries no deadlines)."""
+
+    scale_events: tuple[dict, ...] = ()
+    """Autoscaler decisions (``ScaleEvent.to_dict()`` records), empty
+    for static pools."""
+
+    replicas_final: int = 0
+    """Active replicas when the run ended (static pools: shard count)."""
+
     @property
     def served(self) -> int:
         """Requests answered (searched, coalesced or from cache)."""
@@ -97,6 +122,34 @@ class ServingReport:
             ["probed shards/query", f"{self.mean_probes_per_query:.2f}"],
             ["energy", f"{self.energy_j:.3g} J"],
         ]
+        if self.deadline_total:
+            rows.extend(
+                [
+                    ["deadline misses",
+                     f"{self.deadline_misses}/{self.deadline_total} "
+                     f"({self.deadline_miss_rate:.1%})"],
+                    ["goodput", f"{self.goodput_qps:,.0f} QPS on time"],
+                ]
+            )
+            for priority in sorted(self.priority_stats, reverse=True):
+                stats = self.priority_stats[priority]
+                rows.append(
+                    [
+                        f"  priority {priority}",
+                        f"attainment {stats['attainment']:.1%} "
+                        f"(served {stats['served']:.0f}, "
+                        f"shed {stats['shed']:.0f})",
+                    ]
+                )
+        if self.scale_events:
+            peak = max(e["replicas_after"] for e in self.scale_events)
+            rows.append(
+                [
+                    "autoscaling",
+                    f"{len(self.scale_events)} events, peak {peak}, "
+                    f"final {self.replicas_final} replicas",
+                ]
+            )
         return format_table(["metric", "value"], rows, title=title)
 
 
@@ -122,12 +175,24 @@ class MetricsCollector:
         self.first_arrival_s: float | None = None
         self.last_completion_s = 0.0
         self.timeout_closes = 0
+        self.deadline_total = 0
+        self.deadline_misses = 0
+        self.deadline_met = 0
+        # priority -> [offered, served, shed, with_deadline, met,
+        #              shed_with_deadline]
+        self.priority_counts: dict[int, list[int]] = {}
+        self.scale_events: list[dict] = []
+        self.replicas_final = num_shards
 
     # ---- observations ---------------------------------------------------
     def observe_arrival(self, request: Request, queue_depth: int) -> None:
         if self.first_arrival_s is None:
             self.first_arrival_s = request.arrival_s
         self.queue_depths.append(queue_depth)
+        self._priority(request.priority)[0] += 1
+
+    def _priority(self, priority: int) -> list[int]:
+        return self.priority_counts.setdefault(priority, [0, 0, 0, 0, 0, 0])
 
     def observe_completion(self, request: Request) -> None:
         self.completed += 1
@@ -144,6 +209,14 @@ class MetricsCollector:
 
     def observe_shed(self, request: Request) -> None:
         self.shed += 1
+        counts = self._priority(request.priority)
+        counts[2] += 1
+        if request.slo_met is not None:
+            # Request.slo_met: an unanswered deadline is a missed one.
+            self.deadline_total += 1
+            self.deadline_misses += 1
+            counts[3] += 1
+            counts[5] += 1
 
     def observe_batch(self, size: int, timeout_closed: bool = False) -> None:
         """One logical batch closed by the batcher."""
@@ -176,17 +249,42 @@ class MetricsCollector:
         """
         self.shard_query_probes[shard] += n_queries
 
+    def ensure_shards(self, num_shards: int) -> None:
+        """Grow the per-shard series (autoscaler added replicas)."""
+        while self.num_shards < num_shards:
+            self.shard_busy_s.append(0.0)
+            self.shard_batches.append(0)
+            self.shard_query_probes.append(0)
+            self.num_shards += 1
+
     def set_shard_busy(self, busy_s: list[float]) -> None:
         """Authoritative per-shard occupancy (union of service intervals)."""
+        self.ensure_shards(len(busy_s))
         if len(busy_s) != self.num_shards:
             raise ValueError(
                 f"expected {self.num_shards} busy values, got {len(busy_s)}"
             )
         self.shard_busy_s = list(busy_s)
 
+    def set_scaling(self, events: list[dict], replicas_final: int) -> None:
+        """Record the autoscaler's decisions for the report."""
+        self.scale_events = list(events)
+        self.replicas_final = replicas_final
+
     def _observe_done(self, request: Request) -> None:
         self.latencies_s.append(request.latency_s)
         self.last_completion_s = max(self.last_completion_s, request.completion_s)
+        counts = self._priority(request.priority)
+        counts[1] += 1
+        met = request.slo_met
+        if met is not None:
+            self.deadline_total += 1
+            counts[3] += 1
+            if met:
+                self.deadline_met += 1
+                counts[4] += 1
+            else:
+                self.deadline_misses += 1
 
     # ---- reduction ------------------------------------------------------
     def report(self) -> ServingReport:
@@ -204,6 +302,30 @@ class MetricsCollector:
         n_batches = len(self.batch_sizes)
         dispatched = sum(self.batch_sizes)
         total_probes = sum(self.shard_query_probes)
+        priority_stats = {}
+        for priority, counts in self.priority_counts.items():
+            (
+                p_offered, p_served, p_shed, p_deadline, p_met,
+                p_shed_deadline,
+            ) = counts
+            served_with_deadline = p_deadline - p_shed_deadline
+            priority_stats[priority] = {
+                "offered": float(p_offered),
+                "served": float(p_served),
+                "shed": float(p_shed),
+                "with_deadline": float(p_deadline),
+                "met": float(p_met),
+                # Attainment over *admitted* (served) requests with a
+                # deadline; shed requests are reported separately.  A
+                # class whose deadline-carrying requests were ALL shed
+                # attains nothing (not a vacuous 100%); only a class
+                # with no deadlines at all trivially attains.
+                "attainment": (
+                    p_met / served_with_deadline
+                    if served_with_deadline > 0
+                    else (1.0 if p_deadline == 0 else 0.0)
+                ),
+            }
         return ServingReport(
             offered=offered,
             completed=self.completed,
@@ -238,4 +360,15 @@ class MetricsCollector:
             mean_probes_per_query=(
                 total_probes / dispatched if dispatched else 0.0
             ),
+            deadline_total=self.deadline_total,
+            deadline_misses=self.deadline_misses,
+            deadline_miss_rate=(
+                self.deadline_misses / self.deadline_total
+                if self.deadline_total
+                else 0.0
+            ),
+            goodput_qps=self.deadline_met / horizon if horizon > 0 else 0.0,
+            priority_stats=priority_stats,
+            scale_events=tuple(self.scale_events),
+            replicas_final=self.replicas_final,
         )

@@ -46,6 +46,16 @@ class Request:
     arrival_s: float
     k: int = 10
 
+    priority: int = 0
+    """Admission/scheduling class; higher values are more urgent.
+    Priority-aware admission sheds the lowest class first, and the
+    ``slo`` batch policy closes batches for the most urgent member."""
+
+    deadline_s: float | None = None
+    """Absolute completion deadline on the simulated clock (``None`` =
+    best-effort).  The ``slo`` batch policy closes a batch before its
+    most urgent member's predicted completion would breach this."""
+
     batched_s: float | None = None
     """When the batch containing this request closed."""
 
@@ -76,3 +86,16 @@ class Request:
     @property
     def done(self) -> bool:
         return self.outcome in (COMPLETED, CACHE_HIT, COALESCED)
+
+    @property
+    def slo_met(self) -> bool | None:
+        """Whether the deadline was met; ``None`` when no deadline set.
+
+        A shed request with a deadline counts as a miss (the client
+        never got an answer, let alone a timely one).
+        """
+        if self.deadline_s is None:
+            return None
+        if not self.done or self.completion_s is None:
+            return False
+        return self.completion_s <= self.deadline_s

@@ -101,6 +101,22 @@ class ShardRouter:
     def num_shards(self) -> int:
         return len(self.backends)
 
+    def add_replica(self) -> int:
+        """Grow a replicated pool by one shard; returns the new count.
+
+        Replicas share the corpus index and platform model (the models
+        are stateless across ``simulate`` calls), so a grown pool
+        serves bit-identical results — per-replica *occupancy* lives in
+        the frontend's :class:`~repro.serving.device.ShardDevice`
+        timelines.  This is the autoscaler's scale-up primitive;
+        partitioned pools cannot grow this way (each shard owns a
+        distinct sub-corpus).
+        """
+        if self.mode != REPLICATED:
+            raise ValueError("only replicated pools can add replicas")
+        self.backends.append(self.backends[0])
+        return self.num_shards
+
     def search_on(
         self, shard: int, queries: np.ndarray, k: int
     ) -> tuple[np.ndarray, np.ndarray, SimResult]:

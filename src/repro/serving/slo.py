@@ -1,0 +1,105 @@
+"""Drain-time prediction: the service model behind the ``slo`` policy.
+
+Deadline-driven batch closing needs an answer to "if this batch closed
+*now*, when would its results land?" before the batch is searched.
+Two ingredients provide it:
+
+* the per-resource FIFO state the :class:`~repro.serving.device.ShardDevice`
+  pipelines already book (when each stage of the device frees up), and
+* a **calibrated per-size service model**: how long a batch of ``n``
+  queries occupies each pipeline resource.
+
+:class:`ServiceModel` learns the second ingredient online.  Every
+dispatched batch reports its collapsed stage chain
+(:meth:`~repro.sim.stats.SimResult.pipeline_stages`); the model fits an
+affine ``duration(n) = a + b * n`` per resource by least squares over
+everything observed so far.  Affine is the right shape here: the
+platform models' batch makespans decompose into per-batch setup plus
+per-query work, which is also why batching wins in Figs. 13/19.
+
+Until the first batch has been observed the model is uncalibrated and
+:meth:`estimate_chain` returns ``None`` — the ``slo`` batcher falls
+back to its ``max_wait_s`` cap, so the first batches of a run both
+bound staleness and calibrate the predictor.
+"""
+
+from __future__ import annotations
+
+
+class ServiceModel:
+    """Online per-resource affine fit of batch service time vs size.
+
+    Observations arrive as ``(batch_size, stage_chain)`` pairs; the
+    model keeps least-squares accumulators per resource and remembers
+    the longest chain's resource order so estimates replay a realistic
+    pipeline shape.
+    """
+
+    def __init__(self) -> None:
+        # resource -> [count, sum_n, sum_n2, sum_d, sum_nd]
+        self._acc: dict[str, list[float]] = {}
+        self._chain: list[str] = []
+        self.observations = 0
+
+    @property
+    def calibrated(self) -> bool:
+        return self.observations > 0
+
+    def observe(
+        self, batch_size: int, stages: list[tuple[str, float]]
+    ) -> None:
+        """Record one served batch's collapsed ``(resource, duration)`` chain."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        n = float(batch_size)
+        for resource, duration in stages:
+            acc = self._acc.setdefault(resource, [0.0] * 5)
+            acc[0] += 1.0
+            acc[1] += n
+            acc[2] += n * n
+            acc[3] += duration
+            acc[4] += n * duration
+        if len(stages) >= len(self._chain):
+            self._chain = [resource for resource, _ in stages]
+        self.observations += 1
+
+    def _estimate_resource(self, resource: str, n: float) -> float:
+        count, sum_n, sum_n2, sum_d, sum_nd = self._acc[resource]
+        var = count * sum_n2 - sum_n * sum_n
+        if var > 1e-12 * max(sum_n2, 1.0):
+            # Affine least squares: duration = a + b * n.
+            b = (count * sum_nd - sum_n * sum_d) / var
+            a = (sum_d - b * sum_n) / count
+            estimate = a + b * n
+        else:
+            # One distinct size so far: scale the mean per-query cost.
+            # This over-predicts small batches (the setup term is
+            # amortised as if it were per-query), which errs toward
+            # closing early — the safe side for a deadline policy.
+            estimate = (sum_d / count) * (n / (sum_n / count))
+        return max(estimate, 0.0)
+
+    def estimate_chain(
+        self, batch_size: int
+    ) -> list[tuple[str, float]] | None:
+        """Predicted ``(resource, duration)`` chain for a batch of ``n``.
+
+        ``None`` until calibrated.  The chain follows the longest
+        observed resource order, so a :class:`ShardDevice` dry-run of
+        it queues against the same FIFOs real batches occupy.
+        """
+        if not self.calibrated:
+            return None
+        n = float(batch_size)
+        return [
+            (resource, self._estimate_resource(resource, n))
+            for resource in self._chain
+        ]
+
+    def estimate(self, batch_size: int) -> float | None:
+        """Predicted unloaded makespan (the chain summed); ``None`` until
+        calibrated."""
+        chain = self.estimate_chain(batch_size)
+        if chain is None:
+            return None
+        return sum(duration for _, duration in chain)

@@ -84,12 +84,44 @@ class TestTimeoutTrigger:
 
 
 class TestModes:
-    def test_greedy_dispatches_immediately(self):
+    def test_greedy_closes_when_the_clock_moves_past_arrival(self):
+        """Greedy waits zero time: the batch's deadline is its own
+        arrival instant and expires as soon as the clock moves on."""
         batcher = DynamicBatcher(
             BatchPolicy(max_batch_size=32, max_wait_s=1.0, mode="greedy")
         )
-        batch = batcher.offer(req(0, 0.0))
+        assert batcher.offer(req(0, 0.5)) is None
+        assert batcher.deadline() == 0.5
+        # Not expired *at* the arrival instant (simultaneous arrivals
+        # may still join) ...
+        assert not batcher.expired(0.5)
+        assert batcher.poll(0.5) is None
+        # ... but expired the moment simulated time moves past it.
+        assert batcher.expired(0.5000001)
+        batch = batcher.poll(0.5000001)
         assert batch is not None and len(batch) == 1
+        assert batcher.timeout_closes == 0  # zero wait is not a timeout
+
+    def test_greedy_groups_simultaneous_arrivals(self):
+        """Arrivals at exactly the same simulated time share one batch
+        (the docstring's 'unless arrivals are simultaneous' case)."""
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=32, max_wait_s=1.0, mode="greedy")
+        )
+        assert batcher.offer(req(0, 1.0)) is None
+        assert batcher.offer(req(1, 1.0)) is None
+        assert batcher.offer(req(2, 1.0)) is None
+        batch = batcher.poll(1.1)
+        assert batch is not None
+        assert [r.request_id for r in batch] == [0, 1, 2]
+
+    def test_greedy_still_closes_on_size(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=2, max_wait_s=1.0, mode="greedy")
+        )
+        assert batcher.offer(req(0, 1.0)) is None
+        batch = batcher.offer(req(1, 1.0))
+        assert batch is not None and len(batch) == 2
 
     def test_fixed_has_no_deadline_and_flushes(self):
         batcher = DynamicBatcher(
@@ -108,3 +140,41 @@ class TestModes:
         )
         assert batcher.offer(req(0, 0.0)) is None
         assert batcher.offer(req(1, 0.0)) is not None
+
+
+class TestDeadlineEdgeCases:
+    """Pinned event-ordering semantics at exact-tie timestamps."""
+
+    def test_zero_max_wait_deadline_equals_arrival(self):
+        """``max_wait_s=0``: the deadline is the arrival time itself and
+        is already expired *at* that time — the batch-mode timeout is
+        inclusive, so each arrival closes alone the moment it is
+        offered (the event loop polls right after the offer)."""
+        batcher = DynamicBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        assert batcher.offer(req(0, 1.0)) is None
+        assert batcher.deadline() == 1.0
+        assert batcher.expired(1.0)
+        batch = batcher.poll(1.0)
+        assert batch is not None and len(batch) == 1
+        assert batcher.timeout_closes == 1
+        assert batcher.deadline() is None
+
+    def test_timeout_at_exactly_the_next_arrival_fires_first(self):
+        """A timeout due exactly at the next arrival's timestamp closes
+        *before* that arrival is offered: deadline events precede
+        same-time arrivals, so the late request starts a new batch."""
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=8, max_wait_s=0.002)
+        )
+        batcher.offer(req(0, 1.000))
+        assert batcher.deadline() == pytest.approx(1.002)
+        # The event loop fires due deadlines before offering the
+        # arrival at t=1.002: inclusive expiry means this one is due.
+        assert batcher.expired(1.002)
+        batch = batcher.poll(1.002)
+        assert batch is not None and [r.request_id for r in batch] == [0]
+        # The same-time arrival lands in a fresh batch with its own
+        # deadline.
+        assert batcher.offer(req(1, 1.002)) is None
+        assert batcher.deadline() == pytest.approx(1.004)
+        assert not batcher.expired(1.002)

@@ -14,7 +14,7 @@ from repro.serving import (
     ServingFrontend,
     build_router,
 )
-from repro.serving.request import COMPLETED, SHED
+from repro.serving.request import COMPLETED, SHED, Request
 from repro.serving.sharding import PARTITIONED
 
 
@@ -308,6 +308,66 @@ class TestMixedK:
                 assert frontend.cache.lookup(request.query_id, want) is not None
             elif request.outcome == "cache_hit":
                 assert request.result_ids.shape == (want,)
+
+    def test_dispatched_results_are_copies_not_batch_views(
+        self, small_vectors, pool, config
+    ):
+        """Regression: result rows must own their data.  Views into the
+        batch's (n, k) arrays pinned the whole batch in memory and let
+        a client mutating one request's results write through into the
+        shared buffer other requests and the coalescer read from."""
+        router = build_router(small_vectors, num_shards=1, config=config)
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(policy=BatchPolicy(max_batch_size=4, max_wait_s=1e-3)),
+        )
+        requests = make_stream(pool, n=8, rate=100000.0)
+        frontend.run(requests, pool)
+        completed = [r for r in requests if r.outcome == COMPLETED]
+        assert len(completed) >= 2
+        # Each result owns its buffer (no view keeping the batch alive).
+        for request in completed:
+            assert request.result_ids.base is None
+            assert request.result_dists.base is None
+        victim, sibling = completed[0], completed[1]
+        cached_before = frontend.cache.lookup(victim.query_id, victim.k)
+        sibling_before = sibling.result_ids.copy()
+        victim.result_ids[:] = -123
+        victim.result_dists[:] = -1.0
+        # Neither the cache nor a sibling request from the same batch
+        # sees the mutation.
+        cached_after = frontend.cache.lookup(victim.query_id, victim.k)
+        np.testing.assert_array_equal(cached_before[0], cached_after[0])
+        assert (cached_after[0] != -123).all()
+        np.testing.assert_array_equal(sibling.result_ids, sibling_before)
+
+    def test_mutating_results_cannot_corrupt_coalesced_followers(
+        self, small_vectors, pool, config
+    ):
+        """A follower resolving against an in-flight entry must not see
+        a client's in-place mutation of the leader's results."""
+        router = build_router(small_vectors, num_shards=1, config=config)
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(
+                policy=BatchPolicy(max_batch_size=1),
+                cache_capacity=0,
+                coalesce=True,
+            ),
+        )
+        leader = Request(0, 3, 0.0, k=5)
+        requests = [leader, Request(1, 3, 1e-7, k=5)]
+        # Run manually: dispatch happens while processing the leader,
+        # so mutate its results "from the client side" in between by
+        # replaying the run and mutating afterwards — the follower
+        # already resolved from the coalescer's private copy.
+        frontend.run(requests, pool)
+        follower = requests[1]
+        assert follower.outcome == "coalesced"
+        follower_before = follower.result_ids.copy()
+        leader.result_ids[:] = -99
+        np.testing.assert_array_equal(follower.result_ids, follower_before)
+        assert (follower.result_ids != -99).all()
 
     def test_cache_hit_result_is_isolated(self, small_vectors, pool, config):
         """Mutating a returned result must not corrupt the cache."""

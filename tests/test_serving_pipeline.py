@@ -18,7 +18,7 @@ from repro.serving import (
     ShardDevice,
     build_router,
 )
-from repro.serving.request import COALESCED, COMPLETED, SHED
+from repro.serving.request import COALESCED, COMPLETED, SHED, Request
 from repro.sim.stats import SimResult, serial_timeline
 
 
@@ -84,6 +84,43 @@ class TestShardDevice:
         device.serve(result, at=0.0)
         start2, done2 = device.serve(result, at=0.0)
         assert (start2, done2) == (2.0, 4.0)
+
+    def test_entry_resource_tracks_latest_chain(self):
+        """Regression: the entry stage must follow the current chain,
+        not stay pinned to the first-ever batch's first stage.
+
+        A device that served chains entering via 'a' and then via 'b'
+        must answer earliest_start from 'b''s FIFO (the latest chain
+        shape) — the stale pin reported 'a''s free time, which here is
+        far earlier than the actual entry backlog."""
+        chain_a = _result([("in", "a", 1.0), ("work", "b", 3.0)])
+        chain_b = _result([("load", "b", 4.0), ("out", "c", 1.0)])
+        device = ShardDevice(pipelined=True)
+        device.serve(chain_a, at=0.0)   # a free at 1, b free at 4
+        device.serve(chain_b, at=0.0)   # b free at 8, c free at 9
+        # The next batch (same shape as the latest chain) enters via
+        # 'b', which is busy until t=8; the stale code reported t=1.
+        assert device.earliest_start(0.0) == pytest.approx(8.0)
+        # A caller that knows its candidate chain can ask explicitly.
+        assert device.earliest_start(0.0, entry_resource="a") == pytest.approx(1.0)
+        # And the reported start of an actual booking agrees.
+        start3, _ = device.serve(chain_b, at=0.0)
+        assert start3 == pytest.approx(8.0)
+
+    def test_predict_is_a_non_mutating_dry_run(self):
+        """predict() must agree with the serve() that follows it and
+        leave the device state untouched in between."""
+        result = _result([("in", "a", 1.0), ("work", "b", 3.0), ("out", "c", 1.0)])
+        chain = result.pipeline_stages()
+        for pipelined in (True, False):
+            device = ShardDevice(pipelined=pipelined)
+            device.serve(result, at=0.0)
+            predicted = device.predict(chain, 0.5)
+            again = device.predict(chain, 0.5)
+            assert predicted == again  # no state was booked
+            assert device.batches_served == 1
+            booked = device.serve(result, at=0.5)
+            assert booked == pytest.approx(predicted)
 
 
 def _run_stream(router, *, pipelined, coalesce=False, rate=20000.0,
@@ -209,6 +246,47 @@ class TestCoalescing:
             router, pipelined=True, coalesce=False, zipf=1.2, n=100, pool=pool
         )
         assert report.coalesced == 0
+
+    def test_repeat_at_exact_completion_time_is_a_cache_hit(self, router, pool):
+        """A repeat arriving exactly when its leader's results land
+        must read the cache, not coalesce: the coalescing window is
+        open only while completion is strictly in the future."""
+        base = QueryStream(
+            PoissonArrivals(100.0), pool_size=pool.shape[0], n_requests=1,
+            k=5, seed=3,
+        ).generate()
+        leader = base[0]
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(
+                policy=BatchPolicy(max_batch_size=1),
+                cache_capacity=8,
+                coalesce=True,
+            ),
+        )
+        # Dry-run an identical frontend to learn the leader's exact
+        # completion, then replay with a follower at that instant.
+        probe = ServingFrontend(
+            router,
+            ServingConfig(policy=BatchPolicy(max_batch_size=1),
+                          cache_capacity=8, coalesce=True),
+        )
+        probe_req = [Request(0, leader.query_id, leader.arrival_s, k=5)]
+        probe.run(probe_req, pool)
+        completion = probe_req[0].completion_s
+        requests = [
+            Request(0, leader.query_id, leader.arrival_s, k=5),
+            Request(1, leader.query_id, completion, k=5),
+            # Strictly inside the window for contrast: this one coalesces.
+            Request(2, leader.query_id, (leader.arrival_s + completion) / 2, k=5),
+        ]
+        report = frontend.run(requests, pool)
+        assert requests[0].outcome == COMPLETED
+        assert requests[2].outcome == COALESCED
+        assert requests[2].completion_s == completion
+        assert requests[1].outcome == "cache_hit"
+        assert requests[1].completion_s > completion
+        assert report.cache_hits == 1 and report.coalesced == 1
 
     def test_followers_are_never_shed(self, router, pool):
         """Coalescing precedes admission: a duplicate of an in-flight
