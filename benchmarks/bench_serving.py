@@ -23,7 +23,12 @@ the replicated device pool and the offered load.  Expected shape:
   loosens, and high-priority attainment stays >= 95%;
 * with ``--autoscale``: offered load above a static replica's capacity
   — the autoscaled pool grows, sheds less and holds a lower p99 than
-  the static pool.
+  the static pool;
+* with ``--rebalance``: skewed Zipfian load on a partitioned pool
+  saturates the devices owning the popular clusters — migrating hot
+  IVF clusters to cold devices (data movement booked on both device
+  timelines) holds a lower p99 and a higher goodput than the static
+  placement.
 
 Besides the human-readable table, the sweep persists
 ``benchmarks/results/serving_sweep.json`` for the perf-trajectory
@@ -47,6 +52,7 @@ from repro.serving import (
     MMPPArrivals,
     PoissonArrivals,
     QueryStream,
+    RebalancePolicy,
     ServingConfig,
     ServingFrontend,
     build_router,
@@ -79,13 +85,25 @@ AUTOSCALE_RATE = 25000.0
 AUTOSCALE_MAX_REPLICAS = 4
 AUTOSCALE_CAPACITY = 48
 
+#: Skewed partitioned workload for the static-vs-rebalanced comparison
+#: (--rebalance): Zipfian popularity + nprobe=1 routing concentrates
+#: load on the devices owning the hot clusters.
+REBALANCE_RATE = 16000.0
+REBALANCE_ZIPF = 1.2
+REBALANCE_SHARDS = 4
+REBALANCE_CLUSTERS_PER_SHARD = 2
+REBALANCE_SLO_S = 4e-3
+REBALANCE_POLICY = RebalancePolicy(
+    interval_s=2e-3, skew_threshold=0.25, migration_gbps=1.0
+)
+
 CORPUS, DIM, POOL, REQUESTS, K = 800, 16, 128, 400, 10
 
 
 def _run_cell(
     router, pool, *, arrivals, policy, pipelined, coalesce, zipf=0.0,
     nprobe=None, priorities=(0,), weights=None, slo=None, admission=None,
-    autoscale=None,
+    autoscale=None, rebalance=None,
 ):
     stream = QueryStream(
         arrivals,
@@ -108,12 +126,15 @@ def _run_cell(
             nprobe=nprobe,
             admission_capacity=admission,
             autoscale=autoscale,
+            rebalance=rebalance,
         ),
     )
     return frontend.run(stream.generate(), pool)
 
 
-def collect(slo: bool = False, autoscale: bool = False) -> dict:
+def collect(
+    slo: bool = False, autoscale: bool = False, rebalance: bool = False
+) -> dict:
     vectors = clustered_gaussian(CORPUS, DIM, seed=31)
     pool = split_queries(vectors, POOL, seed=32)
     config = NDSearchConfig.scaled()
@@ -361,6 +382,54 @@ def collect(slo: bool = False, autoscale: bool = False) -> dict:
             )
         results["autoscale"] = autoscale_rows
 
+    # ---- rebalancing: static vs migrated partitioned placement ----------
+    # A skewed Zipfian stream routed with nprobe=1 piles onto the
+    # devices owning the popular clusters; the rebalancer migrates hot
+    # clusters to cold devices (the ROADMAP's partitioned-autoscaling
+    # item).  Each run builds a fresh pool: migration mutates the
+    # cluster placement.
+    if rebalance:
+        rebalance_rows = []
+        for moved in (False, True):
+            router = build_router(
+                vectors,
+                num_shards=REBALANCE_SHARDS,
+                config=config,
+                mode=PARTITIONED,
+                seed=35,
+                clusters_per_shard=REBALANCE_CLUSTERS_PER_SHARD,
+            )
+            report = _run_cell(
+                router,
+                pool,
+                arrivals=PoissonArrivals(REBALANCE_RATE),
+                policy=BatchPolicy(max_batch_size=16, max_wait_s=2e-3),
+                pipelined=True,
+                coalesce=False,
+                zipf=REBALANCE_ZIPF,
+                nprobe=1,
+                slo=REBALANCE_SLO_S,
+                rebalance=REBALANCE_POLICY if moved else None,
+            )
+            rebalance_rows.append(
+                {
+                    "placement": "rebalanced" if moved else "static",
+                    "qps": report.qps,
+                    "goodput": report.goodput_qps,
+                    "p50_ms": report.latency_p50_s * 1e3,
+                    "p99_ms": report.latency_p99_s * 1e3,
+                    "miss_rate": report.deadline_miss_rate,
+                    "util": list(report.shard_utilization),
+                    "max_util": max(report.shard_utilization),
+                    "migrations": list(report.rebalance_events),
+                    "bytes_moved": sum(
+                        e["bytes"] for e in report.rebalance_events
+                    ),
+                    "cluster_map_final": list(report.cluster_map_final),
+                }
+            )
+        results["rebalance"] = rebalance_rows
+
     return results
 
 
@@ -448,6 +517,32 @@ def run(results: dict | None = None) -> str:
                 ),
             )
         )
+    if "rebalance" in results:
+        tables.append(
+            format_table(
+                ["placement", "QPS", "goodput", "p99 ms", "miss", "max util",
+                 "migr", "MB moved"],
+                [
+                    [
+                        r["placement"],
+                        f"{r['qps']:,.0f}",
+                        f"{r['goodput']:,.0f}",
+                        f"{r['p99_ms']:.3f}",
+                        f"{r['miss_rate']:.1%}",
+                        f"{r['max_util']:.0%}",
+                        len(r["migrations"]),
+                        f"{r['bytes_moved'] / 1e6:.2f}",
+                    ]
+                    for r in results["rebalance"]
+                ],
+                title=(
+                    f"static vs rebalanced partitioned x{REBALANCE_SHARDS} "
+                    f"@ {REBALANCE_RATE:g} QPS (zipf {REBALANCE_ZIPF:g}, "
+                    f"nprobe 1, "
+                    f"{REBALANCE_CLUSTERS_PER_SHARD} clusters/shard)"
+                ),
+            )
+        )
     if "autoscale" in results:
         tables.append(
             format_table(
@@ -479,8 +574,9 @@ def run(results: dict | None = None) -> str:
 def test_bench_serving(benchmark, record_table, record_json, request):
     slo = request.config.getoption("--slo")
     autoscale = request.config.getoption("--autoscale")
+    rebalance = request.config.getoption("--rebalance")
     results = benchmark.pedantic(
-        lambda: collect(slo=slo, autoscale=autoscale),
+        lambda: collect(slo=slo, autoscale=autoscale, rebalance=rebalance),
         rounds=1, iterations=1,
     )
     record_table("serving_sweep", run(results))
@@ -571,3 +667,25 @@ def test_bench_serving(benchmark, record_table, record_json, request):
         assert scaled["p99_ms"] < static["p99_ms"]
         assert scaled["scale_events"]
         assert scaled["replicas_final"] > 1
+
+    # Rebalancing (--rebalance): under skewed Zipfian load the
+    # migrated placement beats the static one on tail latency and
+    # on-time throughput, by unloading the hottest device.
+    if "rebalance" in results:
+        static, moved = results["rebalance"]
+        assert static["placement"] == "static"
+        assert moved["placement"] == "rebalanced"
+        assert moved["migrations"], "skew never triggered a migration"
+        assert moved["bytes_moved"] > 0
+        assert moved["p99_ms"] < static["p99_ms"], (static, moved)
+        assert moved["goodput"] > static["goodput"], (static, moved)
+        assert moved["max_util"] < static["max_util"]
+        # The log replays onto the final placement (atomic commits).
+        placement = [
+            c % REBALANCE_SHARDS
+            for c in range(REBALANCE_SHARDS * REBALANCE_CLUSTERS_PER_SHARD)
+        ]
+        for event in moved["migrations"]:
+            assert placement[event["cluster"]] == event["source"]
+            placement[event["cluster"]] = event["dest"]
+        assert placement == moved["cluster_map_final"]

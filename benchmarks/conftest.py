@@ -25,10 +25,12 @@ def pytest_addoption(parser):
     """Opt-in sweep sections for the serving benchmark.
 
     ``--slo`` adds the deadline sweep (slo policy vs max-wait across
-    loosening deadlines) and ``--autoscale`` the static-vs-autoscaled
-    overload comparison to ``bench_serving``; both extend
-    ``results/serving_sweep.json``.  CI runs with both so the uploaded
-    artifact carries the full sweep.
+    loosening deadlines), ``--autoscale`` the static-vs-autoscaled
+    overload comparison and ``--rebalance`` the static-vs-rebalanced
+    partitioned comparison under skewed Zipfian load to
+    ``bench_serving``; all extend ``results/serving_sweep.json``.  CI
+    runs with all three so the uploaded artifact carries the full
+    sweep.
     """
     parser.addoption(
         "--slo", action="store_true", default=False,
@@ -37,6 +39,11 @@ def pytest_addoption(parser):
     parser.addoption(
         "--autoscale", action="store_true", default=False,
         help="include the static-vs-autoscaled sweep in bench_serving",
+    )
+    parser.addoption(
+        "--rebalance", action="store_true", default=False,
+        help="include the static-vs-rebalanced partitioned sweep "
+             "in bench_serving",
     )
 
 

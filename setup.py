@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-ndsearch",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "From-scratch reproduction of NDSEARCH: near-data processing for "
         "graph-traversal approximate nearest neighbor search (ISCA 2024)"
@@ -24,5 +24,10 @@ setup(
     install_requires=["numpy>=1.22"],
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-serve = repro.serving.__main__:main",
+        ],
     },
 )

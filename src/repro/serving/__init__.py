@@ -15,6 +15,9 @@ platform models:
   behind the ``slo`` policy's drain-time prediction.
 * :mod:`repro.serving.autoscale` — epoch-based replica autoscaling
   from windowed utilization and queue-depth signals.
+* :mod:`repro.serving.rebalance` — partitioned-pool rebalancing:
+  IVF-cluster migrations between shard devices under load skew, with
+  the data movement booked on the device timelines.
 * :mod:`repro.serving.sharding` — replicated and IVF-partitioned
   device pools with shard-aware top-k merging and selective shard
   probing (IVF ``nprobe`` at the device-pool level).
@@ -28,7 +31,8 @@ platform models:
   behind one interface, so serving comparisons are apples-to-apples.
 * :mod:`repro.serving.device` — pipelined shard devices: consecutive
   batches overlap on a device's phase-timeline stages.
-* :mod:`repro.serving.frontend` — the event loop tying it together,
+* :mod:`repro.serving.frontend` — composable handlers over the
+  discrete-event kernel (:mod:`repro.sim.events`) tying it together,
   including coalescing of identical in-flight queries.
 
 Typical use::
@@ -71,6 +75,11 @@ from repro.serving.cache import LRUCache, ResultCache
 from repro.serving.device import ShardDevice
 from repro.serving.frontend import ServingConfig, ServingFrontend
 from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.rebalance import (
+    Migration,
+    RebalancePolicy,
+    Rebalancer,
+)
 from repro.serving.request import Request
 from repro.serving.sharding import ShardJob, ShardRouter, build_router
 from repro.serving.slo import ServiceModel
@@ -84,9 +93,12 @@ __all__ = [
     "LRUCache",
     "MMPPArrivals",
     "MetricsCollector",
+    "Migration",
     "PlatformBackend",
     "PoissonArrivals",
     "QueryStream",
+    "RebalancePolicy",
+    "Rebalancer",
     "Request",
     "ResultCache",
     "ScaleEvent",

@@ -27,6 +27,7 @@ from repro.serving.arrivals import MMPPArrivals, PoissonArrivals, QueryStream
 from repro.serving.autoscale import AutoscalePolicy
 from repro.serving.batcher import POLICY_MODES, BatchPolicy
 from repro.serving.frontend import ServingConfig, ServingFrontend
+from repro.serving.rebalance import RebalancePolicy
 from repro.serving.sharding import REPLICATED, SHARD_MODES, build_router
 
 
@@ -74,8 +75,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="shard layout (default replicated)")
     parser.add_argument("--nprobe", type=int, default=None,
                         help="partitioned mode: probe only the nprobe "
-                             "nearest shards per query "
+                             "nearest clusters per query "
                              "(default: broadcast to all)")
+    parser.add_argument("--clusters-per-shard", type=int, default=1,
+                        help="partitioned mode: IVF clusters per shard "
+                             "device (default 1; >1 gives the rebalancer "
+                             "migration granularity)")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="migrate hot IVF clusters to cold shard "
+                             "devices between epochs (partitioned mode "
+                             "only)")
+    parser.add_argument("--rebalance-interval-ms", type=float, default=2.0,
+                        help="rebalancer epoch length in ms (default 2)")
+    parser.add_argument("--rebalance-skew", type=float, default=0.25,
+                        help="hot-minus-cold windowed utilization gap "
+                             "that triggers a migration (default 0.25)")
+    parser.add_argument("--migration-gbps", type=float, default=1.0,
+                        help="cluster data-movement bandwidth in GB/s "
+                             "(default 1)")
     parser.add_argument("--backend", default="ndsearch",
                         choices=platform_registry.available(),
                         help="platform behind the frontend (default ndsearch)")
@@ -107,6 +124,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--nprobe requires --mode partitioned")
     if args.autoscale and args.mode != REPLICATED:
         parser.error("--autoscale requires --mode replicated")
+    if args.rebalance and args.mode == REPLICATED:
+        parser.error("--rebalance requires --mode partitioned")
+    if args.clusters_per_shard > 1 and args.mode == REPLICATED:
+        parser.error("--clusters-per-shard requires --mode partitioned")
     if args.policy == "slo" and args.slo_ms is None and args.tight_slo_ms is None:
         parser.error("--policy slo needs --slo-ms and/or --tight-slo-ms")
 
@@ -148,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         mode=args.mode,
         platform=args.backend,
         seed=args.seed,
+        clusters_per_shard=args.clusters_per_shard,
     )
 
     arrivals = (
@@ -180,6 +202,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.autoscale
         else None
     )
+    rebalance = (
+        RebalancePolicy(
+            interval_s=args.rebalance_interval_ms * 1e-3,
+            skew_threshold=args.rebalance_skew,
+            migration_gbps=args.migration_gbps,
+        )
+        if args.rebalance
+        else None
+    )
     frontend = ServingFrontend(
         router,
         ServingConfig(
@@ -191,6 +222,7 @@ def main(argv: list[str] | None = None) -> int:
             nprobe=args.nprobe,
             priority_admission=args.priority_admission,
             autoscale=autoscale,
+            rebalance=rebalance,
         ),
     )
     print(
@@ -207,6 +239,7 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(
         f"QPS {report.qps:,.0f} | p50 {report.latency_p50_s * 1e3:.3f} ms | "
+        f"p95 {report.latency_p95_s * 1e3:.3f} ms | "
         f"p99 {report.latency_p99_s * 1e3:.3f} ms | "
         f"cache hit rate {report.cache_hit_rate:.1%}"
     )
@@ -235,6 +268,21 @@ def main(argv: list[str] | None = None) -> int:
                 f"({event['reason']}: util {event['utilization']:.0%}, "
                 f"queue {event['queue_depth']:.1f})"
             )
+    if args.rebalance:
+        moved = sum(e["bytes"] for e in report.rebalance_events)
+        print(
+            f"rebalancing: {len(report.rebalance_events)} migrations, "
+            f"{moved / 1e6:.2f} MB moved; final placement "
+            f"{list(report.cluster_map_final)}"
+        )
+        for event in report.rebalance_events:
+            print(
+                f"  t={event['decided_s'] * 1e3:8.2f} ms  cluster "
+                f"{event['cluster']}: shard {event['source']} -> "
+                f"{event['dest']} ({event['vectors']} vectors, gap "
+                f"{event['utilization_gap']:.0%}, lands "
+                f"{event['complete_s'] * 1e3:.2f} ms)"
+            )
 
     # ---- parity check: sharded vs. unsharded results --------------------
     print("\nparity check: sharded pool vs. unsharded NDSearch ...")
@@ -260,9 +308,9 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print("note: partitioned recall may differ (per-shard graphs)")
         # Recall-vs-nprobe: what selective probing trades away, per
-        # step, against the broadcast (= nprobe = num_shards) result.
-        print("\nrecall vs nprobe (selective shard probing):")
-        for nprobe in range(1, router.num_shards + 1):
+        # step, against the broadcast (= nprobe = num_clusters) result.
+        print("\nrecall vs nprobe (selective cluster probing):")
+        for nprobe in range(1, router.num_clusters + 1):
             probe_ids, _, jobs = router.search_probed(pool, args.k, nprobe)
             probe_recall = recall_at_k(probe_ids, gt, args.k)
             probed = sum(int(job.rows.size) for job in jobs)

@@ -22,9 +22,17 @@ step at a time:
   below the low-water marks (never shed capacity into a backlog).
 
 Scaling is replicated-mode only: replicas share one index, so a grown
-pool serves identical results and a shrunk replica simply stops
-receiving traffic and drains.  Partitioned pools would need data
-movement, which is future work.
+pool serves identical results (:meth:`ShardRouter.add_replica`) and a
+shrunk one leaves the routing rotation explicitly
+(:meth:`ShardRouter.remove_replica`) while its device timeline drains.
+Partitioned pools rebalance by *data movement* instead — cluster
+migrations between shard devices (:mod:`repro.serving.rebalance`).
+
+The frontend drives scaling from the event kernel: an
+:class:`~repro.sim.events.EpochTick` fires at each epoch boundary and
+calls :meth:`Autoscaler.decide` with the clock exactly at the boundary,
+so the evaluation sees the device occupancy booked up to that simulated
+instant.
 
 Every decision that changes the pool is recorded as a
 :class:`ScaleEvent` and lands in the :class:`ServingReport`, so sweeps
@@ -119,6 +127,13 @@ class Autoscaler:
         (bookings extend into the future); spent in later epochs so a
         long service interval is attributed to the epochs it actually
         spans instead of inflating the first one."""
+
+    @property
+    def epoch_end(self) -> float | None:
+        """End of the armed epoch — where the event loop schedules the
+        next :class:`~repro.sim.events.EpochTick` (``None`` until the
+        first :meth:`decide` call arms the grid)."""
+        return self._epoch_end
 
     def observe_depth(self, depth: int) -> None:
         """Record one arrival's queue depth into the current window."""

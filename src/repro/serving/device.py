@@ -11,16 +11,30 @@ applied online).
 
 :class:`ShardDevice` models that: each pipeline resource named by a
 batch's :meth:`~repro.sim.stats.SimResult.pipeline_stages` is a FIFO
-queue.  A batch walks its stage chain in order; each stage starts no
-earlier than (a) the previous stage of the *same* batch finishing and
-(b) the resource draining the previous batch's stage.  With
-``pipelined=False`` the device collapses to the one-batch-at-a-time
-scalar, which is the blocking baseline the benchmarks compare against.
+queue — a :class:`~repro.sim.engine.Resource` from the simulation
+core, the same serial-server primitive the platform models book their
+trace work on.  A batch walks its stage chain in order; each stage
+starts no earlier than (a) the previous stage of the *same* batch
+finishing and (b) the resource draining the previous batch's stage.
+With ``pipelined=False`` the device collapses to a single serial
+resource (one batch at a time), which is the blocking baseline the
+benchmarks compare against.
+
+Devices also serve *non-query* work: :meth:`book` occupies a named
+stage FIFO for a fixed duration, which is how partitioned-mode
+rebalancing charges a cluster migration's data movement to the source
+and destination devices — the migration read/write contends with query
+batches on the same entry-stage FIFO instead of being free.
 """
 
 from __future__ import annotations
 
+from repro.sim.engine import Resource
 from repro.sim.stats import SimResult
+
+#: Stage name non-query work books on when a device has never served a
+#: batch (no entry stage is known yet).
+MIGRATION_STAGE = "migration"
 
 
 class ShardDevice:
@@ -28,14 +42,17 @@ class ShardDevice:
 
     def __init__(self, pipelined: bool = True) -> None:
         self.pipelined = pipelined
-        self._stage_free: dict[str, float] = {}
+        self._stages: dict[str, Resource] = {}
+        self._serial = Resource("device")
+        """The whole-device timeline used in blocking mode."""
+
         self._entry_resource: str | None = None
         self._drain_at = 0.0
         self._occupied_until = 0.0
         self.busy_s = 0.0
         """Union of this device's service intervals: time with at least
-        one batch in flight.  Overlapped pipeline stages count once, so
-        ``busy_s / horizon`` is a true utilization."""
+        one batch (or migration) in flight.  Overlapped pipeline stages
+        count once, so ``busy_s / horizon`` is a true utilization."""
 
         self.batches_served = 0
 
@@ -43,6 +60,21 @@ class ShardDevice:
     def drain_at(self) -> float:
         """When the device is fully empty (last stage of last batch)."""
         return self._drain_at
+
+    @property
+    def stage_busy(self) -> dict[str, float]:
+        """Busy seconds per pipeline stage resource (blocking devices
+        report a single ``"device"`` entry)."""
+        if not self.pipelined:
+            return {self._serial.name: self._serial.busy_time}
+        return {name: r.busy_time for name, r in self._stages.items()}
+
+    def _stage(self, name: str) -> Resource:
+        stage = self._stages.get(name)
+        if stage is None:
+            stage = Resource(name)
+            self._stages[name] = stage
+        return stage
 
     def earliest_start(
         self, at: float, entry_resource: str | None = None
@@ -64,7 +96,8 @@ class ShardDevice:
             entry_resource = self._entry_resource
         if entry_resource is None:
             return at
-        return max(at, self._stage_free.get(entry_resource, 0.0))
+        stage = self._stages.get(entry_resource)
+        return at if stage is None else stage.peek(at)
 
     def serve(self, result: SimResult, at: float) -> tuple[float, float]:
         """Book one batch onto the device; returns ``(start, completion)``.
@@ -74,8 +107,7 @@ class ShardDevice:
         batch's ``sim_time_s`` exactly in either mode.
         """
         if not self.pipelined:
-            start = max(at, self._drain_at)
-            completion = start + result.sim_time_s
+            start, completion = self._serial.acquire(at, result.sim_time_s)
             self._drain_at = completion
             self._book_busy(start, completion)
             self.batches_served += 1
@@ -87,11 +119,34 @@ class ShardDevice:
         # chain: earliest_start must read the FIFO a new batch would
         # actually queue on, not the first-ever batch's front stage.
         self._entry_resource = chain[0][0]
-        start, t = self._walk_chain(chain, at, self._stage_free)
+        start, t = self._acquire_chain(chain, at)
         self._drain_at = max(self._drain_at, t)
         self._book_busy(start, t)
         self.batches_served += 1
         return start, t
+
+    def book(
+        self, at: float, duration: float, resource: str | None = None
+    ) -> tuple[float, float]:
+        """Occupy one stage FIFO with non-query work (data movement).
+
+        A cluster migration's read (source device) or write
+        (destination device) queues behind — and delays — query batches
+        on the named stage; blocking devices serialize it with whole
+        batches.  ``resource`` defaults to the device's current entry
+        stage (falling back to :data:`MIGRATION_STAGE` on a device that
+        has never served).  Returns the booked ``(start, end)``.
+        """
+        if duration < 0:
+            raise ValueError(f"negative booking duration {duration!r}")
+        if not self.pipelined:
+            start, end = self._serial.acquire(at, duration)
+        else:
+            name = resource or self._entry_resource or MIGRATION_STAGE
+            start, end = self._stage(name).acquire(at, duration)
+        self._drain_at = max(self._drain_at, end)
+        self._book_busy(start, end)
+        return start, end
 
     def predict(
         self, chain: list[tuple[str, float]], at: float
@@ -103,29 +158,36 @@ class ShardDevice:
         policy: given a :class:`~repro.serving.slo.ServiceModel`
         estimate of a candidate batch's stage chain, it answers "when
         would this batch complete if closed at ``at``" from the same
-        state :meth:`serve` will book it into.
+        state :meth:`serve` will book it into.  Works on a
+        never-dispatched device too: with no FIFO backlog the chain
+        starts at ``at`` and the prediction is its unloaded makespan.
         """
         if not chain:
             raise ValueError("need a non-empty stage chain")
         if not self.pipelined:
             start = max(at, self._drain_at)
             return start, start + sum(d for _, d in chain)
-        return self._walk_chain(chain, at, dict(self._stage_free))
-
-    def _walk_chain(
-        self,
-        chain: list[tuple[str, float]],
-        at: float,
-        stage_free: dict[str, float],
-    ) -> tuple[float, float]:
-        """Queue a stage chain through per-resource FIFOs (mutates
-        ``stage_free``); returns ``(start, completion)``."""
+        free = {name: r.next_free for name, r in self._stages.items()}
         t = at
         start: float | None = None
         for resource, duration in chain:
-            stage_start = max(t, stage_free.get(resource, 0.0))
+            stage_start = max(t, free.get(resource, 0.0))
             stage_end = stage_start + duration
-            stage_free[resource] = stage_end
+            free[resource] = stage_end
+            if start is None:
+                start = stage_start
+            t = stage_end
+        return start, t
+
+    def _acquire_chain(
+        self, chain: list[tuple[str, float]], at: float
+    ) -> tuple[float, float]:
+        """Queue a stage chain through the per-resource FIFOs; returns
+        ``(start, completion)``."""
+        t = at
+        start: float | None = None
+        for resource, duration in chain:
+            stage_start, stage_end = self._stage(resource).acquire(t, duration)
             if start is None:
                 start = stage_start
             t = stage_end

@@ -1,4 +1,4 @@
-"""The serving frontend: a discrete-event loop over simulated time.
+"""The serving frontend: composable handlers over the event kernel.
 
 This is the orchestrator-over-simulator layer: requests arrive on a
 simulated clock, flow through admission control, the result cache, the
@@ -9,27 +9,52 @@ trace-driven platform simulators (the phase timeline each
 wall clock, so a minute of simulated heavy traffic runs in seconds and
 every run is exactly reproducible.
 
-Event-loop invariants:
+Control flow runs on the discrete-event kernel
+(:class:`~repro.sim.events.EventLoop`): each concern is an event
+source/subscriber instead of an inlined branch of a master loop —
 
-* Arrivals are processed in time order; before each arrival, any
-  batcher deadline that expired in the gap fires first (so timeout
-  closes happen at their exact simulated time, not at the next
-  arrival).
+* **Arrivals** — the request stream is scheduled up front; the arrival
+  handler runs coalescing, the cache, admission and the batcher offer.
+* **Batch deadlines** — the batcher's close deadline is a
+  :class:`~repro.sim.events.BatchDeadline` timer with lazy
+  invalidation: any change to the queued batch bumps a generation
+  counter, stale timers no-op on delivery.  Timed policies fire
+  *before* same-instant arrivals; the greedy policy's zero-wait timer
+  is scheduled with :data:`~repro.sim.events.AFTER_ARRIVALS` so
+  same-instant arrivals join the batch first.
+* **Completions** — every dispatch schedules
+  :class:`~repro.sim.events.Completion` events at the batch's join
+  times; the handler retires in-service counts and coalescer entries
+  at their exact simulated moment.
+* **Epochs** — the autoscaler (replicated pools) or the rebalancer
+  (partitioned pools) evaluates on
+  :class:`~repro.sim.events.EpochTick` boundaries anchored at the
+  first arrival.
+* **Data movement** — a cluster migration books its read/write on the
+  source/destination device timelines and commits the routing flip
+  when its :class:`~repro.sim.events.DataMovement` event fires.
+* **Stream end** — a :class:`~repro.sim.events.StreamEnd` event after
+  the last arrival flushes stragglers at the pending deadline's real
+  time and stops the epoch clocks.
+
+Event-loop invariants (encoded in the kernel's same-instant ranks):
+
+* A batcher deadline expiring at time ``t`` closes its batch before an
+  arrival at ``t`` is offered (timeout closes happen at their exact
+  simulated time); under greedy, arrivals at exactly ``t`` join first.
 * Shard devices are :class:`~repro.serving.device.ShardDevice`
   pipelines: a batch closed at time ``t`` enters the device's first
   stage no earlier than ``max(t, entry-stage free)`` and each stage
   queues FIFO per resource, so batch N+1's read/MAC work overlaps
   batch N's sort/output drain.  ``ServingConfig(pipelined=False)``
   restores the classic one-batch-at-a-time device.  Replicated mode
-  picks the shard that can start earliest; partitioned mode broadcasts
-  and completes at the slowest shard (fan-out join).  With
-  ``ServingConfig(nprobe=n)`` a partitioned batch instead fans out
-  *selectively*: each query goes only to its ``n`` nearest shards
-  (:meth:`~repro.serving.sharding.ShardRouter.search_probed`), the
-  per-shard sub-batches are booked on their device pipelines
-  independently, and a query completes at the slowest of *its* probed
-  shards — so requests in one batch can have different completion
-  times.
+  picks the shard that can start earliest; partitioned mode fans out
+  to IVF clusters and joins per query — a broadcast batch completes at
+  the slowest cluster, and with ``ServingConfig(nprobe=n)`` each query
+  goes only to its ``n`` nearest clusters
+  (:meth:`~repro.serving.sharding.ShardRouter.search_probed`) and
+  completes at the slowest of *its* probed clusters, so requests in
+  one batch can have different completion times.
 * Identical in-flight queries coalesce (:class:`Coalescer`): a request
   whose query is already queued (or already dispatched but not yet
   completed) piggybacks on the leader's batch and completes with it —
@@ -54,8 +79,17 @@ Event-loop invariants:
   state (:meth:`~repro.serving.device.ShardDevice.predict`).
 * With ``autoscale=AutoscalePolicy(...)`` (replicated mode only) an
   :class:`~repro.serving.autoscale.Autoscaler` re-evaluates the active
-  replica count every epoch from windowed utilization and queue depth;
-  grown replicas share the corpus index, shrunk ones drain.
+  replica count at every epoch tick; grown replicas share the corpus
+  index (:meth:`~repro.serving.sharding.ShardRouter.add_replica`),
+  shrunk ones leave the routing rotation explicitly
+  (:meth:`~repro.serving.sharding.ShardRouter.remove_replica`) while
+  their device timelines drain.
+* With ``rebalance=RebalancePolicy(...)`` (partitioned mode only) a
+  :class:`~repro.serving.rebalance.Rebalancer` watches per-device load
+  skew and migrates IVF clusters from hot to cold devices: the data
+  movement is booked on both device timelines (it queues behind, and
+  delays, query batches) and the cluster→device map flips atomically
+  at the migration-complete event.
 """
 
 from __future__ import annotations
@@ -71,6 +105,7 @@ from repro.serving.batcher import GREEDY, SLO, BatchPolicy, DynamicBatcher
 from repro.serving.cache import ResultCache
 from repro.serving.device import ShardDevice
 from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.rebalance import Migration, RebalancePolicy, Rebalancer
 from repro.serving.request import (
     CACHE_HIT,
     COALESCED,
@@ -80,6 +115,16 @@ from repro.serving.request import (
 )
 from repro.serving.sharding import PARTITIONED, REPLICATED, ShardRouter
 from repro.serving.slo import ServiceModel
+from repro.sim.events import (
+    AFTER_ARRIVALS,
+    Arrival,
+    BatchDeadline,
+    Completion,
+    DataMovement,
+    EpochTick,
+    EventLoop,
+    StreamEnd,
+)
 
 
 class Coalescer:
@@ -200,9 +245,9 @@ class ServingConfig:
 
     nprobe: int | None = None
     """Partitioned mode only: route each query to its ``nprobe``
-    nearest shards (IVF nprobe at the device-pool level) instead of
+    nearest clusters (IVF nprobe at the device-pool level) instead of
     broadcasting.  ``None`` keeps the broadcast fan-out;
-    ``nprobe = num_shards`` reproduces broadcast results exactly."""
+    ``nprobe = num_clusters`` reproduces broadcast results exactly."""
 
     priority_admission: bool = False
     """Shed lowest-priority / latest-deadline work first: a rejected
@@ -215,6 +260,13 @@ class ServingConfig:
     (see :mod:`repro.serving.autoscale`).  ``None`` keeps the pool
     static."""
 
+    rebalance: RebalancePolicy | None = None
+    """Partitioned mode only: migrate IVF clusters from hot to cold
+    shard devices every ``interval_s`` epoch when windowed utilization
+    skew exceeds the policy threshold (see
+    :mod:`repro.serving.rebalance`).  ``None`` keeps the placement
+    static."""
+
 
 class ServingFrontend:
     """Runs a request stream against a shard router, collecting metrics."""
@@ -225,9 +277,9 @@ class ServingFrontend:
         if self.config.nprobe is not None:
             if router.mode != PARTITIONED:
                 raise ValueError("nprobe requires a partitioned router")
-            if not 1 <= self.config.nprobe <= router.num_shards:
+            if not 1 <= self.config.nprobe <= router.num_clusters:
                 raise ValueError(
-                    f"nprobe must be in [1, {router.num_shards}], "
+                    f"nprobe must be in [1, {router.num_clusters}], "
                     f"got {self.config.nprobe}"
                 )
             if router.centroids is None:
@@ -251,7 +303,8 @@ class ServingFrontend:
             if router.mode != REPLICATED:
                 raise ValueError(
                     "autoscaling requires a replicated router (partitioned "
-                    "pools would need data movement to rebalance)"
+                    "pools rebalance by data movement instead — see "
+                    "ServingConfig.rebalance)"
                 )
             if router.num_shards > self.config.autoscale.max_replicas:
                 raise ValueError(
@@ -265,9 +318,24 @@ class ServingFrontend:
                 router.num_shards, self.config.autoscale.min_replicas
             )
             self._grow_pool(self._active)
-        self._in_service: list[tuple[float, int]] = []  # (completion_s, count) heap
+        self.rebalancer: Rebalancer | None = None
+        if self.config.rebalance is not None:
+            if router.mode != PARTITIONED:
+                raise ValueError(
+                    "rebalancing requires a partitioned router (replicated "
+                    "pools autoscale instead — see ServingConfig.autoscale)"
+                )
+            self.rebalancer = Rebalancer(
+                self.config.rebalance, router.num_shards, router.num_clusters
+            )
         self._in_service_total = 0
         self.coalescer = Coalescer(self.metrics.observe_coalesced)
+        # Per-run event-loop state (populated by run()).
+        self._loop: EventLoop | None = None
+        self._timer_gen = 0
+        self._draining = False
+        self._epoch_armed = False
+        self._last_arrival_s = 0.0
 
     def run(
         self, requests: list[Request], query_pool: np.ndarray
@@ -278,66 +346,37 @@ class ServingFrontend:
         ``query_id`` fields index into.  Requests are mutated in place
         (timestamps, outcomes, results) and summarised in the returned
         report.
+
+        The stream becomes a schedule of typed events on a fresh
+        :class:`~repro.sim.events.EventLoop`; every other concern
+        (deadlines, completions, epochs, migrations) schedules its own
+        events as the run unfolds, and the loop drains them in
+        deterministic ``(time, rank, seq)`` order.
         """
-        pool = np.ascontiguousarray(query_pool, dtype=np.float32)
+        self._pool = np.ascontiguousarray(query_pool, dtype=np.float32)
         if (
             self.config.policy.mode == SLO
             and not self.service_model.calibrated
             and requests
         ):
-            self._calibrate(pool, max(r.k for r in requests))
-        last_time = 0.0
-        for request in sorted(requests, key=lambda r: r.arrival_s):
-            now = request.arrival_s
-            last_time = max(last_time, now)
-            self._fire_due_deadlines(pool, now)
-            self._retire_in_service(now)
-            if self.autoscaler is not None:
-                self._apply_scaling(now)
-            depth = len(self.batcher) + self._in_service_count()
-            self.metrics.observe_arrival(request, depth)
-            if self.autoscaler is not None:
-                self.autoscaler.observe_depth(depth)
-            # Coalescing precedes admission and the cache: a follower
-            # adds no queue load (so it is never shed), and while its
-            # query's search is in flight the causally-correct answer
-            # is to complete *with* it, not to read its future results
-            # out of the dispatch-time cache write.
-            if self.config.coalesce and self.coalescer.try_coalesce(
-                request, now
-            ):
-                continue
-            # The cache precedes admission: a hit is answered from host
-            # DRAM and never enters the system, so it cannot be shed
-            # (and must not preempt queued work to be answered).
-            cached = self.cache.lookup(request.query_id, request.k)
-            if cached is not None:
-                request.result_ids, request.result_dists = cached
-                request.completion_s = now + self.config.cache_hit_latency_s
-                request.outcome = CACHE_HIT
-                self.metrics.observe_cache_hit(request)
-                continue
-            if not self.admission.admit(depth):
-                if not self._try_preempt(request):
-                    request.outcome = SHED
-                    self.metrics.observe_shed(request)
-                    continue
-            if self.config.coalesce:
-                self.coalescer.note_queued(request)
-            batch = self.batcher.offer(request)
-            if batch is not None:
-                self._dispatch(batch, pool, close_time=now)
-            # An urgent arrival can make the queued batch's slo
-            # deadline immediately due (or, with max_wait_s=0, its own
-            # wait expires at arrival): fire at its exact time.
-            self._fire_due_deadlines(pool, now)
-        # End of stream: let a pending deadline fire at its real time,
-        # then flush stragglers (fixed mode has no deadline).
-        deadline = self.batcher.deadline()
-        flush_time = deadline if deadline is not None else last_time
-        batch = self.batcher.flush()
-        if batch is not None:
-            self._dispatch(batch, pool, close_time=max(flush_time, last_time))
+            self._calibrate(self._pool, max(r.k for r in requests))
+        loop = EventLoop()
+        self._loop = loop
+        self._timer_gen += 1
+        self._draining = False
+        self._epoch_armed = False
+        loop.subscribe(Arrival, self._on_arrival)
+        loop.subscribe(BatchDeadline, self._on_batch_deadline)
+        loop.subscribe(Completion, self._on_completion)
+        loop.subscribe(EpochTick, self._on_epoch_tick)
+        loop.subscribe(DataMovement, self._on_data_movement)
+        loop.subscribe(StreamEnd, self._on_stream_end)
+        ordered = sorted(requests, key=lambda r: r.arrival_s)
+        for request in ordered:
+            loop.schedule(Arrival(time=request.arrival_s, payload=request))
+        self._last_arrival_s = ordered[-1].arrival_s if ordered else 0.0
+        loop.schedule(StreamEnd(time=self._last_arrival_s))
+        loop.run()
         # Utilization comes from true device occupancy (overlapped
         # pipeline stages count once), not summed batch makespans.
         self.metrics.set_shard_busy([d.busy_s for d in self.devices])
@@ -346,9 +385,251 @@ class ServingFrontend:
                 [event.to_dict() for event in self.autoscaler.events],
                 self._active,
             )
+        if self.rebalancer is not None:
+            self.metrics.set_rebalance(
+                [m.to_dict() for m in self.rebalancer.migrations],
+                list(self.router.cluster_shard),
+            )
         return self.metrics.report()
 
-    # ---- event-loop internals -------------------------------------------
+    # ---- event handlers --------------------------------------------------
+    def _on_arrival(self, event: Arrival) -> None:
+        request: Request = event.payload
+        now = event.time
+        if not self._epoch_armed:
+            self._arm_epochs(now)
+        depth = len(self.batcher) + self._in_service_count()
+        self.metrics.observe_arrival(request, depth)
+        if self.autoscaler is not None:
+            self.autoscaler.observe_depth(depth)
+        # Coalescing precedes admission and the cache: a follower
+        # adds no queue load (so it is never shed), and while its
+        # query's search is in flight the causally-correct answer
+        # is to complete *with* it, not to read its future results
+        # out of the dispatch-time cache write.
+        if self.config.coalesce and self.coalescer.try_coalesce(
+            request, now
+        ):
+            return
+        # The cache precedes admission: a hit is answered from host
+        # DRAM and never enters the system, so it cannot be shed
+        # (and must not preempt queued work to be answered).
+        cached = self.cache.lookup(request.query_id, request.k)
+        if cached is not None:
+            request.result_ids, request.result_dists = cached
+            request.completion_s = now + self.config.cache_hit_latency_s
+            request.outcome = CACHE_HIT
+            self.metrics.observe_cache_hit(request)
+            return
+        if not self.admission.admit(depth):
+            if not self._try_preempt(request):
+                request.outcome = SHED
+                self.metrics.observe_shed(request)
+                return
+        if self.config.coalesce:
+            self.coalescer.note_queued(request)
+        batch = self.batcher.offer(request)
+        if batch is not None:
+            self._dispatch(batch, close_time=now)
+        # The queued batch changed: invalidate the standing deadline
+        # timer and schedule a fresh one.  An urgent arrival can make
+        # the slo deadline immediately due (or, with max_wait_s=0, its
+        # own wait expires at arrival) — the new timer then fires at
+        # this same instant, before the next arrival.
+        self._refresh_deadline_timer()
+
+    def _on_batch_deadline(self, event: BatchDeadline) -> None:
+        if event.generation != self._timer_gen or self._draining:
+            return  # stale timer: the batch it was armed for changed
+        deadline = self.batcher.deadline()
+        if deadline is None:
+            return
+        now = self._loop.now
+        if self.batcher.policy.mode == GREEDY:
+            # Same-instant arrivals have already been delivered (the
+            # timer rides AFTER_ARRIVALS), so the batch is complete;
+            # zero wait is the policy, not a timer expiring, so this
+            # close does not count as a timeout.
+            batch = self.batcher.flush()
+            if batch is not None:
+                self._dispatch(batch, close_time=deadline)
+        elif not self.batcher.expired(now, deadline):
+            # The deadline moved later than this timer (defensive —
+            # reachable only if device state shifted under an armed
+            # slo timer without a generation bump).
+            self._refresh_deadline_timer()
+            return
+        else:
+            batch = self.batcher.poll(now, deadline)
+            if batch is not None:
+                self._dispatch(
+                    batch, close_time=deadline, timeout_closed=True
+                )
+        self._refresh_deadline_timer()
+
+    def _on_completion(self, event: Completion) -> None:
+        self._in_service_total -= event.payload
+        # Results that have landed are no longer coalescing targets —
+        # from now on the cache answers repeats of these queries.
+        self.coalescer.retire(self._loop.now)
+
+    def _on_epoch_tick(self, event: EpochTick) -> None:
+        if self._draining:
+            return  # the stream ended; let the epoch clock stop
+        now = event.time
+        if self.autoscaler is not None:
+            self._apply_scaling(now)
+            self._loop.schedule(EpochTick(time=self.autoscaler.epoch_end))
+        elif self.rebalancer is not None:
+            proposals = self.rebalancer.decide(
+                now, [d.busy_s for d in self.devices],
+                self.router.cluster_shard,
+            )
+            for proposal in proposals:
+                self._start_migration(proposal, now)
+            self._loop.schedule(EpochTick(time=self.rebalancer.epoch_end))
+
+    def _on_data_movement(self, event: DataMovement) -> None:
+        migration: Migration = event.payload
+        # The atomic commit point: DataMovement outranks every other
+        # same-instant event (repro.sim.events), so even a batch whose
+        # deadline expires at exactly complete_s books the cluster's
+        # work on the destination device.
+        self.router.reassign_cluster(migration.cluster, migration.dest)
+        self.rebalancer.finish(migration)
+
+    def _on_stream_end(self, event: StreamEnd) -> None:
+        # End of stream: let a pending deadline close at its real time,
+        # then flush stragglers (fixed mode has no deadline).  Closing
+        # here rather than at the timer keeps end-of-stream flushes out
+        # of the timeout statistics, exactly like an operator draining
+        # a frontend.
+        self._draining = True
+        deadline = self.batcher.deadline()
+        flush_time = deadline if deadline is not None else self._last_arrival_s
+        batch = self.batcher.flush()
+        if batch is not None:
+            self._dispatch(
+                batch, close_time=max(flush_time, self._last_arrival_s)
+            )
+        self._timer_gen += 1  # no timers survive the flush
+
+    # ---- epoch controllers ----------------------------------------------
+    def _arm_epochs(self, now: float) -> None:
+        """Anchor the epoch grid at the first arrival and start the
+        tick chain (autoscaler and rebalancer are mutually exclusive
+        by mode validation)."""
+        self._epoch_armed = True
+        if self.autoscaler is not None:
+            busy = [d.busy_s for d in self.devices]
+            self.autoscaler.decide(now, self._active, busy)
+            self._loop.schedule(EpochTick(time=self.autoscaler.epoch_end))
+        elif self.rebalancer is not None:
+            self.rebalancer.arm(now, [d.busy_s for d in self.devices])
+            self._loop.schedule(EpochTick(time=self.rebalancer.epoch_end))
+
+    def _apply_scaling(self, now: float) -> None:
+        new_active = self.autoscaler.decide(
+            now, self._active, [d.busy_s for d in self.devices]
+        )
+        # The router pool tracks the active count exactly: growth adds
+        # shared-index replicas, shrink removes them from the rotation
+        # (their devices stay, draining, for occupancy accounting).
+        if new_active > len(self.devices):
+            self._grow_pool(new_active)
+        while self.router.num_shards < new_active:
+            self.router.add_replica()
+        while self.router.num_shards > new_active:
+            self.router.remove_replica()
+        self._active = new_active
+
+    def _grow_pool(self, replicas: int) -> None:
+        """Add shared-index replicas (devices + router + metrics)."""
+        while self.router.num_shards < replicas:
+            self.router.add_replica()
+        while len(self.devices) < replicas:
+            self.devices.append(ShardDevice(pipelined=self.config.pipelined))
+        self.metrics.ensure_shards(len(self.devices))
+
+    def _start_migration(self, proposal, now: float) -> None:
+        """Book a cluster migration's data movement and schedule its
+        commit.
+
+        The read occupies the source device, the write the destination
+        device — both on the platform's entry-stage FIFO, so the
+        movement queues behind (and delays) query batches instead of
+        being free.  The cluster keeps routing to the source until the
+        :class:`~repro.sim.events.DataMovement` event commits the flip.
+        """
+        policy = self.config.rebalance
+        moved_bytes = self._cluster_bytes(proposal.cluster)
+        duration = moved_bytes / (policy.migration_gbps * 1e9)
+        stage = self.service_model.entry_resource
+        _, read_done = self.devices[proposal.source].book(
+            now, duration, resource=stage
+        )
+        _, write_done = self.devices[proposal.dest].book(
+            now, duration, resource=stage
+        )
+        migration = Migration(
+            cluster=proposal.cluster,
+            source=proposal.source,
+            dest=proposal.dest,
+            decided_s=now,
+            complete_s=max(read_done, write_done),
+            bytes=moved_bytes,
+            vectors=int(self.router.global_ids[proposal.cluster].size),
+            utilization_gap=proposal.utilization_gap,
+        )
+        self.rebalancer.begin(migration)
+        self._loop.schedule(
+            DataMovement(time=migration.complete_s, payload=migration)
+        )
+
+    def _cluster_bytes(self, cluster: int) -> int:
+        """Bytes a cluster migration must move (vectors + graph).
+
+        The cluster backend's dataset profile already totals its
+        vector and CSR-graph footprint; backends without one fall back
+        to the raw vector bytes.
+        """
+        profile = getattr(self.router.backends[cluster], "profile", None)
+        if profile is not None:
+            return int(profile.footprint_bytes)
+        members = self.router.global_ids[cluster]
+        dim = (
+            self.router.centroids.shape[1]
+            if self.router.centroids is not None
+            else self._pool.shape[1]
+        )
+        return int(members.size * dim * 4)
+
+    # ---- batcher timers --------------------------------------------------
+    def _refresh_deadline_timer(self) -> None:
+        """Re-arm the batch deadline timer for the current queue.
+
+        Bumps the generation (invalidating any standing timer) and, if
+        a batch is queued under a timed policy, schedules its close.
+        Greedy timers ride :data:`~repro.sim.events.AFTER_ARRIVALS` so
+        requests arriving at exactly the leader's instant join the
+        batch before it closes.
+        """
+        self._timer_gen += 1
+        deadline = self.batcher.deadline()
+        if deadline is None:
+            return
+        rank = (
+            AFTER_ARRIVALS if self.batcher.policy.mode == GREEDY else None
+        )
+        self._loop.schedule(
+            BatchDeadline(
+                time=max(deadline, self._loop.now),
+                generation=self._timer_gen,
+            ),
+            rank=rank,
+        )
+
+    # ---- shared internals ------------------------------------------------
     def _calibrate(self, pool: np.ndarray, k: int) -> None:
         """Prime the service model with offline probe batches.
 
@@ -366,21 +647,6 @@ class ServingFrontend:
             for backend in backends:
                 _, _, result = backend.search_batch(queries, k)
                 self.service_model.observe(size, result.pipeline_stages())
-
-    def _fire_due_deadlines(self, pool: np.ndarray, now: float) -> None:
-        while True:
-            # Computed once per iteration: in slo mode every deadline()
-            # call runs the completion predictor over the device chains.
-            deadline = self.batcher.deadline()
-            if deadline is None or not self.batcher.expired(now, deadline):
-                return
-            batch = self.batcher.poll(now, deadline)
-            if batch is None:
-                return
-            self._dispatch(
-                batch, pool, close_time=deadline,
-                timeout_closed=self.batcher.policy.mode != GREEDY,
-            )
 
     def _try_preempt(self, request: Request) -> bool:
         """Admit a rejected arrival by shedding a less urgent queued
@@ -405,22 +671,6 @@ class ServingFrontend:
         self.admission.preempt()
         return True
 
-    def _apply_scaling(self, now: float) -> None:
-        new_active = self.autoscaler.decide(
-            now, self._active, [d.busy_s for d in self.devices]
-        )
-        if new_active > len(self.devices):
-            self._grow_pool(new_active)
-        self._active = new_active
-
-    def _grow_pool(self, replicas: int) -> None:
-        """Add shared-index replicas (devices + router + metrics)."""
-        while self.router.num_shards < replicas:
-            self.router.add_replica()
-        while len(self.devices) < replicas:
-            self.devices.append(ShardDevice(pipelined=self.config.pipelined))
-        self.metrics.ensure_shards(len(self.devices))
-
     def predict_completion(self, batch_size: int, at: float) -> float | None:
         """Drain-time prediction: when a batch of ``batch_size`` closed
         at ``at`` would complete, or ``None`` until the service model
@@ -430,13 +680,13 @@ class ServingFrontend:
         predict on the device ``_dispatch`` will pick (its
         earliest-entry / earliest-drain key — not the device with the
         soonest predicted *completion*, which dispatch does not
-        consult); partitioned broadcast joins on the slowest shard.
-        Selective probing is approximated: each shard's chain is
-        estimated at the *expected* sub-batch size
-        (``n * nprobe / num_shards`` — the exact per-shard regrouping
+        consult); partitioned broadcast joins on the slowest device.
+        Selective probing is approximated: each device's load is
+        estimated at the *expected* per-device sub-batch size
+        (``n * nprobe / num_shards`` — the exact per-cluster regrouping
         is only known after routing) and the join still spans the
         pool, since a typical batch's per-query probe sets union to
-        nearly every shard.
+        nearly every device.
         """
         if self.config.nprobe is not None:
             batch_size = max(
@@ -457,10 +707,10 @@ class ServingFrontend:
     def _dispatch(
         self,
         batch: list[Request],
-        pool: np.ndarray,
         close_time: float,
         timeout_closed: bool = False,
     ) -> None:
+        pool = self._pool
         queries = pool[[r.query_id for r in batch]]
         # The batcher does not group by k; search at the batch's widest
         # k and trim per request below.
@@ -485,26 +735,13 @@ class ServingFrontend:
             self.metrics.observe_probes(shard, n)
             starts = np.full(n, start)
             completions = np.full(n, completion)
-        elif self.config.nprobe is None:
-            # PARTITIONED broadcast: join on the slowest shard.
-            ids, dists, results = self.router.search_all(queries, k)
-            start = completion = close_time
-            for shard, result in enumerate(results):
-                shard_start, shard_done = self.devices[shard].serve(
-                    result, close_time
-                )
-                completion = max(completion, shard_done)
-                start = max(start, shard_start)
-                self.service_model.observe(n, result.pipeline_stages())
-                self.metrics.observe_shard_service(shard, result)
-                self.metrics.observe_probes(shard, n)
-            starts = np.full(n, start)
-            completions = np.full(n, completion)
         else:
-            # PARTITIONED selective: each shard serves a sub-batch of
-            # the queries that probed it, on its own device timeline;
-            # a query joins on the slowest of *its* probed shards, not
-            # on the whole pool.
+            # PARTITIONED: fan out per IVF cluster (all clusters for
+            # broadcast, each query's nprobe nearest otherwise); every
+            # cluster's sub-batch books on its owning device's
+            # timeline, and a query joins on the slowest of *its*
+            # clusters — under broadcast that is the whole pool, under
+            # selective probing just the clusters it probed.
             ids, dists, jobs = self.router.search_probed(
                 queries, k, self.config.nprobe
             )
@@ -519,17 +756,24 @@ class ServingFrontend:
                 )
                 self.metrics.observe_shard_service(job.shard, job.result)
                 self.metrics.observe_probes(job.shard, int(job.rows.size))
+                if self.rebalancer is not None:
+                    self.rebalancer.observe_cluster_queries(
+                        job.cluster, int(job.rows.size)
+                    )
                 starts[job.rows] = np.maximum(starts[job.rows], shard_start)
                 completions[job.rows] = np.maximum(
                     completions[job.rows], shard_done
                 )
 
-        # One heap entry per distinct completion time: replicated and
-        # broadcast batches collapse to a single entry, selective
+        # One completion event per distinct join time: replicated and
+        # broadcast batches collapse to a single event, selective
         # probing adds one per fan-out join group.
-        values, counts = np.unique(completions, return_counts=True)
-        for value, count in zip(values, counts):
-            heapq.heappush(self._in_service, (float(value), int(count)))
+        for value, count in zip(*np.unique(completions, return_counts=True)):
+            self._loop.schedule(
+                Completion(
+                    time=max(float(value), self._loop.now), payload=int(count)
+                )
+            )
         self._in_service_total += len(batch)
 
         for i, request in enumerate(batch):
@@ -554,14 +798,6 @@ class ServingFrontend:
                 self.coalescer.on_dispatch(
                     request, ids[i].copy(), dists[i].copy(), k, completion
                 )
-
-    def _retire_in_service(self, now: float) -> None:
-        while self._in_service and self._in_service[0][0] <= now:
-            _, count = heapq.heappop(self._in_service)
-            self._in_service_total -= count
-        # Results that have landed are no longer coalescing targets —
-        # from now on the cache answers repeats of these queries.
-        self.coalescer.retire(now)
 
     def _in_service_count(self) -> int:
         return self._in_service_total

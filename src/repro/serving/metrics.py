@@ -80,6 +80,14 @@ class ServingReport:
     replicas_final: int = 0
     """Active replicas when the run ended (static pools: shard count)."""
 
+    rebalance_events: tuple[dict, ...] = ()
+    """Cluster migrations (``Migration.to_dict()`` records), empty for
+    static placements."""
+
+    cluster_map_final: tuple[int, ...] = ()
+    """Cluster → shard-device placement when the run ended
+    (partitioned pools with rebalancing; empty otherwise)."""
+
     @property
     def served(self) -> int:
         """Requests answered (searched, coalesced or from cache)."""
@@ -150,6 +158,15 @@ class ServingReport:
                     f"final {self.replicas_final} replicas",
                 ]
             )
+        if self.rebalance_events:
+            moved = sum(e["bytes"] for e in self.rebalance_events)
+            rows.append(
+                [
+                    "rebalancing",
+                    f"{len(self.rebalance_events)} migrations, "
+                    f"{moved / 1e6:.2f} MB moved",
+                ]
+            )
         return format_table(["metric", "value"], rows, title=title)
 
 
@@ -183,6 +200,8 @@ class MetricsCollector:
         self.priority_counts: dict[int, list[int]] = {}
         self.scale_events: list[dict] = []
         self.replicas_final = num_shards
+        self.rebalance_events: list[dict] = []
+        self.cluster_map_final: tuple[int, ...] = ()
 
     # ---- observations ---------------------------------------------------
     def observe_arrival(self, request: Request, queue_depth: int) -> None:
@@ -270,6 +289,13 @@ class MetricsCollector:
         """Record the autoscaler's decisions for the report."""
         self.scale_events = list(events)
         self.replicas_final = replicas_final
+
+    def set_rebalance(
+        self, events: list[dict], cluster_map: list[int]
+    ) -> None:
+        """Record the rebalancer's migrations and the final placement."""
+        self.rebalance_events = list(events)
+        self.cluster_map_final = tuple(int(s) for s in cluster_map)
 
     def _observe_done(self, request: Request) -> None:
         self.latencies_s.append(request.latency_s)
@@ -371,4 +397,6 @@ class MetricsCollector:
             priority_stats=priority_stats,
             scale_events=tuple(self.scale_events),
             replicas_final=self.replicas_final,
+            rebalance_events=tuple(self.rebalance_events),
+            cluster_map_final=self.cluster_map_final,
         )

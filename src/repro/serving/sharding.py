@@ -7,26 +7,38 @@ outgrow one device.  Two classic layouts are provided:
   A batch is routed to *one* device (the least-loaded), so throughput
   scales with the pool while results are bit-identical to an unsharded
   system.  This is the layout for traffic scaling.
-* **partitioned** — the corpus is split across shards by a k-means
-  coarse quantizer (the IVF construction of :mod:`repro.ann.ivf`), one
-  sub-corpus and sub-graph per device.  A batch *broadcasts* to every
-  shard; per-shard top-k lists come back in global IDs and merge via
+* **partitioned** — the corpus is split into IVF *clusters* by a
+  k-means coarse quantizer (the construction of :mod:`repro.ann.ivf`),
+  one sub-corpus and sub-graph per cluster, and the clusters are
+  placed across the shard devices (``cluster_shard`` maps cluster →
+  owning device).  A batch fans out to clusters; per-cluster top-k
+  lists come back in global IDs and merge via
   :func:`repro.ann.search.merge_topk`.  This is the layout for corpus
-  scaling (each device stores 1/N of the data).
+  scaling (each device stores ~1/N of the data).
+
+With the default ``clusters_per_shard=1`` the clusters *are* the
+shards — one cluster per device, which is the classic IVF-partitioned
+pool.  More clusters per shard make placement a degree of freedom:
+clusters can migrate between devices while serving continues
+(:mod:`repro.serving.rebalance` books the data movement on the device
+timelines and flips ``cluster_shard`` atomically when it completes),
+because the per-cluster indexes and centroids never change — only the
+*timing* of who serves a cluster does.
 
 Partitioned mode additionally supports **selective probing** — IVF
 ``nprobe`` lifted to the device-pool level (the paper's Section VIII-B
 generalisation).  The router keeps the k-means centroids it split the
 corpus with; :meth:`ShardRouter.probe` routes each query to its
-``nprobe`` nearest shards, and :meth:`ShardRouter.search_probed`
-regroups the batch into per-shard sub-batches, serves each through
+``nprobe`` nearest clusters, and :meth:`ShardRouter.search_probed`
+regroups the batch into per-cluster sub-batches, serves each through
 :meth:`ShardRouter.search_selected` and merges the partial top-k lists
-(per-query shard masks: a query only contributes candidates from the
-shards it probed).  ``nprobe = num_shards`` reproduces the broadcast
-results exactly; smaller ``nprobe`` trades recall for a fraction of
-the per-query device work.
+(per-query cluster masks: a query only contributes candidates from the
+clusters it probed).  ``nprobe = num_clusters`` — or
+``search_probed(..., nprobe=None)`` — reproduces the broadcast results
+exactly; smaller ``nprobe`` trades recall for a fraction of the
+per-query device work.
 
-The router owns the shard backends and the ID translation; device
+The router owns the cluster backends and the ID translation; device
 *timing* (who is busy until when) stays in the frontend's event loop.
 """
 
@@ -51,34 +63,43 @@ SHARD_MODES = (REPLICATED, PARTITIONED)
 
 @dataclass(frozen=True)
 class ShardJob:
-    """One shard's slice of a selectively-probed batch.
+    """One shard device's slice of a fanned-out batch.
 
-    ``rows`` are the batch-row indices routed to ``shard`` (ascending),
-    ``result`` the shard's :class:`~repro.sim.stats.SimResult` for that
-    sub-batch — what the frontend books onto the shard's device
-    timeline.
+    ``rows`` are the batch-row indices routed to ``cluster``
+    (ascending), ``shard`` the device that owns the cluster at dispatch
+    time, ``result`` the cluster's :class:`~repro.sim.stats.SimResult`
+    for that sub-batch — what the frontend books onto the shard's
+    device timeline.
     """
 
     shard: int
     rows: np.ndarray
     result: SimResult
+    cluster: int = -1
 
 
 @dataclass
 class ShardRouter:
-    """A pool of shard backends plus the global-ID bookkeeping.
+    """A pool of search backends plus the global-ID bookkeeping.
 
-    ``global_ids[s]`` maps shard ``s``'s local vertex IDs to corpus
-    IDs; ``None`` means the shard stores the full corpus (replicated
-    mode, local == global).  ``centroids`` holds the k-means coarse
-    quantizer a partitioned corpus was split with — the routing table
-    for selective probing.
+    Replicated mode: one backend per replica device (they share the
+    index object).  Partitioned mode: one backend per IVF *cluster*;
+    ``global_ids[c]`` maps cluster ``c``'s local vertex IDs to corpus
+    IDs, ``centroids`` holds the k-means coarse quantizer the corpus
+    was split with (the routing table for selective probing), and
+    ``cluster_shard`` maps each cluster to the shard device that
+    currently serves it (identity by default — one cluster per
+    device).  ``num_devices`` sizes the device pool; it defaults to
+    the cluster count and must be given when clusters outnumber
+    devices.
     """
 
     backends: list[SearchBackend]
     mode: str = REPLICATED
     global_ids: list[np.ndarray] | None = None
     centroids: np.ndarray | None = None
+    cluster_shard: np.ndarray | None = None
+    num_devices: int | None = None
 
     def __post_init__(self) -> None:
         if not self.backends:
@@ -90,15 +111,44 @@ class ShardRouter:
         if self.mode == PARTITIONED:
             if self.global_ids is None or len(self.global_ids) != len(self.backends):
                 raise ValueError(
-                    "partitioned mode needs one global-ID map per shard"
+                    "partitioned mode needs one global-ID map per cluster"
                 )
             if self.centroids is not None and self.centroids.shape[0] != len(
                 self.backends
             ):
-                raise ValueError("need one routing centroid per shard")
+                raise ValueError("need one routing centroid per cluster")
+            if self.cluster_shard is None:
+                self.cluster_shard = np.arange(len(self.backends), dtype=np.int64)
+            else:
+                self.cluster_shard = np.asarray(
+                    self.cluster_shard, dtype=np.int64
+                )
+            if self.cluster_shard.shape != (len(self.backends),):
+                raise ValueError("need one owning shard per cluster")
+            if self.num_devices is None:
+                self.num_devices = int(self.cluster_shard.max()) + 1
+            if self.cluster_shard.min() < 0 or (
+                self.cluster_shard.max() >= self.num_devices
+            ):
+                raise ValueError(
+                    f"cluster_shard values must lie in [0, {self.num_devices})"
+                )
+        elif self.cluster_shard is not None or self.num_devices is not None:
+            raise ValueError(
+                "cluster placement is a partitioned-mode concept"
+            )
 
     @property
     def num_shards(self) -> int:
+        """Size of the device pool the frontend books timing on."""
+        if self.mode == PARTITIONED:
+            return self.num_devices
+        return len(self.backends)
+
+    @property
+    def num_clusters(self) -> int:
+        """IVF clusters in a partitioned pool (= backends; replicated
+        pools have one "cluster" per replica, the full corpus)."""
         return len(self.backends)
 
     def add_replica(self) -> int:
@@ -109,28 +159,63 @@ class ShardRouter:
         serves bit-identical results — per-replica *occupancy* lives in
         the frontend's :class:`~repro.serving.device.ShardDevice`
         timelines.  This is the autoscaler's scale-up primitive;
-        partitioned pools cannot grow this way (each shard owns a
-        distinct sub-corpus).
+        partitioned pools grow capacity by *rebalancing* instead (each
+        cluster owns a distinct sub-corpus).
         """
         if self.mode != REPLICATED:
             raise ValueError("only replicated pools can add replicas")
         self.backends.append(self.backends[0])
         return self.num_shards
 
+    def remove_replica(self) -> int:
+        """Shrink a replicated pool by one shard; returns the new count.
+
+        The symmetric scale-down primitive to :meth:`add_replica`:
+        the tail replica leaves the routing rotation.  Shared-index
+        accounting: replicas hold references to one index/backend
+        object, so dropping the tail reference frees nothing while any
+        replica remains and the survivors keep serving bit-identical
+        results.  Draining is the caller's concern — the frontend keeps
+        the departed replica's device timeline until its in-flight
+        batches finish; the router only stops routing to it.
+        """
+        if self.mode != REPLICATED:
+            raise ValueError("only replicated pools can remove replicas")
+        if len(self.backends) <= 1:
+            raise ValueError("cannot remove the last replica")
+        self.backends.pop()
+        return self.num_shards
+
+    def reassign_cluster(self, cluster: int, shard: int) -> None:
+        """Atomically hand ``cluster`` to ``shard``.
+
+        The commit point of a migration: batches dispatched from this
+        moment on book the cluster's work on the new device.  Results
+        are unaffected — the cluster's index and centroid do not move,
+        only which device serves it.
+        """
+        if self.mode != PARTITIONED:
+            raise ValueError("only partitioned pools place clusters")
+        if not 0 <= cluster < self.num_clusters:
+            raise ValueError(f"no such cluster {cluster}")
+        if not 0 <= shard < self.num_devices:
+            raise ValueError(f"no such shard device {shard}")
+        self.cluster_shard[cluster] = shard
+
     def search_on(
-        self, shard: int, queries: np.ndarray, k: int
+        self, cluster: int, queries: np.ndarray, k: int
     ) -> tuple[np.ndarray, np.ndarray, SimResult]:
-        """Serve a batch on one shard; IDs come back in corpus numbering."""
-        ids, dists, result = self.backends[shard].search_batch(queries, k)
+        """Serve a batch on one backend; IDs come back in corpus numbering."""
+        ids, dists, result = self.backends[cluster].search_batch(queries, k)
         if self.global_ids is not None:
-            local = self.global_ids[shard]
+            local = self.global_ids[cluster]
             ids = np.where(ids >= 0, local[np.clip(ids, 0, None)], -1)
         return ids, dists, result
 
     def probe(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
-        """Route each query to its ``nprobe`` nearest shards.
+        """Route each query to its ``nprobe`` nearest clusters.
 
-        Returns a ``(batch, nprobe)`` array of shard indices, ordered
+        Returns a ``(batch, nprobe)`` array of cluster indices, ordered
         by ascending centroid distance (stable ties), one row per
         query.  Requires a partitioned router built with centroids.
         """
@@ -138,9 +223,9 @@ class ShardRouter:
             raise ValueError(
                 "selective probing needs a partitioned router with centroids"
             )
-        if not 1 <= nprobe <= self.num_shards:
+        if not 1 <= nprobe <= self.num_clusters:
             raise ValueError(
-                f"nprobe must be in [1, {self.num_shards}], got {nprobe}"
+                f"nprobe must be in [1, {self.num_clusters}], got {nprobe}"
             )
         dmat = pairwise_distances(
             np.atleast_2d(queries), self.centroids, DistanceMetric.EUCLIDEAN
@@ -148,9 +233,9 @@ class ShardRouter:
         return np.argsort(dmat, axis=1, kind="stable")[:, :nprobe]
 
     def search_selected(
-        self, shard: int, subbatch: np.ndarray, k: int
+        self, cluster: int, subbatch: np.ndarray, k: int
     ) -> tuple[np.ndarray, np.ndarray, SimResult]:
-        """Serve a probed sub-batch on one shard (corpus-ID results).
+        """Serve a probed sub-batch on one cluster (corpus-ID results).
 
         The selective-probing leg of :meth:`search_probed`; results are
         identical to :meth:`search_on` because per-query searches are
@@ -158,41 +243,61 @@ class ShardRouter:
         returned :class:`~repro.sim.stats.SimResult`) reflects the
         sub-batch size.
         """
-        return self.search_on(shard, subbatch, k)
+        return self.search_on(cluster, subbatch, k)
 
     def search_probed(
-        self, queries: np.ndarray, k: int, nprobe: int
+        self, queries: np.ndarray, k: int, nprobe: int | None
     ) -> tuple[np.ndarray, np.ndarray, list[ShardJob]]:
-        """Selective fan-out: probe, regroup per shard, merge top-k.
+        """Fan a batch out across clusters and merge the top-k lists.
 
-        Each query fans out only to its ``nprobe`` nearest shards; each
-        shard serves one sub-batch holding exactly the queries that
-        probed it.  Partial top-k lists merge under per-query shard
+        With ``nprobe=None`` every query fans out to every cluster (the
+        broadcast join); with an integer ``nprobe`` each query goes
+        only to its ``nprobe`` nearest clusters.  Either way each
+        cluster serves one sub-batch holding exactly the queries routed
+        to it, and partial top-k lists merge under per-query cluster
         masks (rows a query did not probe stay ``-1``/``inf`` padded,
-        which :func:`repro.ann.search.merge_topk` skips), so with
-        ``nprobe = num_shards`` the merge — and therefore the results —
-        is bit-identical to :meth:`search_all`.  Returns the merged
-        ``(ids, dists)`` plus one :class:`ShardJob` per probed shard
-        for the frontend's device timelines.
+        which :func:`repro.ann.search.merge_topk` skips) — so
+        ``nprobe = num_clusters`` is bit-identical to the broadcast.
+        Returns the merged ``(ids, dists)`` plus one :class:`ShardJob`
+        per served cluster, tagged with the shard device that owns the
+        cluster *now* (mid-migration, still the source), for the
+        frontend's device timelines.
         """
         queries = np.atleast_2d(queries)
-        assignment = self.probe(queries, nprobe)
+        assignment = None
+        if nprobe is not None:
+            assignment = self.probe(queries, nprobe)
         batch = queries.shape[0]
         per_ids: list[np.ndarray] = []
         per_dists: list[np.ndarray] = []
         jobs: list[ShardJob] = []
-        for shard in range(self.num_shards):
-            rows = np.flatnonzero((assignment == shard).any(axis=1))
-            # Masked per-shard candidate block: unprobed rows stay padded.
+        cluster_shard = (
+            self.cluster_shard
+            if self.cluster_shard is not None
+            else np.arange(self.num_clusters)
+        )
+        for cluster in range(self.num_clusters):
+            if assignment is None:
+                rows = np.arange(batch)
+            else:
+                rows = np.flatnonzero((assignment == cluster).any(axis=1))
+            # Masked per-cluster candidate block: unprobed rows stay padded.
             ids = np.full((batch, k), -1, dtype=np.int64)
             dists = np.full((batch, k), np.inf, dtype=np.float64)
             if rows.size:
                 sub_ids, sub_dists, result = self.search_selected(
-                    shard, queries[rows], k
+                    cluster, queries[rows], k
                 )
                 ids[rows, : sub_ids.shape[1]] = sub_ids
                 dists[rows, : sub_dists.shape[1]] = sub_dists
-                jobs.append(ShardJob(shard=shard, rows=rows, result=result))
+                jobs.append(
+                    ShardJob(
+                        shard=int(cluster_shard[cluster]),
+                        rows=rows,
+                        result=result,
+                        cluster=cluster,
+                    )
+                )
             per_ids.append(ids)
             per_dists.append(dists)
         merged_ids, merged_dists = merge_topk(per_ids, per_dists, k)
@@ -201,12 +306,19 @@ class ShardRouter:
     def search_all(
         self, queries: np.ndarray, k: int
     ) -> tuple[np.ndarray, np.ndarray, list[SimResult]]:
-        """Broadcast a batch to every shard and merge the top-k lists."""
+        """Broadcast a batch to every backend and merge the top-k lists.
+
+        The offline convenience path (parity checks, recall sweeps):
+        one full-batch search per replica/cluster, no device-pool
+        bookkeeping.  The frontend's serving path is
+        :meth:`search_probed`, which the broadcast here must agree
+        with bit for bit.
+        """
         per_ids: list[np.ndarray] = []
         per_dists: list[np.ndarray] = []
         results: list[SimResult] = []
-        for shard in range(self.num_shards):
-            ids, dists, result = self.search_on(shard, queries, k)
+        for cluster in range(len(self.backends)):
+            ids, dists, result = self.search_on(cluster, queries, k)
             per_ids.append(ids)
             per_dists.append(dists)
             results.append(result)
@@ -225,17 +337,26 @@ def build_router(
     ef: int | None = None,
     seed: int = 0,
     dataset: str = "synthetic",
+    clusters_per_shard: int = 1,
 ) -> ShardRouter:
     """Construct a shard router over a corpus.
 
     Replicated mode builds the index once and shares it across the
     shard backends (each backend still gets its own device model with
     the per-shard :meth:`~repro.core.config.NDSearchConfig.shard`
-    geometry).  Partitioned mode k-means-splits the corpus and builds
-    one index per sub-corpus.
+    geometry).  Partitioned mode k-means-splits the corpus into
+    ``num_shards * clusters_per_shard`` clusters, builds one index per
+    cluster, and places clusters across the device pool round-robin
+    (``clusters_per_shard=1`` is the classic one-cluster-per-device
+    IVF layout; more clusters per shard gives the rebalancer migration
+    granularity).
     """
     if mode not in SHARD_MODES:
         raise ValueError(f"unknown shard mode {mode!r}")
+    if clusters_per_shard < 1:
+        raise ValueError("clusters_per_shard must be >= 1")
+    if clusters_per_shard > 1 and mode != PARTITIONED:
+        raise ValueError("clusters_per_shard is a partitioned-mode knob")
     params = hnsw_params or HNSWParams(M=8, ef_construction=48)
     try:
         shard_config = config.shard(num_shards)
@@ -259,20 +380,21 @@ def build_router(
         backend = make_backend(platform, index, vectors, shard_config, **kwargs)
         return ShardRouter(backends=[backend] * num_shards, mode=REPLICATED)
 
-    if num_shards > vectors.shape[0]:
-        raise ValueError("more shards than corpus vectors")
-    if num_shards == 1:
+    num_clusters = num_shards * clusters_per_shard
+    if num_clusters > vectors.shape[0]:
+        raise ValueError("more clusters than corpus vectors")
+    if num_clusters == 1:
         assignment = np.zeros(vectors.shape[0], dtype=np.int64)
         centroids = vectors.mean(axis=0, keepdims=True).astype(np.float32)
     else:
-        centroids, assignment = kmeans(vectors, num_shards, seed=seed)
+        centroids, assignment = kmeans(vectors, num_clusters, seed=seed)
     backends = []
     global_ids = []
-    for shard in range(num_shards):
-        members = np.flatnonzero(assignment == shard).astype(np.int64)
+    for cluster in range(num_clusters):
+        members = np.flatnonzero(assignment == cluster).astype(np.int64)
         if members.size == 0:
             raise ValueError(
-                f"k-means left shard {shard} empty; use fewer shards"
+                f"k-means left cluster {cluster} empty; use fewer clusters"
             )
         sub = np.ascontiguousarray(vectors[members])
         index = HNSWIndex(sub, params, **metric_kwargs)
@@ -283,4 +405,6 @@ def build_router(
         mode=PARTITIONED,
         global_ids=global_ids,
         centroids=centroids,
+        cluster_shard=np.arange(num_clusters, dtype=np.int64) % num_shards,
+        num_devices=num_shards,
     )

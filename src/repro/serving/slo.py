@@ -45,6 +45,13 @@ class ServiceModel:
     def calibrated(self) -> bool:
         return self.observations > 0
 
+    @property
+    def entry_resource(self) -> str | None:
+        """First resource of the learned stage chain (``None`` until
+        calibrated) — where non-query work like a cluster migration
+        should queue to contend with batches."""
+        return self._chain[0] if self._chain else None
+
     def observe(
         self, batch_size: int, stages: list[tuple[str, float]]
     ) -> None:

@@ -6,6 +6,10 @@ that style of simulation:
 
 * :mod:`repro.sim.engine` — resource timelines used to model contention
   on buses, LUNs, accelerators and links.
+* :mod:`repro.sim.events` — a heap-backed discrete-event loop with
+  typed, deterministically tie-broken events; the control-flow layer
+  the online serving stack runs on (resources model *occupancy*,
+  events model *when things happen*).
 * :mod:`repro.sim.stats` — event counters and the :class:`SimResult`
   record that every platform model returns.
 * :mod:`repro.sim.energy` — component power constants (paper Table I)
@@ -14,6 +18,17 @@ that style of simulation:
 """
 
 from repro.sim.engine import Resource, ResourcePool, Timeline
+from repro.sim.events import (
+    AFTER_ARRIVALS,
+    Arrival,
+    BatchDeadline,
+    Completion,
+    DataMovement,
+    EpochTick,
+    Event,
+    EventLoop,
+    StreamEnd,
+)
 from repro.sim.stats import Counters, PhaseSegment, SimResult, serial_timeline
 from repro.sim.energy import ComponentPower, EnergyModel
 from repro.sim.area import AreaModel, ComponentArea
@@ -22,6 +37,15 @@ __all__ = [
     "Resource",
     "ResourcePool",
     "Timeline",
+    "AFTER_ARRIVALS",
+    "Arrival",
+    "BatchDeadline",
+    "Completion",
+    "DataMovement",
+    "EpochTick",
+    "Event",
+    "EventLoop",
+    "StreamEnd",
     "Counters",
     "PhaseSegment",
     "SimResult",

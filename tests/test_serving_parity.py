@@ -1,0 +1,312 @@
+"""Pinned parity: the event-kernel frontend vs the legacy arrival loop.
+
+PR 5 replaced ``ServingFrontend.run``'s monolithic arrival-ordered loop
+(hand-interleaved batcher deadlines, completion retirement and
+autoscale epochs) with the discrete-event kernel in
+:mod:`repro.sim.events`.  Before the legacy loop was deleted, both
+implementations were run over the existing ``bench_serving``
+configurations and their :class:`~repro.serving.metrics.ServingReport`
+outputs — per-request outcomes, timestamps and results included — were
+required to match *bit for bit*.  The digests pinned below are those
+legacy-loop outputs; the kernel frontend must keep reproducing them.
+
+The digest covers, per configuration:
+
+* every request's ``(request_id, outcome, batched_s, start_s,
+  completion_s)`` tuple plus its result arrays' raw bytes, and
+* the full scalar surface of the report (throughput, latency
+  percentiles at ``repr`` precision, queue/batch/probe/energy series,
+  SLO attainment and scale events).
+
+A digest mismatch means the refactored event loop changed an
+observable serving behavior — event ordering, retirement timing,
+deadline evaluation — not just an internal detail.
+
+Regenerating (only after an *intentional* semantic change, with the
+reasoning recorded in the commit):
+
+    REPRO_WRITE_PARITY=/tmp/parity.json \
+        PYTHONPATH=src python -m pytest tests/test_serving_parity.py -q
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import NDSearchConfig
+from repro.serving import (
+    AutoscalePolicy,
+    BatchPolicy,
+    MMPPArrivals,
+    PoissonArrivals,
+    QueryStream,
+    ServingConfig,
+    ServingFrontend,
+    build_router,
+)
+from repro.serving.sharding import PARTITIONED
+
+# The bench_serving constants (benchmarks/bench_serving.py): same
+# corpus, pool and stream seeds as the sweep the parity was proven on.
+CORPUS, DIM, POOL, REQUESTS, K = 800, 16, 128, 400, 10
+STREAM_SEED = 33
+
+#: Golden digests recorded from the legacy arrival-ordered loop at the
+#: event-kernel refactor boundary.
+GOLDEN = {
+    "autoscale-overload":
+        "3e924674138b5467bb215a88b1ba80fe4ae8cfd4ede541f7b6a38b4a33e3ba2b",
+    "batch-x1-hi":
+        "bdf190e7eae0a6001c77d46c3270907cf30c4d7737fcd7fbdb982fbff8dd1079",
+    "batch-x4-lo":
+        "2cdb0631df0ef80298f36108a9ada52cfce8f3c7a99047b26839c5ba116f003d",
+    "blocking-x1-bursty":
+        "883b991415a099b95fabfa529063ea47afdc5c7b7ce7c370729ea7abcd979d90",
+    "coalesce-zipf-bursty":
+        "f17c76e30e8d6639d4d28aa93b1ef69bc7c6b0ec3b1cb2442a16c289bee40a4d",
+    "cpu-spill-blocking-bursty":
+        "c726d8dff2ef9aa6a2c767715ac32a02dce453980fedecf7c37793801a117721",
+    "cpu-spill-pipelined-bursty":
+        "2a599f870914f6a9f91c9346047fa5b6b178b34693c8419270f183a2fd96fab6",
+    "greedy-x1-hi":
+        "250bbd66d5ea4a4f8620814f7bc78bad98960f0d009dc46344ebe7baf9fe2fc4",
+    "maxwait-deadline-4ms":
+        "4b6629b69f3edab623c9cf2a72fb6cbfa629fcd62823be7a8180d62dd2a8b1fa",
+    "partitioned-broadcast":
+        "841b3307a52e16196ca27eb36aedca0288e86491550974adc309426b6fe00343",
+    "partitioned-nprobe1":
+        "1c8665e0faee5887a7b727c8403519854a38c34e7ef3c83ff94ba9bc7547dce3",
+    "partitioned-nprobe2":
+        "12f8c73ad1304b98ebac5f4bf5e150e44694bee8b14e6aad8ca55ad31e607a75",
+    "pipelined-x1-bursty":
+        "a8f7fe6780daae4f1e21e81bf39378df2426d47cd8a909a085812097ee1c6330",
+    "slo-deadline-4ms":
+        "639af8a2bc05e6647e7717fa6d6ff48c7b6c0b735d4a562502b0c7507b86c5da",
+    "static-overload":
+        "b53dc2564986f86c5c08d062dd55d272dd6deb1420633846517f12394e325b3e",
+}
+
+
+def _stream(arrivals, zipf=0.0, priorities=(0,), weights=None, slo=None):
+    return QueryStream(
+        arrivals,
+        pool_size=POOL,
+        n_requests=REQUESTS,
+        k=K,
+        zipf_exponent=zipf,
+        seed=STREAM_SEED,
+        priorities=priorities,
+        priority_weights=weights,
+        slo_s=slo,
+    ).generate()
+
+
+def _frontend(router, policy, **config_kwargs):
+    config_kwargs.setdefault("cache_capacity", 0)
+    config_kwargs.setdefault("coalesce", False)
+    return ServingFrontend(
+        router, ServingConfig(policy=policy, **config_kwargs)
+    )
+
+
+def _digest(report, requests) -> str:
+    h = hashlib.sha256()
+    for r in requests:
+        h.update(
+            repr(
+                (r.request_id, r.outcome, r.batched_s, r.start_s,
+                 r.completion_s)
+            ).encode()
+        )
+        if r.result_ids is not None:
+            h.update(r.result_ids.tobytes())
+            h.update(r.result_dists.tobytes())
+    fields = (
+        report.offered, report.completed, report.cache_hits,
+        report.coalesced, report.shed, report.horizon_s, report.qps,
+        report.latency_p50_s, report.latency_p95_s, report.latency_p99_s,
+        report.latency_mean_s, report.mean_batch_size,
+        report.timeout_close_fraction, report.cache_hit_rate,
+        report.shed_rate, report.mean_queue_depth, report.max_queue_depth,
+        report.shard_utilization, report.energy_j,
+        report.shard_probe_counts, report.mean_probes_per_query,
+        report.deadline_total, report.deadline_misses,
+        report.deadline_miss_rate, report.goodput_qps,
+        sorted(report.priority_stats.items()),
+        report.scale_events, report.replicas_final,
+    )
+    h.update(repr(fields).encode())
+    return h.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def corpus_and_pool():
+    from repro.data.synthetic import clustered_gaussian, split_queries
+
+    vectors = clustered_gaussian(CORPUS, DIM, seed=31)
+    pool = split_queries(vectors, POOL, seed=32)
+    return vectors, pool
+
+
+@pytest.fixture(scope="module")
+def routers(corpus_and_pool):
+    vectors, _ = corpus_and_pool
+    config = NDSearchConfig.scaled()
+    spill = replace(
+        config, host=replace(config.host, dram_capacity_bytes=16 * 1024)
+    )
+    return {
+        "x1": build_router(vectors, num_shards=1, config=config),
+        "x4": build_router(vectors, num_shards=4, config=config),
+        "part4": build_router(
+            vectors, num_shards=4, config=config, mode=PARTITIONED, seed=35
+        ),
+        "cpu2": build_router(
+            vectors, num_shards=2, config=spill, platform="cpu"
+        ),
+    }
+
+
+_SLO_SPEC = {1: 4e-3, 0: 16e-3}
+_SLO_KWARGS = dict(
+    priorities=(0, 1), weights=(0.75, 0.25), slo=_SLO_SPEC
+)
+
+
+def _run_case(name, routers, pool):
+    """Build and run one pinned configuration; returns (report, requests)."""
+    batch = BatchPolicy(max_batch_size=32, max_wait_s=2e-3)
+    if name == "batch-x1-hi":
+        requests = _stream(PoissonArrivals(20000.0))
+        frontend = _frontend(routers["x1"], batch)
+    elif name == "greedy-x1-hi":
+        requests = _stream(PoissonArrivals(20000.0))
+        frontend = _frontend(
+            routers["x1"],
+            BatchPolicy(max_batch_size=32, max_wait_s=2e-3, mode="greedy"),
+        )
+    elif name == "batch-x4-lo":
+        requests = _stream(PoissonArrivals(500.0))
+        frontend = _frontend(routers["x4"], batch)
+    elif name == "pipelined-x1-bursty":
+        requests = _stream(MMPPArrivals(40000.0))
+        frontend = _frontend(routers["x1"], batch)
+    elif name == "blocking-x1-bursty":
+        requests = _stream(MMPPArrivals(40000.0))
+        frontend = _frontend(routers["x1"], batch, pipelined=False)
+    elif name == "cpu-spill-pipelined-bursty":
+        requests = _stream(MMPPArrivals(10000.0))
+        frontend = _frontend(routers["cpu2"], batch)
+    elif name == "cpu-spill-blocking-bursty":
+        requests = _stream(MMPPArrivals(10000.0))
+        frontend = _frontend(routers["cpu2"], batch, pipelined=False)
+    elif name == "partitioned-broadcast":
+        requests = _stream(PoissonArrivals(2000.0))
+        frontend = _frontend(routers["part4"], batch)
+    elif name == "partitioned-nprobe1":
+        requests = _stream(PoissonArrivals(2000.0))
+        frontend = _frontend(routers["part4"], batch, nprobe=1)
+    elif name == "partitioned-nprobe2":
+        requests = _stream(PoissonArrivals(2000.0))
+        frontend = _frontend(routers["part4"], batch, nprobe=2)
+    elif name == "coalesce-zipf-bursty":
+        requests = _stream(MMPPArrivals(20000.0), zipf=1.1)
+        frontend = _frontend(routers["x1"], batch, coalesce=True)
+    elif name == "slo-deadline-4ms":
+        requests = _stream(PoissonArrivals(4000.0), **_SLO_KWARGS)
+        frontend = _frontend(
+            routers["x1"],
+            BatchPolicy(
+                max_batch_size=32, max_wait_s=20e-3, mode="slo",
+                slo_margin_s=3e-4,
+            ),
+        )
+    elif name == "maxwait-deadline-4ms":
+        requests = _stream(PoissonArrivals(4000.0), **_SLO_KWARGS)
+        frontend = _frontend(
+            routers["x1"], BatchPolicy(max_batch_size=32, max_wait_s=20e-3)
+        )
+    elif name == "static-overload":
+        requests = _stream(PoissonArrivals(25000.0))
+        frontend = _frontend(
+            routers["overload"],
+            BatchPolicy(max_batch_size=4, max_wait_s=2e-3),
+            admission_capacity=48,
+        )
+    elif name == "autoscale-overload":
+        requests = _stream(PoissonArrivals(25000.0))
+        frontend = _frontend(
+            routers["overload"],
+            BatchPolicy(max_batch_size=4, max_wait_s=2e-3),
+            admission_capacity=48,
+            autoscale=AutoscalePolicy(
+                min_replicas=1, max_replicas=4, interval_s=2e-3,
+                high_utilization=0.7, high_queue_depth=8.0,
+            ),
+        )
+    else:  # pragma: no cover - config table typo
+        raise KeyError(name)
+    report = frontend.run(requests, pool)
+    return report, requests
+
+
+CASES = (
+    "batch-x1-hi",
+    "greedy-x1-hi",
+    "batch-x4-lo",
+    "pipelined-x1-bursty",
+    "blocking-x1-bursty",
+    "cpu-spill-pipelined-bursty",
+    "cpu-spill-blocking-bursty",
+    "partitioned-broadcast",
+    "partitioned-nprobe1",
+    "partitioned-nprobe2",
+    "coalesce-zipf-bursty",
+    "slo-deadline-4ms",
+    "maxwait-deadline-4ms",
+    "static-overload",
+    "autoscale-overload",
+)
+
+_WRITE_PATH = os.environ.get("REPRO_WRITE_PARITY")
+_WRITTEN: dict[str, str] = {}
+
+
+@pytest.fixture(scope="module")
+def case_routers(routers, corpus_and_pool):
+    # The overload cells run a dedicated single replica so autoscaling
+    # cannot leak grown replicas into the shared x1 router.
+    vectors, _ = corpus_and_pool
+    out = dict(routers)
+    out["overload"] = None  # built lazily per case below
+    return out
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_event_kernel_reproduces_legacy_loop(
+    name, case_routers, corpus_and_pool
+):
+    vectors, pool = corpus_and_pool
+    routers = dict(case_routers)
+    if name in ("static-overload", "autoscale-overload"):
+        # Fresh pool: autoscaling mutates the router (add/remove
+        # replicas), so these cells never share a router.
+        routers["overload"] = build_router(
+            vectors, num_shards=1, config=NDSearchConfig.scaled()
+        )
+    report, requests = _run_case(name, routers, pool)
+    got = _digest(report, requests)
+    if _WRITE_PATH:
+        _WRITTEN[name] = got
+        with open(_WRITE_PATH, "w") as fh:
+            json.dump(_WRITTEN, fh, indent=2, sort_keys=True)
+        return
+    assert got == GOLDEN[name], (
+        f"serving behavior diverged from the pinned legacy-loop report "
+        f"for {name!r}"
+    )

@@ -122,6 +122,47 @@ class TestShardDevice:
             booked = device.serve(result, at=0.5)
             assert booked == pytest.approx(predicted)
 
+    def test_predict_on_a_never_dispatched_device(self):
+        """An empty device has no FIFO backlog: the prediction starts
+        at the ask time and completes after the unloaded makespan, in
+        both modes — and books nothing."""
+        chain = [("a", 1.0), ("b", 3.0), ("c", 0.5)]
+        for pipelined in (True, False):
+            device = ShardDevice(pipelined=pipelined)
+            start, completion = device.predict(chain, 2.0)
+            assert start == 2.0
+            assert completion == pytest.approx(6.5)
+            assert device.busy_s == 0.0
+            assert device.batches_served == 0
+            assert device.drain_at == 0.0
+        with pytest.raises(ValueError):
+            ShardDevice().predict([], 0.0)
+
+    def test_book_contends_with_batches(self):
+        """Non-query work (a migration's data movement) occupies the
+        entry-stage FIFO: a batch closed during the booking waits."""
+        result = _result([("in", "a", 1.0), ("out", "b", 3.0)])
+        device = ShardDevice(pipelined=True)
+        device.serve(result, at=0.0)        # entry "a" free at 1.0
+        start, end = device.book(0.0, 5.0)  # defaults to entry stage "a"
+        assert (start, end) == (1.0, 6.0)
+        assert device.drain_at >= 6.0
+        start2, _ = device.serve(result, at=2.0)
+        assert start2 == 6.0  # queued behind the migration read
+        assert device.batches_served == 2  # book() is not a batch
+        # A fresh device books on the dedicated migration stage and
+        # still counts as busy occupancy.
+        cold = ShardDevice(pipelined=True)
+        cold.book(1.0, 2.0)
+        assert cold.busy_s == 2.0
+        assert cold.stage_busy == {"migration": 2.0}
+        # Blocking devices serialize the movement with whole batches.
+        blocking = ShardDevice(pipelined=False)
+        blocking.serve(result, at=0.0)      # drains at 4.0
+        assert blocking.book(0.0, 5.0) == (4.0, 9.0)
+        with pytest.raises(ValueError):
+            blocking.book(0.0, -1.0)
+
 
 def _run_stream(router, *, pipelined, coalesce=False, rate=20000.0,
                 n=200, zipf=0.0, pool=None, seed=33):

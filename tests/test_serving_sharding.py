@@ -138,6 +138,145 @@ class TestRouters:
         assert recall_at_k(ids, gt, k) >= 0.8
 
 
+class TestReplicaLifecycle:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return NDSearchConfig.scaled()
+
+    def test_add_then_remove_replicas_with_shared_index(
+        self, small_vectors, small_queries, config
+    ):
+        """remove_replica is the symmetric scale-down op: the tail
+        replica leaves rotation, the shared index keeps serving
+        bit-identical results on the survivors."""
+        router = build_router(small_vectors, num_shards=2, config=config)
+        before_ids, before_dists, _ = router.search_on(0, small_queries, 5)
+        assert router.add_replica() == 3
+        assert router.add_replica() == 4
+        # Shared-index accounting: every replica is the same backend.
+        assert all(b is router.backends[0] for b in router.backends)
+        assert router.remove_replica() == 3
+        assert router.remove_replica() == 2
+        after_ids, after_dists, _ = router.search_on(1, small_queries, 5)
+        np.testing.assert_array_equal(before_ids, after_ids)
+        np.testing.assert_allclose(before_dists, after_dists)
+
+    def test_remove_never_empties_the_pool(self, small_vectors, config):
+        router = build_router(small_vectors, num_shards=1, config=config)
+        with pytest.raises(ValueError):
+            router.remove_replica()
+
+    def test_partitioned_pools_cannot_add_or_remove_replicas(
+        self, small_vectors, config
+    ):
+        router = build_router(
+            small_vectors, num_shards=2, config=config, mode=PARTITIONED, seed=3
+        )
+        with pytest.raises(ValueError):
+            router.add_replica()
+        with pytest.raises(ValueError):
+            router.remove_replica()
+
+
+class TestClusterPlacement:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return NDSearchConfig.scaled()
+
+    @pytest.fixture(scope="class")
+    def router(self, small_vectors, config):
+        return build_router(
+            small_vectors, num_shards=2, config=config, mode=PARTITIONED,
+            seed=3, clusters_per_shard=2,
+        )
+
+    def test_clusters_cover_corpus_and_place_round_robin(
+        self, small_vectors, router
+    ):
+        assert router.num_clusters == 4
+        assert router.num_shards == 2
+        all_ids = np.concatenate(router.global_ids)
+        assert np.unique(all_ids).size == small_vectors.shape[0]
+        np.testing.assert_array_equal(router.cluster_shard, [0, 1, 0, 1])
+        assert router.centroids.shape[0] == 4
+
+    def test_probe_routes_to_clusters(self, router, small_queries):
+        assignment = router.probe(small_queries, 3)
+        assert assignment.shape == (small_queries.shape[0], 3)
+        assert assignment.max() < router.num_clusters
+        with pytest.raises(ValueError):
+            router.probe(small_queries, 5)
+
+    def test_jobs_carry_cluster_and_owning_shard(self, router, small_queries):
+        _, _, jobs = router.search_probed(small_queries, 5, None)
+        assert [j.cluster for j in jobs] == [0, 1, 2, 3]
+        assert [j.shard for j in jobs] == [0, 1, 0, 1]
+
+    def test_broadcast_fanout_matches_search_all(self, router, small_queries):
+        """search_probed(nprobe=None) must agree with search_all bit
+        for bit — it is the serving path for broadcast batches."""
+        k = 6
+        all_ids, all_dists, results = router.search_all(small_queries, k)
+        probed_ids, probed_dists, jobs = router.search_probed(
+            small_queries, k, None
+        )
+        np.testing.assert_array_equal(probed_ids, all_ids)
+        np.testing.assert_array_equal(probed_dists, all_dists)
+        assert len(jobs) == len(results)
+        for job in jobs:
+            np.testing.assert_array_equal(
+                job.rows, np.arange(small_queries.shape[0])
+            )
+
+    def test_full_nprobe_matches_broadcast(self, router, small_queries):
+        k = 5
+        bcast_ids, bcast_dists, _ = router.search_probed(small_queries, k, None)
+        full_ids, full_dists, _ = router.search_probed(
+            small_queries, k, router.num_clusters
+        )
+        np.testing.assert_array_equal(full_ids, bcast_ids)
+        np.testing.assert_array_equal(full_dists, bcast_dists)
+
+    def test_reassign_cluster_moves_timing_not_results(
+        self, router, small_queries
+    ):
+        k = 5
+        before_ids, _, _ = router.search_probed(small_queries, k, 2)
+        original = int(router.cluster_shard[0])
+        target = 1 - original
+        router.reassign_cluster(0, target)
+        try:
+            assert int(router.cluster_shard[0]) == target
+            after_ids, _, jobs = router.search_probed(small_queries, k, 2)
+            np.testing.assert_array_equal(after_ids, before_ids)
+            by_cluster = {j.cluster: j for j in jobs}
+            if 0 in by_cluster:
+                assert by_cluster[0].shard == target
+        finally:
+            router.reassign_cluster(0, original)
+
+    def test_reassign_validation(self, router, small_vectors, config):
+        with pytest.raises(ValueError):
+            router.reassign_cluster(99, 0)
+        with pytest.raises(ValueError):
+            router.reassign_cluster(0, 99)
+        replicated = build_router(small_vectors, num_shards=2, config=config)
+        with pytest.raises(ValueError):
+            replicated.reassign_cluster(0, 0)
+
+    def test_clusters_per_shard_validation(self, small_vectors, config):
+        with pytest.raises(ValueError):
+            build_router(
+                small_vectors, num_shards=2, config=config,
+                clusters_per_shard=2,  # replicated: not a knob
+            )
+        with pytest.raises(ValueError):
+            build_router(
+                small_vectors, num_shards=2, config=config, mode=PARTITIONED,
+                clusters_per_shard=0,
+            )
+
+
 class TestSelectiveProbing:
     @pytest.fixture(scope="class")
     def config(self):

@@ -1,0 +1,183 @@
+"""The discrete-event kernel: ordering, determinism, subscriptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import (
+    AFTER_ARRIVALS,
+    Arrival,
+    BatchDeadline,
+    Completion,
+    DataMovement,
+    EpochTick,
+    Event,
+    EventLoop,
+    StreamEnd,
+)
+
+
+def record_all(loop, log):
+    for kind in (
+        Arrival, BatchDeadline, Completion, DataMovement, EpochTick, StreamEnd
+    ):
+        loop.subscribe(kind, lambda e: log.append(e))
+
+
+class TestOrdering:
+    def test_time_order_dominates(self):
+        loop, log = EventLoop(), []
+        record_all(loop, log)
+        loop.schedule(Arrival(time=2.0, payload="late"))
+        loop.schedule(Arrival(time=1.0, payload="early"))
+        loop.schedule(Completion(time=1.5))
+        loop.run()
+        assert [e.time for e in log] == [1.0, 1.5, 2.0]
+
+    def test_same_instant_rank_order(self):
+        """At one timestamp: data movement < deadline < completion <
+        epoch tick < arrival < stream end — the serving invariants
+        (a migration's routing flip commits before a same-instant
+        deadline dispatches)."""
+        loop, log = EventLoop(), []
+        record_all(loop, log)
+        t = 3.0
+        loop.schedule(StreamEnd(time=t))
+        loop.schedule(Arrival(time=t))
+        loop.schedule(EpochTick(time=t))
+        loop.schedule(Completion(time=t))
+        loop.schedule(BatchDeadline(time=t))
+        loop.schedule(DataMovement(time=t))
+        loop.run()
+        assert [type(e) for e in log] == [
+            DataMovement, BatchDeadline, Completion, EpochTick, Arrival,
+            StreamEnd,
+        ]
+
+    def test_after_arrivals_rank_sorts_behind_arrivals(self):
+        """A greedy-close timer scheduled with AFTER_ARRIVALS fires
+        after every same-instant arrival but before StreamEnd."""
+        loop, log = EventLoop(), []
+        record_all(loop, log)
+        loop.schedule(BatchDeadline(time=1.0), rank=AFTER_ARRIVALS)
+        loop.schedule(Arrival(time=1.0, payload="a"))
+        loop.schedule(Arrival(time=1.0, payload="b"))
+        loop.schedule(StreamEnd(time=1.0))
+        loop.run()
+        assert [type(e) for e in log] == [
+            Arrival, Arrival, BatchDeadline, StreamEnd,
+        ]
+
+    def test_schedule_order_breaks_full_ties(self):
+        loop, log = EventLoop(), []
+        record_all(loop, log)
+        loop.schedule(Arrival(time=1.0, payload=0))
+        loop.schedule(Arrival(time=1.0, payload=1))
+        loop.schedule(Arrival(time=1.0, payload=2))
+        loop.run()
+        assert [e.payload for e in log] == [0, 1, 2]
+
+    def test_deterministic_across_runs(self):
+        def run():
+            loop, log = EventLoop(), []
+            record_all(loop, log)
+            for i in range(20):
+                loop.schedule(Arrival(time=float(i % 5), payload=i))
+                loop.schedule(Completion(time=float((i * 3) % 5), payload=i))
+            loop.run()
+            return [(type(e).__name__, e.time, getattr(e, "payload", None))
+                    for e in log]
+
+        assert run() == run()
+
+
+class TestClockAndScheduling:
+    def test_clock_advances_to_event_times(self):
+        loop, seen = EventLoop(), []
+        loop.subscribe(Arrival, lambda e: seen.append(loop.now))
+        loop.schedule(Arrival(time=1.0))
+        loop.schedule(Arrival(time=4.0))
+        loop.run()
+        assert seen == [1.0, 4.0]
+        assert loop.now == 4.0
+
+    def test_scheduling_in_the_past_raises(self):
+        loop = EventLoop()
+        loop.subscribe(Arrival, lambda e: None)
+        loop.schedule(Arrival(time=5.0))
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule(Arrival(time=4.0))
+
+    def test_handler_can_schedule_same_time_followups(self):
+        loop, log = EventLoop(), []
+
+        def on_arrival(event):
+            log.append(("arrival", loop.now))
+            if not any(k == "completion" for k, _ in log):
+                loop.schedule(Completion(time=loop.now))
+
+        loop.subscribe(Arrival, on_arrival)
+        loop.subscribe(Completion, lambda e: log.append(("completion", loop.now)))
+        loop.schedule(Arrival(time=2.0))
+        loop.schedule(Arrival(time=3.0))
+        loop.run()
+        # The same-time completion fires before the later arrival.
+        assert log == [("arrival", 2.0), ("completion", 2.0), ("arrival", 3.0)]
+
+    def test_run_until_leaves_later_events_pending(self):
+        loop, log = EventLoop(), []
+        record_all(loop, log)
+        loop.schedule(Arrival(time=1.0))
+        loop.schedule(Arrival(time=10.0))
+        assert loop.run(until=5.0) == 1
+        assert len(loop) == 1
+        assert loop.now == 5.0
+        assert loop.run() == 1
+        assert loop.now == 10.0
+
+    def test_stop_halts_processing(self):
+        loop, log = EventLoop(), []
+        loop.subscribe(Arrival, lambda e: (log.append(e), loop.stop()))
+        loop.schedule(Arrival(time=1.0))
+        loop.schedule(Arrival(time=2.0))
+        loop.run()
+        assert len(log) == 1
+        assert len(loop) == 1
+
+
+class TestSubscriptions:
+    def test_unhandled_event_raises(self):
+        loop = EventLoop()
+        loop.schedule(Arrival(time=0.0))
+        with pytest.raises(LookupError):
+            loop.run()
+
+    def test_exact_type_match_no_base_class_fanout(self):
+        loop, log = EventLoop(), []
+        loop.subscribe(Event, lambda e: log.append("base"))
+        loop.subscribe(Arrival, lambda e: log.append("arrival"))
+        loop.schedule(Arrival(time=0.0))
+        loop.run()
+        assert log == ["arrival"]
+
+    def test_multiple_handlers_in_subscription_order(self):
+        loop, log = EventLoop(), []
+        loop.subscribe(Arrival, lambda e: log.append("first"))
+        loop.subscribe(Arrival, lambda e: log.append("second"))
+        loop.schedule(Arrival(time=0.0))
+        loop.run()
+        assert log == ["first", "second"]
+
+    def test_subscribe_rejects_non_event_types(self):
+        loop = EventLoop()
+        with pytest.raises(TypeError):
+            loop.subscribe(int, lambda e: None)
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        loop.subscribe(Arrival, lambda e: None)
+        for i in range(5):
+            loop.schedule(Arrival(time=float(i)))
+        assert loop.run() == 5
+        assert loop.processed == 5
