@@ -46,6 +46,7 @@ from repro.analysis.reporting import format_table
 from repro.ann import BruteForceIndex, recall_at_k
 from repro.core.config import NDSearchConfig
 from repro.data.synthetic import clustered_gaussian, split_queries
+from repro.obs import SpanTracer
 from repro.serving import (
     AutoscalePolicy,
     BatchPolicy,
@@ -97,13 +98,16 @@ REBALANCE_POLICY = RebalancePolicy(
     interval_s=2e-3, skew_threshold=0.25, migration_gbps=1.0
 )
 
+#: Event-time window for the observability rerun's metrics time series.
+OBS_WINDOW_S = 1e-3
+
 CORPUS, DIM, POOL, REQUESTS, K = 800, 16, 128, 400, 10
 
 
 def _run_cell(
     router, pool, *, arrivals, policy, pipelined, coalesce, zipf=0.0,
     nprobe=None, priorities=(0,), weights=None, slo=None, admission=None,
-    autoscale=None, rebalance=None,
+    autoscale=None, rebalance=None, metrics_window_s=None, tracer=None,
 ):
     stream = QueryStream(
         arrivals,
@@ -127,7 +131,9 @@ def _run_cell(
             admission_capacity=admission,
             autoscale=autoscale,
             rebalance=rebalance,
+            metrics_window_s=metrics_window_s,
         ),
+        tracer=tracer,
     )
     return frontend.run(stream.generate(), pool)
 
@@ -285,11 +291,35 @@ def collect(
             }
         )
 
+    # ---- observability: traced + windowed rerun of one sweep cell -------
+    # The (batch, 1 shard, high-rate) cell again, now with the span
+    # tracer and event-time metrics windows attached.  The hooks are
+    # observe-only, so every outcome must match the untraced cell
+    # exactly (asserted below); the full report travels through
+    # :meth:`ServingReport.to_dict` and the Chrome trace is persisted
+    # as a separate CI artifact by the bench test.
+    tracer = SpanTracer()
+    obs_report = _run_cell(
+        routers[1],
+        pool,
+        arrivals=PoissonArrivals(RATES[-1]),
+        policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3, mode="batch"),
+        pipelined=True,
+        coalesce=False,
+        metrics_window_s=OBS_WINDOW_S,
+        tracer=tracer,
+    )
+
     results = {
         "sweep": sweep,
         "pipeline": pipeline,
         "partitioned": partition_rows,
         "coalescing": coalesce_rows,
+        "observability": {
+            "report": obs_report.to_dict(),
+            "trace": tracer.to_json(),
+            "trace_events": len(tracer),
+        },
     }
 
     # ---- SLO sweep: deadline-driven closes vs a fixed max-wait ----------
@@ -579,6 +609,10 @@ def test_bench_serving(benchmark, record_table, record_json, request):
         lambda: collect(slo=slo, autoscale=autoscale, rebalance=rebalance),
         rounds=1, iterations=1,
     )
+    # The Chrome trace goes to its own artifact (it is a standalone
+    # Perfetto-loadable file, and it would bloat the sweep JSON).
+    trace = results["observability"].pop("trace")
+    record_json("serving_trace", trace)
     record_table("serving_sweep", run(results))
     record_json("serving_sweep", results)
     rows = results["sweep"]
@@ -639,6 +673,26 @@ def test_bench_serving(benchmark, record_table, record_json, request):
     off, on = results["coalescing"]
     assert on["coalesced"] > 0
     assert on["searched"] < off["searched"]
+
+    # Observability rerun: tracing + windowed metrics change nothing
+    # about the run itself (observe-only hooks), the trace is a valid
+    # Chrome trace-event payload, and the time series tallies with the
+    # report it came from.
+    obs = results["observability"]["report"]
+    untraced = cell("batch", 1, RATES[-1])
+    assert obs["qps"] == untraced["qps"]
+    assert obs["latency_p99_s"] * 1e3 == untraced["p99_ms"]
+    assert obs["counters"]["loop_events_total"] > 0
+    assert obs["counters"]["loop_events_Arrival"] == REQUESTS
+    series = obs["timeseries"]
+    assert series["window_s"] == OBS_WINDOW_S
+    windows = series["windows"]
+    assert sum(w["counters"]["completions"] for w in windows) == obs["completed"]
+    assert sum(w["counters"]["arrivals"] for w in windows) == REQUESTS
+    assert results["observability"]["trace_events"] == len(trace["traceEvents"])
+    assert trace["traceEvents"], "traced run recorded no events"
+    for event in trace["traceEvents"]:
+        assert "ph" in event and "name" in event
 
     # SLO sweep (--slo): loosening the deadline never raises the miss
     # rate, the slo policy keeps >= 95% high-priority attainment, and

@@ -1,0 +1,81 @@
+"""Gate a fresh serving profile against the committed perf trajectory.
+
+Compares a freshly recorded profile (``profile_serving.py --out ...``)
+against the committed ``BENCH_serving.json`` baseline and exits
+non-zero if any config's events/sec fell more than the threshold below
+the baseline *after calibration scaling* — both payloads carry a
+pure-kernel events/sec measurement from their own host, and the
+baseline is rescaled by their ratio, so a slower CI runner does not
+trip the gate but a genuinely slower simulator does (see
+:func:`repro.obs.profile.check_regression`).
+
+Usage (what CI runs)::
+
+    PYTHONPATH=src python benchmarks/profile_serving.py --out /tmp/current.json
+    PYTHONPATH=src python benchmarks/check_bench_regression.py \\
+        --baseline BENCH_serving.json --current /tmp/current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import check_regression  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail if the serving stack's events/sec regressed "
+                    "versus the committed BENCH_serving.json.",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=REPO_ROOT / "BENCH_serving.json",
+        help="committed trajectory to gate against",
+    )
+    parser.add_argument(
+        "--current", type=Path, required=True,
+        help="freshly recorded profile (profile_serving.py --out ...)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="maximum tolerated calibration-scaled events/sec drop "
+             "(default 0.30 = 30%%)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    rows, failures = check_regression(
+        baseline, current, threshold=args.threshold
+    )
+    for row in rows:
+        if row["status"] in ("new", "removed"):
+            print(f"  {row['name']:<26} {row['status']}")
+            continue
+        print(
+            f"  {row['name']:<26} {row['status']:<9} "
+            f"baseline {row['baseline_eps']:>10,.0f} ev/s "
+            f"(scaled {row['expected_eps']:>10,.0f})  "
+            f"current {row['current_eps']:>10,.0f}  "
+            f"ratio {row['ratio']:.2f}"
+        )
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} config(s) regressed more than "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for message in failures:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no config regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Profile the serving stack and write the ``BENCH_serving.json`` trajectory.
+
+Runs a fixed set of named serving configurations — the same synthetic
+corpus, stream seeds and policies every time — and records, per config,
+the wall-clock time, the number of kernel events dispatched and the
+resulting events/sec, plus the process peak RSS after the config ran
+(see :mod:`repro.obs.profile` for why RSS is a monotone high-water
+mark).  The payload also carries a pure-kernel calibration measurement
+so the regression gate (``check_bench_regression.py``) can compare
+trajectories recorded on machines of different speeds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_serving.py              # refresh BENCH_serving.json
+    PYTHONPATH=src python benchmarks/profile_serving.py --out /tmp/current.json
+
+The committed ``BENCH_serving.json`` at the repo root is the baseline
+CI gates against; refresh it (and commit the result) whenever a PR
+intentionally changes the serving stack's per-event cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import NDSearchConfig  # noqa: E402
+from repro.data.synthetic import clustered_gaussian, split_queries  # noqa: E402
+from repro.obs import RunProfiler, calibrate_events_per_sec  # noqa: E402
+from repro.serving import (  # noqa: E402
+    BatchPolicy,
+    PoissonArrivals,
+    QueryStream,
+    RebalancePolicy,
+    ServingConfig,
+    ServingFrontend,
+    build_router,
+)
+from repro.serving.sharding import PARTITIONED  # noqa: E402
+
+#: Default location of the committed perf trajectory.
+DEFAULT_OUT = REPO_ROOT / "BENCH_serving.json"
+
+CORPUS, DIM, POOL, REQUESTS, K = 800, 16, 128, 800, 10
+RATE = 20000.0
+
+
+def _run(router, pool, *, policy=None, zipf=0.0, nprobe=None, slo=None,
+         rebalance=None):
+    stream = QueryStream(
+        PoissonArrivals(RATE),
+        pool_size=POOL,
+        n_requests=REQUESTS,
+        k=K,
+        zipf_exponent=zipf,
+        seed=33,
+        slo_s=slo,
+    )
+    frontend = ServingFrontend(
+        router,
+        ServingConfig(
+            policy=policy or BatchPolicy(max_batch_size=32, max_wait_s=2e-3),
+            cache_capacity=0,
+            coalesce=False,
+            nprobe=nprobe,
+            rebalance=rebalance,
+        ),
+    )
+    return frontend.run(stream.generate(), pool)
+
+
+#: Timed repeats per config; the fastest is recorded.  Single rounds of
+#: a few seconds carry enough scheduler/cache noise to get within reach
+#: of the 30% gate on one host — best-of-N measures the achievable
+#: speed, which is the quantity a code regression actually moves.
+ROUNDS = 2
+
+
+def collect_profile() -> dict:
+    """Profile every named config; returns the trajectory payload."""
+    vectors = clustered_gaussian(CORPUS, DIM, seed=31)
+    pool = split_queries(vectors, POOL, seed=32)
+    config = NDSearchConfig.scaled()
+    profiler = RunProfiler()
+
+    def measure(name, make_router, **kwargs):
+        # A fresh router per round: rebalance mutates cluster placement,
+        # and every round must time the same work.
+        scratch = RunProfiler()
+        for _ in range(ROUNDS):
+            with scratch.measure(name) as probe:
+                report = _run(make_router(), pool, **kwargs)
+                probe.events = int(report.counters["loop_events_total"])
+        profiler.records.append(
+            max(scratch.records, key=lambda r: r.events_per_sec)
+        )
+
+    measure(
+        "replicated-x1-batch",
+        lambda: build_router(vectors, num_shards=1, config=config),
+    )
+    measure(
+        "replicated-x4-batch",
+        lambda: build_router(vectors, num_shards=4, config=config),
+    )
+    measure(
+        "replicated-x1-greedy",
+        lambda: build_router(vectors, num_shards=1, config=config),
+        policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3, mode="greedy"),
+    )
+    measure(
+        "partitioned-x4-nprobe1",
+        lambda: build_router(
+            vectors, num_shards=4, config=config, mode=PARTITIONED, seed=35
+        ),
+        nprobe=1,
+    )
+    measure(
+        "partitioned-x4-rebalance",
+        lambda: build_router(
+            vectors, num_shards=4, config=config, mode=PARTITIONED, seed=35,
+            clusters_per_shard=2,
+        ),
+        policy=BatchPolicy(max_batch_size=16, max_wait_s=2e-3),
+        zipf=1.2,
+        nprobe=1,
+        slo=4e-3,
+        rebalance=RebalancePolicy(
+            interval_s=2e-3, skew_threshold=0.25, migration_gbps=1.0
+        ),
+    )
+    return profiler.to_json(calibration_eps=calibrate_events_per_sec())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Profile the serving stack into a BENCH_serving.json "
+                    "perf trajectory.",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"output path (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    payload = collect_profile()
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"calibration: {payload['calibration_eps']:,.0f} events/sec (bare kernel)")
+    for name, entry in payload["configs"].items():
+        print(
+            f"  {name:<26} {entry['wall_s']:7.3f} s  "
+            f"{entry['events']:>6} events  "
+            f"{entry['events_per_sec']:>10,.0f} ev/s  "
+            f"rss {entry['peak_rss_bytes'] / 1e6:,.0f} MB"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""repro.obs — observability for the discrete-event serving stack.
+
+The serving layer answers *what* a deployment sustains (QPS, p99,
+shed rate); this package answers *why*, and whether the simulator
+itself is holding its speed PR over PR:
+
+* :mod:`repro.obs.trace` — a request-span tracer over the event
+  kernel: per-request lifecycle spans (arrival → admission / shed /
+  cache / coalesce → batch membership → per-stage device occupancy →
+  completion) plus kernel-level instants (batch deadlines, epoch
+  ticks, migration commits), exported as Chrome trace-event JSON that
+  loads directly in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  The default :class:`~repro.obs.trace.NullTracer`
+  is a no-op proven to leave the serving stack's pinned parity digests
+  byte-identical.
+* :mod:`repro.obs.windows` — a windowed metrics registry: counters,
+  gauges, histograms and busy intervals closed on simulated
+  *event-time* windows, turning the end-of-run scalar report into time
+  series (queue depth, per-device utilization, p99-within-window,
+  shed and hit rates).
+* :mod:`repro.obs.profile` — a run profiler recording wall-clock,
+  kernel events processed per second and peak RSS per configuration;
+  it writes the repo's ``BENCH_serving.json`` perf trajectory and
+  backs the CI events/sec regression gate.
+
+Everything here is observe-only: tracers and window registries read
+values the frontend already computed and never feed back into
+scheduling, routing or timing — observability is zero-perturbation by
+construction, and the parity suite proves it.
+"""
+
+from repro.obs.profile import (
+    ProfileRecord,
+    RunProfiler,
+    calibrate_events_per_sec,
+    check_regression,
+    peak_rss_bytes,
+)
+from repro.obs.trace import NullTracer, SpanTracer, Tracer
+from repro.obs.windows import WindowedMetrics
+
+__all__ = [
+    "NullTracer",
+    "ProfileRecord",
+    "RunProfiler",
+    "SpanTracer",
+    "Tracer",
+    "WindowedMetrics",
+    "calibrate_events_per_sec",
+    "check_regression",
+    "peak_rss_bytes",
+]

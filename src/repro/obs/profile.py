@@ -1,0 +1,192 @@
+"""Run profiling: wall-clock, kernel events/sec, peak RSS per config.
+
+The parity digests protect the serving stack's *correctness* across
+refactors; nothing protected its *speed* — a PR could halve the event
+kernel's throughput and no gate would notice.  This module is the
+measurement half of that gate: profile a set of named configurations,
+write the ``BENCH_serving.json`` trajectory, and compare a fresh run
+against the committed baseline.
+
+Comparing wall-clock numbers across machines is meaningless, so the
+trajectory stores a **calibration**: the events/sec of a trivial
+pure-kernel microbenchmark (:func:`calibrate_events_per_sec`) measured
+on the same host at the same time.  The regression gate
+(:func:`check_regression`) rescales the baseline's per-config
+events/sec by ``current_calibration / baseline_calibration`` before
+applying the threshold, so a slower CI runner shifts both sides
+equally and only *relative* regressions — the simulator doing more
+work per event than it used to — trip the gate.
+
+Peak RSS is the process high-water mark (``ru_maxrss``), which is
+monotone over a process's life: per-config values record the mark
+*after* that config ran, so the first config to touch a large corpus
+pays for it in the trajectory.  That is the honest reading for a
+regression trail (a config suddenly inflating the high-water mark is
+exactly the signal wanted).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+
+try:  # POSIX; Windows has no resource module.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    resource = None
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size, in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX fallback
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return int(peak)
+    return int(peak) * 1024
+
+
+def calibrate_events_per_sec(n_events: int = 50_000) -> float:
+    """Events/sec of a bare :class:`~repro.sim.events.EventLoop` drain.
+
+    Schedules ``n_events`` no-payload events and times the drain — the
+    host-speed yardstick the regression gate normalizes by.  It
+    deliberately exercises only the kernel (heap + dispatch), not
+    numpy or the platform models, so it tracks interpreter/CPU speed
+    rather than any workload.
+    """
+    from repro.sim.events import Event, EventLoop
+
+    loop = EventLoop()
+    loop.subscribe(Event, lambda event: None)
+    for i in range(n_events):
+        loop.schedule(Event(time=float(i)))
+    t0 = time.perf_counter()
+    processed = loop.run()
+    elapsed = time.perf_counter() - t0
+    return processed / elapsed if elapsed > 0 else 0.0
+
+
+@dataclass
+class ProfileRecord:
+    """One profiled configuration run."""
+
+    name: str
+    wall_s: float
+    events: int
+    events_per_sec: float
+    peak_rss_bytes: int
+
+
+class _Probe:
+    """Mutable handle a measured block reports its event count through."""
+
+    def __init__(self) -> None:
+        self.events = 0
+
+
+class RunProfiler:
+    """Measures named runs and serializes the perf trajectory.
+
+    Usage::
+
+        profiler = RunProfiler()
+        with profiler.measure("batch-x1-hi") as probe:
+            report = frontend.run(requests, pool)
+            probe.events = int(report.counters["loop_events_total"])
+        profiler.write("BENCH_serving.json")
+    """
+
+    def __init__(self) -> None:
+        self.records: list[ProfileRecord] = []
+
+    @contextmanager
+    def measure(self, name: str):
+        probe = _Probe()
+        t0 = time.perf_counter()
+        yield probe
+        wall = time.perf_counter() - t0
+        self.records.append(
+            ProfileRecord(
+                name=name,
+                wall_s=wall,
+                events=int(probe.events),
+                events_per_sec=probe.events / wall if wall > 0 else 0.0,
+                peak_rss_bytes=peak_rss_bytes(),
+            )
+        )
+
+    def to_json(self, calibration_eps: float | None = None) -> dict:
+        """The ``BENCH_serving.json`` payload (JSON-safe)."""
+        if calibration_eps is None:
+            calibration_eps = calibrate_events_per_sec()
+        configs = {}
+        for record in self.records:
+            entry = asdict(record)
+            del entry["name"]
+            configs[record.name] = entry
+        return {
+            "schema": 1,
+            "bench": "serving",
+            "host": {
+                "platform": sys.platform,
+                "python": "%d.%d" % sys.version_info[:2],
+            },
+            "calibration_eps": calibration_eps,
+            "configs": configs,
+        }
+
+
+def check_regression(
+    baseline: dict, current: dict, threshold: float = 0.30
+) -> tuple[list[dict], list[str]]:
+    """Compare a fresh profile against the committed trajectory.
+
+    Returns ``(rows, failures)``: one comparison row per config present
+    in both payloads, and a failure message per config whose
+    calibration-scaled events/sec fell more than ``threshold`` below
+    the baseline.  Configs present on only one side are reported as
+    informational rows (``status`` ``"new"`` / ``"removed"``), never
+    failures — adding or retiring a config is a reviewed choice, not a
+    regression.
+    """
+    base_cal = float(baseline.get("calibration_eps") or 0.0)
+    cur_cal = float(current.get("calibration_eps") or 0.0)
+    scale = cur_cal / base_cal if base_cal > 0 and cur_cal > 0 else 1.0
+    base_configs = baseline.get("configs", {})
+    cur_configs = current.get("configs", {})
+    rows: list[dict] = []
+    failures: list[str] = []
+    for name in sorted(set(base_configs) | set(cur_configs)):
+        if name not in cur_configs:
+            rows.append({"name": name, "status": "removed"})
+            continue
+        if name not in base_configs:
+            rows.append({"name": name, "status": "new"})
+            continue
+        base_eps = float(base_configs[name]["events_per_sec"])
+        cur_eps = float(cur_configs[name]["events_per_sec"])
+        expected = base_eps * scale
+        ratio = cur_eps / expected if expected > 0 else 1.0
+        row = {
+            "name": name,
+            "status": "ok",
+            "baseline_eps": base_eps,
+            "expected_eps": expected,
+            "current_eps": cur_eps,
+            "ratio": ratio,
+        }
+        if ratio < 1.0 - threshold:
+            row["status"] = "regressed"
+            failures.append(
+                f"{name}: {cur_eps:,.0f} events/sec is "
+                f"{1.0 - ratio:.0%} below the calibrated baseline "
+                f"{expected:,.0f} (threshold {threshold:.0%})"
+            )
+        rows.append(row)
+    return rows, failures

@@ -1,0 +1,276 @@
+"""Request-span tracing exported as Chrome trace-event JSON.
+
+The serving frontend runs on a simulated clock, so a "profiler" for it
+cannot sample wall time — instead, every lifecycle transition the
+frontend already computes (arrival, shed, cache hit, coalesce, batch
+close, per-stage device occupancy, completion, migration commit) is
+emitted as a timestamped trace event on the *simulated* timeline.  The
+export is the Chrome trace-event format, the lingua franca of timeline
+tooling: load the file in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` and scrub through the run.
+
+Event mapping:
+
+* **Requests** are nestable async spans (``ph`` ``b``/``e``) keyed by
+  request id: they overlap freely (hundreds may be in flight), which
+  per-thread complete events cannot represent.
+* **Device stage occupancy** is complete events (``ph`` ``X``): each
+  shard device is a *process* (``pid``) and each pipeline resource
+  (nand array, MAC groups, sorter, PCIe link …) a *thread* (``tid``)
+  inside it — stage FIFOs never overlap on one resource, so the rows
+  render as clean Gantt lanes, exactly the WiscSee-style timeline view
+  of the kernel's internal event stream.
+* **Kernel control events** (batch deadlines, epoch ticks, stream end,
+  migration commits) are instants (``ph`` ``i``) on the frontend
+  process's kernel thread.
+* **Queue depth** (and any other sampled series) are counter events
+  (``ph`` ``C``) rendered as a filled area chart.
+
+Timestamps are microseconds (the format's unit), converted from
+simulated seconds at emission.  The tracer appends events in handler
+execution order — deterministic because the event kernel is — so the
+same seed and config produce a byte-identical trace file
+(:meth:`SpanTracer.json_str` serializes with fixed separators and
+sorted keys).
+
+:class:`Tracer` is the no-op base: every hook is a ``pass`` and
+``enabled`` is ``False``, so instrumented code guards any argument
+marshalling behind one attribute read.  :class:`NullTracer` (the
+default everywhere) is that base under its contract name — the parity
+suite proves a ``NullTracer`` run is byte-identical to the pinned
+pre-observability digests, and that an *enabled* tracer changes
+nothing either (tracing is observe-only).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+
+class Tracer:
+    """No-op tracing interface; subclass and set ``enabled`` to record.
+
+    ``enabled`` gates argument construction at call sites::
+
+        if tracer.enabled:
+            tracer.instant("epoch", "kernel", now, args={"replicas": n})
+
+    The hooks themselves are safe to call unconditionally.
+    """
+
+    enabled: bool = False
+
+    def process(self, pid: int, name: str) -> None:
+        """Name the timeline process ``pid`` (e.g. ``shard 0``)."""
+
+    def thread(self, pid: int, name: str) -> int:
+        """Return a stable ``tid`` for ``name`` within ``pid`` (0 here)."""
+        return 0
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts_s: float,
+        pid: int = 0,
+        tid: int = 0,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """A zero-duration marker at ``ts_s`` (simulated seconds)."""
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        start_s: float,
+        end_s: float,
+        pid: int = 0,
+        tid: int = 0,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """A ``[start_s, end_s]`` span on one timeline lane."""
+
+    def async_begin(
+        self,
+        name: str,
+        cat: str,
+        span_id: int,
+        ts_s: float,
+        pid: int = 0,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Open the nestable async span ``(cat, span_id)``."""
+
+    def async_end(
+        self,
+        name: str,
+        cat: str,
+        span_id: int,
+        ts_s: float,
+        pid: int = 0,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Close the nestable async span ``(cat, span_id)``."""
+
+    def counter(
+        self,
+        name: str,
+        ts_s: float,
+        values: Mapping[str, float],
+        pid: int = 0,
+    ) -> None:
+        """Sample one or more series of a counter chart at ``ts_s``."""
+
+
+class NullTracer(Tracer):
+    """The default tracer: records nothing, perturbs nothing."""
+
+
+class SpanTracer(Tracer):
+    """Records spans/instants/counters; exports Chrome trace JSON."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+        self._threads: dict[tuple[int, str], int] = {}
+        self._next_tid: dict[int, int] = {}
+        self._processes: dict[int, str] = {}
+
+    def __len__(self) -> int:
+        """Number of recorded events (metadata included)."""
+        return len(self._events)
+
+    # ---- registration ----------------------------------------------------
+    def process(self, pid: int, name: str) -> None:
+        if self._processes.get(pid) == name:
+            return
+        self._processes[pid] = name
+        self._events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": name},
+            }
+        )
+
+    def thread(self, pid: int, name: str) -> int:
+        """Stable tid per (pid, resource name), first use registers it.
+
+        Allocation order follows first emission, which is deterministic
+        because the event kernel is.
+        """
+        key = (pid, name)
+        tid = self._threads.get(key)
+        if tid is None:
+            tid = self._next_tid.get(pid, 0)
+            self._next_tid[pid] = tid + 1
+            self._threads[key] = tid
+            self._events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"name": name},
+                }
+            )
+        return tid
+
+    # ---- emission --------------------------------------------------------
+    @staticmethod
+    def _us(ts_s: float) -> float:
+        # The trace-event unit is microseconds.  Plain multiplication
+        # is exact enough (doubles) and, crucially, deterministic.
+        return ts_s * 1e6
+
+    def instant(self, name, cat, ts_s, pid=0, tid=0, args=None) -> None:
+        event = {
+            "ph": "i",
+            "name": name,
+            "cat": cat,
+            "ts": self._us(ts_s),
+            "pid": pid,
+            "tid": tid,
+            "s": "t",
+        }
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    def complete(
+        self, name, cat, start_s, end_s, pid=0, tid=0, args=None
+    ) -> None:
+        event = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "ts": self._us(start_s),
+            "dur": self._us(end_s) - self._us(start_s),
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    def async_begin(self, name, cat, span_id, ts_s, pid=0, args=None) -> None:
+        self._async("b", name, cat, span_id, ts_s, pid, args)
+
+    def async_end(self, name, cat, span_id, ts_s, pid=0, args=None) -> None:
+        self._async("e", name, cat, span_id, ts_s, pid, args)
+
+    def _async(self, ph, name, cat, span_id, ts_s, pid, args) -> None:
+        event = {
+            "ph": ph,
+            "name": name,
+            "cat": cat,
+            "id": span_id,
+            "ts": self._us(ts_s),
+            "pid": pid,
+            "tid": 0,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    def counter(self, name, ts_s, values, pid=0) -> None:
+        self._events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "ts": self._us(ts_s),
+                "pid": pid,
+                "tid": 0,
+                "args": dict(values),
+            }
+        )
+
+    # ---- export ----------------------------------------------------------
+    def events(self) -> list[dict]:
+        """The recorded trace events, in emission order."""
+        return list(self._events)
+
+    def to_json(self) -> dict:
+        """The Chrome trace-event JSON object (``traceEvents`` form)."""
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": self._events,
+        }
+
+    def json_str(self) -> str:
+        """Deterministic serialization: same run → byte-identical text."""
+        return json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        )
+
+    def write(self, path) -> None:
+        """Write the trace to ``path`` (open in Perfetto to view)."""
+        with open(path, "w") as fh:
+            fh.write(self.json_str())
+            fh.write("\n")

@@ -1,0 +1,179 @@
+"""Windowed metrics: counters, gauges, histograms on event-time windows.
+
+An end-of-run :class:`~repro.serving.metrics.ServingReport` condenses a
+whole run to scalars — one p99, one shed rate, one utilization — which
+hides exactly the things an operator looks for: the burst that blew
+the queue, the window where the hot device saturated, the recovery
+after a migration.  This registry keeps the same observations *keyed
+by simulated event-time window* and reduces each window independently,
+the OpenDT sim-worker pattern (close windows on event time, reduce,
+emit) applied to the serving stack's metrics.
+
+Four instrument kinds, all keyed by ``(name, window index)`` where the
+index is ``floor(t / window_s)``:
+
+* **counters** — monotone event counts (arrivals, sheds, cache hits);
+  :meth:`WindowedMetrics.inc`.
+* **gauges** — sampled values reduced to mean/max (queue depth);
+  :meth:`WindowedMetrics.sample`.
+* **histograms** — full per-window distributions reduced to
+  count/mean/p50/p95/p99/max (latency — this is where
+  "p99-within-window" lives); :meth:`WindowedMetrics.observe`.
+* **busy intervals** — ``[start, end)`` occupancy apportioned to the
+  windows it overlaps, so per-device utilization becomes a time
+  series; :meth:`WindowedMetrics.add_interval`.
+
+The registry is observe-only and allocation-light: plain dicts of
+floats until :meth:`WindowedMetrics.series` reduces them (numpy
+percentiles, deterministic).  Windows with no observations between the
+first and last active window are emitted as zero-count rows, so the
+series is dense and plot-ready.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class WindowedMetrics:
+    """Accumulates observations into fixed-width event-time windows."""
+
+    def __init__(self, window_s: float) -> None:
+        if not (window_s > 0 and math.isfinite(window_s)):
+            raise ValueError(f"window_s must be positive, got {window_s!r}")
+        self.window_s = float(window_s)
+        self._counters: dict[str, dict[int, float]] = {}
+        self._gauges: dict[str, dict[int, list[float]]] = {}
+        self._hists: dict[str, dict[int, list[float]]] = {}
+        self._busy: dict[str, dict[int, float]] = {}
+
+    def _idx(self, t: float) -> int:
+        if t < 0:
+            raise ValueError(f"negative event time {t!r}")
+        return int(t // self.window_s)
+
+    # ---- instruments -----------------------------------------------------
+    def inc(self, name: str, t: float, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` in the window containing ``t``."""
+        windows = self._counters.setdefault(name, {})
+        idx = self._idx(t)
+        windows[idx] = windows.get(idx, 0.0) + value
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        """Record one gauge sample (reduced to mean/max per window)."""
+        windows = self._gauges.setdefault(name, {})
+        cell = windows.get(self._idx(t))
+        if cell is None:
+            windows[self._idx(t)] = [value, 1.0, value]
+        else:
+            cell[0] += value
+            cell[1] += 1.0
+            if value > cell[2]:
+                cell[2] = value
+
+    def observe(self, name: str, t: float, value: float) -> None:
+        """Record one histogram observation (percentiles per window)."""
+        self._hists.setdefault(name, {}).setdefault(self._idx(t), []).append(
+            float(value)
+        )
+
+    def add_interval(self, name: str, start: float, end: float) -> None:
+        """Apportion busy time ``[start, end)`` across the windows it spans.
+
+        The caller is responsible for passing *disjoint* intervals
+        (e.g. the clipped union a
+        :class:`~repro.serving.device.ShardDevice` already maintains),
+        so per-window busy seconds never exceed the window width.
+        """
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start}..{end}")
+        if end == start:
+            return
+        windows = self._busy.setdefault(name, {})
+        w = self.window_s
+        idx = self._idx(start)
+        while True:
+            window_end = (idx + 1) * w
+            slice_end = min(end, window_end)
+            windows[idx] = windows.get(idx, 0.0) + (slice_end - max(start, idx * w))
+            if end <= window_end:
+                break
+            idx += 1
+
+    # ---- reduction -------------------------------------------------------
+    def _span(self) -> tuple[int, int] | None:
+        indices = [
+            idx
+            for table in (self._counters, self._gauges, self._hists, self._busy)
+            for windows in table.values()
+            for idx in windows
+        ]
+        if not indices:
+            return None
+        return min(indices), max(indices)
+
+    def series(self) -> dict:
+        """Reduce to a dense, JSON-safe time series.
+
+        Returns ``{"window_s", "windows": [...]}`` where each window row
+        carries its bounds plus one entry per registered instrument
+        (counters default to 0, busy to 0.0; gauges and histograms are
+        omitted from rows where they had no samples).
+        """
+        span = self._span()
+        rows: list[dict] = []
+        if span is not None:
+            first, last = span
+            counter_names = sorted(self._counters)
+            gauge_names = sorted(self._gauges)
+            hist_names = sorted(self._hists)
+            busy_names = sorted(self._busy)
+            for idx in range(first, last + 1):
+                row: dict = {
+                    "index": idx,
+                    "start_s": idx * self.window_s,
+                    "end_s": (idx + 1) * self.window_s,
+                    "counters": {
+                        name: self._counters[name].get(idx, 0.0)
+                        for name in counter_names
+                    },
+                    "gauges": {},
+                    "histograms": {},
+                    "busy_s": {
+                        name: self._busy[name].get(idx, 0.0)
+                        for name in busy_names
+                    },
+                    "utilization": {
+                        name: self._busy[name].get(idx, 0.0) / self.window_s
+                        for name in busy_names
+                    },
+                }
+                for name in gauge_names:
+                    cell = self._gauges[name].get(idx)
+                    if cell is not None:
+                        total, count, peak = cell
+                        row["gauges"][name] = {
+                            "mean": total / count,
+                            "max": peak,
+                            "count": count,
+                        }
+                for name in hist_names:
+                    values = self._hists[name].get(idx)
+                    if values:
+                        arr = np.asarray(values, dtype=np.float64)
+                        p50, p95, p99 = (
+                            float(np.percentile(arr, q))
+                            for q in (50.0, 95.0, 99.0)
+                        )
+                        row["histograms"][name] = {
+                            "count": int(arr.size),
+                            "mean": float(arr.mean()),
+                            "p50": p50,
+                            "p95": p95,
+                            "p99": p99,
+                            "max": float(arr.max()),
+                        }
+                rows.append(row)
+        return {"window_s": self.window_s, "windows": rows}

@@ -6,6 +6,11 @@ Serve a synthetic workload end-to-end and print the serving report::
     python -m repro.serving --rate 2000 --shards 8 --arrivals mmpp \\
         --mode partitioned --backend ndsearch
 
+Observability (see :mod:`repro.obs`): ``--trace out.json`` records the
+run's request/batch/stage spans as a Chrome trace-event file,
+``--metrics-window-ms 5`` closes windowed metrics on 5 ms event-time
+windows, and ``--report-json report.json`` dumps the full report.
+
 The run finishes with a parity check: the same query pool is searched
 through the sharded pool and through one unsharded NDSearch system,
 and their recall against exact ground truth is compared (replicated
@@ -15,6 +20,7 @@ sharding must match to 1e-6 — routing must never change results).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -23,6 +29,7 @@ from repro import platform as platform_registry
 from repro.ann import BruteForceIndex, HNSWIndex, HNSWParams, recall_at_k
 from repro.core import NDSearch, NDSearchConfig
 from repro.data.synthetic import clustered_gaussian, split_queries
+from repro.obs import SpanTracer
 from repro.serving.arrivals import MMPPArrivals, PoissonArrivals, QueryStream
 from repro.serving.autoscale import AutoscalePolicy
 from repro.serving.batcher import POLICY_MODES, BatchPolicy
@@ -119,6 +126,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--k", type=int, default=10,
                         help="results per query (default 10)")
     parser.add_argument("--seed", type=int, default=7, help="stream seed")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record request/batch/stage spans and write a "
+                             "Chrome trace-event JSON file (load it in "
+                             "Perfetto or chrome://tracing)")
+    parser.add_argument("--metrics-window-ms", type=float, default=None,
+                        help="close windowed metrics (queue depth, per-device "
+                             "utilization, p99, shed rate) on this event-time "
+                             "window and include the time series in the "
+                             "report")
+    parser.add_argument("--report-json", metavar="PATH", default=None,
+                        help="write the full serving report as JSON")
     args = parser.parse_args(argv)
     if args.nprobe is not None and args.mode == REPLICATED:
         parser.error("--nprobe requires --mode partitioned")
@@ -211,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.rebalance
         else None
     )
+    tracer = SpanTracer() if args.trace else None
     frontend = ServingFrontend(
         router,
         ServingConfig(
@@ -223,13 +242,32 @@ def main(argv: list[str] | None = None) -> int:
             priority_admission=args.priority_admission,
             autoscale=autoscale,
             rebalance=rebalance,
+            metrics_window_s=(
+                args.metrics_window_ms * 1e-3
+                if args.metrics_window_ms is not None
+                else None
+            ),
         ),
+        tracer=tracer,
     )
     print(
         f"serving {args.requests} requests at {args.rate:g} QPS "
         f"({args.arrivals}, zipf {args.zipf:g}) ..."
     )
     report = frontend.run(stream.generate(), pool)
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"trace: {len(tracer)} events -> {args.trace}")
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report: {args.report_json}")
+    if report.timeseries is not None:
+        windows = report.timeseries["windows"]
+        print(
+            f"metrics: {len(windows)} windows of "
+            f"{report.timeseries['window_s'] * 1e3:g} ms"
+        )
     title = (
         f"serving: {args.backend} x{args.shards} {args.mode}, "
         f"policy={args.policy}"

@@ -29,6 +29,9 @@ batches on the same entry-stage FIFO instead of being free.
 
 from __future__ import annotations
 
+from typing import Callable
+
+from repro.obs.trace import NullTracer, Tracer
 from repro.sim.engine import Resource
 from repro.sim.stats import SimResult
 
@@ -42,6 +45,18 @@ class ShardDevice:
 
     def __init__(self, pipelined: bool = True) -> None:
         self.pipelined = pipelined
+        self.tracer: Tracer = NullTracer()
+        """Span sink for stage occupancy (observe-only; the default
+        no-op tracer records nothing and perturbs nothing)."""
+
+        self.trace_pid: int = 0
+        """Trace process id this device's lanes render under."""
+
+        self.busy_observer: Callable[[float, float], None] | None = None
+        """Called with each *clipped* busy increment (the disjoint
+        intervals whose union is ``busy_s``) — the windowed-metrics tap
+        for per-device utilization time series."""
+
         self._stages: dict[str, Resource] = {}
         self._serial = Resource("device")
         """The whole-device timeline used in blocking mode."""
@@ -108,6 +123,12 @@ class ShardDevice:
         """
         if not self.pipelined:
             start, completion = self._serial.acquire(at, result.sim_time_s)
+            if self.tracer.enabled:
+                tid = self.tracer.thread(self.trace_pid, self._serial.name)
+                self.tracer.complete(
+                    "batch", "stage", start, completion,
+                    pid=self.trace_pid, tid=tid,
+                )
             self._drain_at = completion
             self._book_busy(start, completion)
             self.batches_served += 1
@@ -140,10 +161,17 @@ class ShardDevice:
         if duration < 0:
             raise ValueError(f"negative booking duration {duration!r}")
         if not self.pipelined:
+            name = self._serial.name
             start, end = self._serial.acquire(at, duration)
         else:
             name = resource or self._entry_resource or MIGRATION_STAGE
             start, end = self._stage(name).acquire(at, duration)
+        if self.tracer.enabled:
+            tid = self.tracer.thread(self.trace_pid, name)
+            self.tracer.complete(
+                "data movement", "movement", start, end,
+                pid=self.trace_pid, tid=tid,
+            )
         self._drain_at = max(self._drain_at, end)
         self._book_busy(start, end)
         return start, end
@@ -186,8 +214,15 @@ class ShardDevice:
         ``(start, completion)``."""
         t = at
         start: float | None = None
+        trace = self.tracer.enabled
         for resource, duration in chain:
             stage_start, stage_end = self._stage(resource).acquire(t, duration)
+            if trace:
+                tid = self.tracer.thread(self.trace_pid, resource)
+                self.tracer.complete(
+                    resource, "stage", stage_start, stage_end,
+                    pid=self.trace_pid, tid=tid,
+                )
             if start is None:
                 start = stage_start
             t = stage_end
@@ -201,5 +236,8 @@ class ShardDevice:
         the previous high-water mark.
         """
         if completion > self._occupied_until:
-            self.busy_s += completion - max(start, self._occupied_until)
+            clipped_start = max(start, self._occupied_until)
+            self.busy_s += completion - clipped_start
             self._occupied_until = completion
+            if self.busy_observer is not None:
+                self.busy_observer(clipped_start, completion)

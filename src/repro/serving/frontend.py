@@ -36,6 +36,14 @@ source/subscriber instead of an inlined branch of a master loop —
 * **Stream end** — a :class:`~repro.sim.events.StreamEnd` event after
   the last arrival flushes stragglers at the pending deadline's real
   time and stops the epoch clocks.
+* **Observability** — strictly observe-only taps
+  (:mod:`repro.obs`): an optional span tracer (constructor argument)
+  records request/batch/stage/migration lifecycles for Chrome-trace
+  export, ``ServingConfig.metrics_window_s`` closes metrics on
+  event-time windows (``report.timeseries``), and the kernel's
+  per-event-type dispatch counts always land in
+  ``report.counters["loop_events_*"]``.  None of it feeds back into
+  scheduling — the parity digests pin traced == untraced.
 
 Event-loop invariants (encoded in the kernel's same-instant ranks):
 
@@ -99,6 +107,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.trace import NullTracer, Tracer
+from repro.obs.windows import WindowedMetrics
 from repro.serving.admission import AdmissionController, select_victim
 from repro.serving.autoscale import AutoscalePolicy, Autoscaler
 from repro.serving.batcher import GREEDY, SLO, BatchPolicy, DynamicBatcher
@@ -267,13 +277,38 @@ class ServingConfig:
     :mod:`repro.serving.rebalance`).  ``None`` keeps the placement
     static."""
 
+    metrics_window_s: float | None = None
+    """Close metrics on simulated event-time windows of this width
+    (:class:`~repro.obs.windows.WindowedMetrics`): the report gains a
+    ``timeseries`` surface — per-window arrivals/completions/sheds,
+    queue depth, batch sizes, latency percentiles and per-device
+    utilization.  ``None`` (the default) keeps the scalar-only report.
+    Observe-only: enabling windows never changes a run's behavior."""
+
 
 class ServingFrontend:
     """Runs a request stream against a shard router, collecting metrics."""
 
-    def __init__(self, router: ShardRouter, config: ServingConfig | None = None):
+    def __init__(
+        self,
+        router: ShardRouter,
+        config: ServingConfig | None = None,
+        tracer: Tracer | None = None,
+    ):
         self.router = router
         self.config = config or ServingConfig()
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        """Span sink for request/batch/stage/migration lifecycles.  The
+        default :class:`~repro.obs.trace.NullTracer` records nothing;
+        pass a :class:`~repro.obs.trace.SpanTracer` to export a Chrome
+        trace.  Strictly observe-only either way — the parity suite
+        pins that a traced run is byte-identical to an untraced one."""
+
+        self.windows: WindowedMetrics | None = (
+            WindowedMetrics(self.config.metrics_window_s)
+            if self.config.metrics_window_s is not None
+            else None
+        )
         if self.config.nprobe is not None:
             if router.mode != PARTITIONED:
                 raise ValueError("nprobe requires a partitioned router")
@@ -292,10 +327,9 @@ class ServingFrontend:
         )
         self.cache = ResultCache(self.config.cache_capacity)
         self.admission = AdmissionController(self.config.admission_capacity)
-        self.metrics = MetricsCollector(router.num_shards)
+        self.metrics = MetricsCollector(router.num_shards, windows=self.windows)
         self.devices = [
-            ShardDevice(pipelined=self.config.pipelined)
-            for _ in range(router.num_shards)
+            self._make_device(i) for i in range(router.num_shards)
         ]
         self.autoscaler: Autoscaler | None = None
         self._active = router.num_shards
@@ -329,13 +363,29 @@ class ServingFrontend:
                 self.config.rebalance, router.num_shards, router.num_clusters
             )
         self._in_service_total = 0
-        self.coalescer = Coalescer(self.metrics.observe_coalesced)
+        self.coalescer = Coalescer(self._observe_coalesced)
         # Per-run event-loop state (populated by run()).
         self._loop: EventLoop | None = None
         self._timer_gen = 0
         self._draining = False
         self._epoch_armed = False
         self._last_arrival_s = 0.0
+        self._batch_seq = 0
+        self._kernel_tid = 0
+
+    def _make_device(self, index: int) -> ShardDevice:
+        """Build shard device ``index`` with its observability taps."""
+        device = ShardDevice(pipelined=self.config.pipelined)
+        device.tracer = self.tracer
+        device.trace_pid = index + 1  # pid 0 is the frontend process
+        if self.tracer.enabled:
+            self.tracer.process(device.trace_pid, f"shard {index}")
+        if self.windows is not None:
+            device.busy_observer = (
+                lambda start, end, name=f"shard{index}":
+                    self.windows.add_interval(name, start, end)
+            )
+        return device
 
     def run(
         self, requests: list[Request], query_pool: np.ndarray
@@ -365,6 +415,10 @@ class ServingFrontend:
         self._timer_gen += 1
         self._draining = False
         self._epoch_armed = False
+        if self.tracer.enabled:
+            self.tracer.process(0, "serving.frontend")
+            self._kernel_tid = self.tracer.thread(0, "kernel")
+            loop.observer = self._trace_kernel_event
         loop.subscribe(Arrival, self._on_arrival)
         loop.subscribe(BatchDeadline, self._on_batch_deadline)
         loop.subscribe(Completion, self._on_completion)
@@ -377,6 +431,9 @@ class ServingFrontend:
         self._last_arrival_s = ordered[-1].arrival_s if ordered else 0.0
         loop.schedule(StreamEnd(time=self._last_arrival_s))
         loop.run()
+        # Kernel-level observability: per-event-type dispatch counts
+        # fold into the report's counters (loop_events_*).
+        self.metrics.set_event_counts(loop.counts)
         # Utilization comes from true device occupancy (overlapped
         # pipeline stages count once), not summed batch makespans.
         self.metrics.set_shard_busy([d.busy_s for d in self.devices])
@@ -400,6 +457,19 @@ class ServingFrontend:
             self._arm_epochs(now)
         depth = len(self.batcher) + self._in_service_count()
         self.metrics.observe_arrival(request, depth)
+        if self.windows is not None:
+            self.windows.inc("arrivals", now)
+            self.windows.sample("queue_depth", now, float(depth))
+        if self.tracer.enabled:
+            self.tracer.async_begin(
+                "request", "request", request.request_id, now,
+                args={
+                    "query_id": request.query_id,
+                    "k": request.k,
+                    "priority": request.priority,
+                },
+            )
+            self.tracer.counter("queue", now, {"depth": depth})
         if self.autoscaler is not None:
             self.autoscaler.observe_depth(depth)
         # Coalescing precedes admission and the cache: a follower
@@ -420,11 +490,22 @@ class ServingFrontend:
             request.completion_s = now + self.config.cache_hit_latency_s
             request.outcome = CACHE_HIT
             self.metrics.observe_cache_hit(request)
+            if self.windows is not None:
+                self.windows.inc("cache_hits", request.completion_s)
+                self.windows.observe(
+                    "latency_s", request.completion_s, request.latency_s
+                )
+            if self.tracer.enabled:
+                self.tracer.async_end(
+                    "request", "request", request.request_id,
+                    request.completion_s, args={"outcome": CACHE_HIT},
+                )
             return
         if not self.admission.admit(depth):
             if not self._try_preempt(request):
                 request.outcome = SHED
                 self.metrics.observe_shed(request)
+                self._observe_shed_obs(request, now)
                 return
         if self.config.coalesce:
             self.coalescer.note_queued(request)
@@ -479,6 +560,10 @@ class ServingFrontend:
         now = event.time
         if self.autoscaler is not None:
             self._apply_scaling(now)
+            if self.windows is not None:
+                self.windows.sample("replicas", now, float(self._active))
+            if self.tracer.enabled:
+                self.tracer.counter("replicas", now, {"active": self._active})
             self._loop.schedule(EpochTick(time=self.autoscaler.epoch_end))
         elif self.rebalancer is not None:
             proposals = self.rebalancer.decide(
@@ -497,6 +582,10 @@ class ServingFrontend:
         # work on the destination device.
         self.router.reassign_cluster(migration.cluster, migration.dest)
         self.rebalancer.finish(migration)
+        if self.tracer.enabled:
+            self.tracer.async_end(
+                "migration", "migration", migration.cluster, event.time
+            )
 
     def _on_stream_end(self, event: StreamEnd) -> None:
         # End of stream: let a pending deadline close at its real time,
@@ -513,6 +602,69 @@ class ServingFrontend:
                 batch, close_time=max(flush_time, self._last_arrival_s)
             )
         self._timer_gen += 1  # no timers survive the flush
+
+    # ---- observability taps ---------------------------------------------
+    # Strictly observe-only: every hook reads values the run already
+    # computed.  Nothing here may touch batcher, router, device or
+    # admission state — that invariant is what lets the parity suite
+    # pin traced runs to the same digests as untraced ones.
+    def _observe_coalesced(self, request: Request) -> None:
+        """Metrics + obs for a follower resolved by the coalescer."""
+        self.metrics.observe_coalesced(request)
+        if self.windows is not None:
+            self.windows.inc("coalesced", request.completion_s)
+            self.windows.observe(
+                "latency_s", request.completion_s, request.latency_s
+            )
+            if request.slo_met is False:
+                self.windows.inc("deadline_misses", request.completion_s)
+        if self.tracer.enabled:
+            self.tracer.async_end(
+                "request", "request", request.request_id,
+                request.completion_s, args={"outcome": COALESCED},
+            )
+
+    def _observe_shed_obs(
+        self, request: Request, now: float, preempted: bool = False
+    ) -> None:
+        """Windows/tracer view of a shed (metrics already recorded)."""
+        if self.windows is not None:
+            self.windows.inc("shed", now)
+            if request.slo_met is False:
+                self.windows.inc("deadline_misses", now)
+        if self.tracer.enabled:
+            args = {"outcome": SHED}
+            if preempted:
+                args["preempted"] = True
+            self.tracer.async_end(
+                "request", "request", request.request_id, now, args=args
+            )
+
+    def _trace_kernel_event(self, event) -> None:
+        """Kernel dispatch tap: control events become trace instants.
+
+        Arrivals and completions are omitted — the request spans and
+        batch spans already carry them — so the kernel lane shows the
+        *control* stream: deadline timers, epoch ticks, migration
+        commits, stream end.
+        """
+        if isinstance(event, BatchDeadline):
+            args = {"generation": event.generation}
+        elif isinstance(event, DataMovement):
+            migration: Migration = event.payload
+            args = {
+                "cluster": migration.cluster,
+                "source": migration.source,
+                "dest": migration.dest,
+            }
+        elif isinstance(event, (EpochTick, StreamEnd)):
+            args = None
+        else:
+            return
+        self.tracer.instant(
+            type(event).__name__, "kernel", event.time,
+            tid=self._kernel_tid, args=args,
+        )
 
     # ---- epoch controllers ----------------------------------------------
     def _arm_epochs(self, now: float) -> None:
@@ -548,7 +700,7 @@ class ServingFrontend:
         while self.router.num_shards < replicas:
             self.router.add_replica()
         while len(self.devices) < replicas:
-            self.devices.append(ShardDevice(pipelined=self.config.pipelined))
+            self.devices.append(self._make_device(len(self.devices)))
         self.metrics.ensure_shards(len(self.devices))
 
     def _start_migration(self, proposal, now: float) -> None:
@@ -582,6 +734,17 @@ class ServingFrontend:
             utilization_gap=proposal.utilization_gap,
         )
         self.rebalancer.begin(migration)
+        if self.tracer.enabled:
+            self.tracer.async_begin(
+                "migration", "migration", migration.cluster,
+                migration.decided_s,
+                args={
+                    "source": migration.source,
+                    "dest": migration.dest,
+                    "bytes": migration.bytes,
+                    "vectors": migration.vectors,
+                },
+            )
         self._loop.schedule(
             DataMovement(time=migration.complete_s, payload=migration)
         )
@@ -668,6 +831,7 @@ class ServingFrontend:
             self.coalescer.forget_queued(victim)
         victim.outcome = SHED
         self.metrics.observe_shed(victim)
+        self._observe_shed_obs(victim, self._loop.now, preempted=True)
         self.admission.preempt()
         return True
 
@@ -717,6 +881,16 @@ class ServingFrontend:
         k = max(r.k for r in batch)
         self.metrics.observe_batch(len(batch), timeout_closed=timeout_closed)
         n = len(batch)
+        if self.windows is not None:
+            self.windows.sample("batch_size", close_time, float(n))
+        batch_span = None
+        if self.tracer.enabled:
+            batch_span = self._batch_seq
+            self._batch_seq += 1
+            self.tracer.async_begin(
+                "batch", "batch", batch_span, close_time,
+                args={"size": n, "timeout": timeout_closed},
+            )
 
         if self.router.mode == REPLICATED:
             # Dispatch only to the active replicas (the autoscaler may
@@ -765,6 +939,10 @@ class ServingFrontend:
                     completions[job.rows], shard_done
                 )
 
+        if batch_span is not None:
+            self.tracer.async_end(
+                "batch", "batch", batch_span, float(completions.max())
+            )
         # One completion event per distinct join time: replicated and
         # broadcast batches collapse to a single event, selective
         # probing adds one per fan-out join group.
@@ -794,6 +972,18 @@ class ServingFrontend:
                 request.result_dists,
             )
             self.metrics.observe_completion(request)
+            if self.windows is not None:
+                self.windows.inc("completions", completion)
+                self.windows.observe(
+                    "latency_s", completion, request.latency_s
+                )
+                if request.slo_met is False:
+                    self.windows.inc("deadline_misses", completion)
+            if self.tracer.enabled:
+                self.tracer.async_end(
+                    "request", "request", request.request_id, completion,
+                    args={"outcome": COMPLETED, "batched_s": close_time},
+                )
             if self.config.coalesce:
                 self.coalescer.on_dispatch(
                     request, ids[i].copy(), dists[i].copy(), k, completion

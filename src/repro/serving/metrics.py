@@ -88,6 +88,15 @@ class ServingReport:
     """Cluster → shard-device placement when the run ended
     (partitioned pools with rebalancing; empty otherwise)."""
 
+    timeseries: dict | None = None
+    """Windowed metrics time series
+    (:meth:`~repro.obs.windows.WindowedMetrics.series` output) when the
+    run closed metrics on event-time windows
+    (``ServingConfig.metrics_window_s``); ``None`` otherwise.  Each
+    window row carries arrivals/completions/shed/cache-hit counters,
+    queue-depth and batch-size gauges, within-window latency
+    percentiles (p50/p95/p99) and per-device utilization."""
+
     @property
     def served(self) -> int:
         """Requests answered (searched, coalesced or from cache)."""
@@ -98,6 +107,92 @@ class ServingReport:
         if self.energy_j <= 0 or self.horizon_s <= 0:
             return 0.0
         return self.qps / (self.energy_j / self.horizon_s)
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict of the full report surface.
+
+        Round-trippable: ``ServingReport.from_dict(json.loads(
+        json.dumps(report.to_dict())))`` reconstructs an equal report.
+        This is the one serialization path shared by the sweep JSON,
+        the CLI's ``--report-json`` and the perf-trajectory tooling —
+        ad-hoc dict assembly drifts, this does not.
+
+        Derived conveniences (``served``, ``qps_per_watt``) are
+        included for consumers and ignored by :meth:`from_dict`.
+        """
+
+        def _num(value):
+            # numpy scalars -> native (json.dumps chokes on np.int64).
+            return value.item() if hasattr(value, "item") else value
+
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "shed": self.shed,
+            "served": self.served,
+            "horizon_s": self.horizon_s,
+            "qps": self.qps,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p95_s": self.latency_p95_s,
+            "latency_p99_s": self.latency_p99_s,
+            "latency_mean_s": self.latency_mean_s,
+            "mean_batch_size": self.mean_batch_size,
+            "timeout_close_fraction": self.timeout_close_fraction,
+            "cache_hit_rate": self.cache_hit_rate,
+            "shed_rate": self.shed_rate,
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "shard_utilization": [float(u) for u in self.shard_utilization],
+            "energy_j": self.energy_j,
+            "qps_per_watt": self.qps_per_watt,
+            "counters": {
+                str(key): _num(value)
+                for key, value in sorted(self.counters.items())
+            },
+            "shard_probe_counts": [int(c) for c in self.shard_probe_counts],
+            "mean_probes_per_query": self.mean_probes_per_query,
+            "deadline_total": self.deadline_total,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "goodput_qps": self.goodput_qps,
+            "priority_stats": {
+                str(priority): {k: float(v) for k, v in stats.items()}
+                for priority, stats in sorted(self.priority_stats.items())
+            },
+            "scale_events": [dict(e) for e in self.scale_events],
+            "replicas_final": self.replicas_final,
+            "rebalance_events": [dict(e) for e in self.rebalance_events],
+            "cluster_map_final": [int(s) for s in self.cluster_map_final],
+            "timeseries": self.timeseries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingReport":
+        """Rebuild a report from :meth:`to_dict` output (or its JSON)."""
+        d = dict(data)
+        for derived in ("served", "qps_per_watt"):
+            d.pop(derived, None)
+        d["shard_utilization"] = tuple(
+            float(u) for u in d["shard_utilization"]
+        )
+        d["counters"] = Counters(
+            {str(k): v for k, v in d["counters"].items()}
+        )
+        d["shard_probe_counts"] = tuple(
+            int(c) for c in d["shard_probe_counts"]
+        )
+        d["priority_stats"] = {
+            int(priority): {k: float(v) for k, v in stats.items()}
+            for priority, stats in d["priority_stats"].items()
+        }
+        d["scale_events"] = tuple(dict(e) for e in d["scale_events"])
+        d["rebalance_events"] = tuple(dict(e) for e in d["rebalance_events"])
+        d["cluster_map_final"] = tuple(
+            int(s) for s in d["cluster_map_final"]
+        )
+        return cls(**d)
 
     def format(self, title: str = "serving summary") -> str:
         """An aligned two-column report table."""
@@ -173,10 +268,14 @@ class ServingReport:
 class MetricsCollector:
     """Accumulates observations during a frontend run."""
 
-    def __init__(self, num_shards: int) -> None:
+    def __init__(self, num_shards: int, windows=None) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.num_shards = num_shards
+        self.windows = windows
+        """Optional :class:`~repro.obs.windows.WindowedMetrics` whose
+        series lands in ``ServingReport.timeseries`` (the frontend
+        feeds it; the collector only reduces it at report time)."""
         self.latencies_s: list[float] = []
         self.cache_hits = 0
         self.coalesced = 0
@@ -297,6 +396,21 @@ class MetricsCollector:
         self.rebalance_events = list(events)
         self.cluster_map_final = tuple(int(s) for s in cluster_map)
 
+    def set_event_counts(self, counts: dict[str, int]) -> None:
+        """Fold the kernel's per-type dispatch counts into the counters.
+
+        Keys land as ``loop_events_<EventType>`` plus a
+        ``loop_events_total`` sum — the event-mix telemetry the run
+        profiler divides wall-clock by.  Additive, like every counter:
+        a collector reused across runs accumulates.
+        """
+        total = 0
+        for name in sorted(counts):
+            n = int(counts[name])
+            self.counters[f"loop_events_{name}"] += n
+            total += n
+        self.counters["loop_events_total"] += total
+
     def _observe_done(self, request: Request) -> None:
         self.latencies_s.append(request.latency_s)
         self.last_completion_s = max(self.last_completion_s, request.completion_s)
@@ -399,4 +513,7 @@ class MetricsCollector:
             replicas_final=self.replicas_final,
             rebalance_events=tuple(self.rebalance_events),
             cluster_map_final=self.cluster_map_final,
+            timeseries=(
+                self.windows.series() if self.windows is not None else None
+            ),
         )

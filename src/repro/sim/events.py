@@ -139,6 +139,18 @@ class EventLoop:
     def __init__(self) -> None:
         self.now = 0.0
         self.processed = 0
+        self.counts: dict[str, int] = {}
+        """Dispatched events per type name — the kernel's own telemetry.
+        Maintained unconditionally (one dict update per event) so every
+        run can report its event mix; the serving layer folds these
+        into ``ServingReport.counters`` as ``loop_events_*``."""
+
+        self.observer: Callable[[Event], None] | None = None
+        """Optional dispatch hook, invoked with each event *before* its
+        handlers (the clock already reads the event's time).  This is
+        the tracing tap: observers must only record — scheduling or
+        mutating from one would interleave with handler order."""
+
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._handlers: dict[type, list[Callable[[Event], None]]] = {}
@@ -195,11 +207,14 @@ class EventLoop:
                 break
             heapq.heappop(self._heap)
             self.now = time
-            handlers = self._handlers.get(type(event))
+            event_type = type(event)
+            name = event_type.__name__
+            self.counts[name] = self.counts.get(name, 0) + 1
+            if self.observer is not None:
+                self.observer(event)
+            handlers = self._handlers.get(event_type)
             if not handlers:
-                raise LookupError(
-                    f"no handler subscribed for {type(event).__name__}"
-                )
+                raise LookupError(f"no handler subscribed for {name}")
             for handler in handlers:
                 handler(event)
             processed += 1

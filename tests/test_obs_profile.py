@@ -1,0 +1,178 @@
+"""Run profiler and the calibration-scaled perf regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    RunProfiler,
+    calibrate_events_per_sec,
+    check_regression,
+    peak_rss_bytes,
+)
+
+
+def _payload(configs, calibration=1_000_000.0):
+    return {
+        "schema": 1,
+        "bench": "serving",
+        "calibration_eps": calibration,
+        "configs": {
+            name: {
+                "wall_s": 1.0,
+                "events": int(eps),
+                "events_per_sec": eps,
+                "peak_rss_bytes": 1,
+            }
+            for name, eps in configs.items()
+        },
+    }
+
+
+class TestProbes:
+    def test_peak_rss_is_positive_and_monotone(self):
+        first = peak_rss_bytes()
+        assert first > 0
+        blob = bytearray(8 * 1024 * 1024)
+        blob[::4096] = b"x" * len(blob[::4096])
+        assert peak_rss_bytes() >= first
+
+    def test_calibration_is_positive(self):
+        assert calibrate_events_per_sec(n_events=2000) > 0
+
+
+class TestRunProfiler:
+    def test_measure_records_wall_and_events(self):
+        profiler = RunProfiler()
+        with profiler.measure("cfg") as probe:
+            probe.events = 500
+        (record,) = profiler.records
+        assert record.name == "cfg"
+        assert record.events == 500
+        assert record.wall_s > 0
+        assert record.events_per_sec == pytest.approx(500 / record.wall_s)
+        assert record.peak_rss_bytes > 0
+
+    def test_to_json_payload(self):
+        profiler = RunProfiler()
+        with profiler.measure("a") as probe:
+            probe.events = 10
+        with profiler.measure("b") as probe:
+            probe.events = 20
+        payload = profiler.to_json(calibration_eps=123.0)
+        assert payload["schema"] == 1
+        assert payload["bench"] == "serving"
+        assert payload["calibration_eps"] == 123.0
+        assert set(payload["configs"]) == {"a", "b"}
+        entry = payload["configs"]["a"]
+        assert set(entry) == {
+            "wall_s", "events", "events_per_sec", "peak_rss_bytes"
+        }
+        json.dumps(payload)  # JSON-safe end to end
+
+    def test_to_json_self_calibrates(self):
+        payload = RunProfiler().to_json()
+        assert payload["calibration_eps"] > 0
+
+
+class TestCheckRegression:
+    def test_within_threshold_passes(self):
+        baseline = _payload({"a": 1000.0})
+        current = _payload({"a": 800.0})  # -20% < 30% threshold
+        rows, failures = check_regression(baseline, current)
+        assert failures == []
+        (row,) = rows
+        assert row["status"] == "ok"
+        assert row["ratio"] == pytest.approx(0.8)
+
+    def test_regression_fails(self):
+        baseline = _payload({"a": 1000.0})
+        current = _payload({"a": 500.0})  # -50%
+        rows, failures = check_regression(baseline, current)
+        assert rows[0]["status"] == "regressed"
+        assert len(failures) == 1
+        assert "a" in failures[0]
+
+    def test_calibration_rescales_the_baseline(self):
+        """A uniformly slower host is not a regression."""
+        baseline = _payload({"a": 1000.0}, calibration=2_000_000.0)
+        # Host runs at half the baseline machine's speed; the config
+        # slowed down proportionally.  Scaled expectation: 500 ev/s.
+        current = _payload({"a": 500.0}, calibration=1_000_000.0)
+        rows, failures = check_regression(baseline, current)
+        assert failures == []
+        assert rows[0]["expected_eps"] == pytest.approx(500.0)
+        assert rows[0]["ratio"] == pytest.approx(1.0)
+
+    def test_real_slowdown_fails_even_after_scaling(self):
+        baseline = _payload({"a": 1000.0}, calibration=2_000_000.0)
+        current = _payload({"a": 200.0}, calibration=1_000_000.0)
+        _, failures = check_regression(baseline, current)
+        assert failures  # 200 vs scaled 500 => ratio 0.4
+
+    def test_threshold_is_configurable(self):
+        baseline = _payload({"a": 1000.0})
+        current = _payload({"a": 800.0})
+        _, failures = check_regression(baseline, current, threshold=0.10)
+        assert failures
+
+    def test_new_and_removed_configs_informational(self):
+        baseline = _payload({"a": 1000.0, "old": 1.0})
+        current = _payload({"a": 1000.0, "fresh": 1.0})
+        rows, failures = check_regression(baseline, current)
+        assert failures == []
+        status = {row["name"]: row["status"] for row in rows}
+        assert status == {"a": "ok", "old": "removed", "fresh": "new"}
+
+    def test_missing_calibration_defaults_to_unscaled(self):
+        baseline = _payload({"a": 1000.0})
+        del baseline["calibration_eps"]
+        current = _payload({"a": 900.0})
+        rows, failures = check_regression(baseline, current)
+        assert failures == []
+        assert rows[0]["expected_eps"] == pytest.approx(1000.0)
+
+
+class TestGateScripts:
+    """The CI entry points around the library gate."""
+
+    def test_check_bench_regression_cli(self, tmp_path):
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "check_bench_regression.py"
+        )
+        spec = importlib.util.spec_from_file_location("check_bench", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(_payload({"a": 1000.0})))
+        cur.write_text(json.dumps(_payload({"a": 900.0})))
+        assert module.main(
+            ["--baseline", str(base), "--current", str(cur)]
+        ) == 0
+        cur.write_text(json.dumps(_payload({"a": 100.0})))
+        assert module.main(
+            ["--baseline", str(base), "--current", str(cur)]
+        ) == 1
+
+    def test_committed_baseline_is_well_formed(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert payload["calibration_eps"] > 0
+        assert payload["configs"], "trajectory has no configs"
+        for entry in payload["configs"].values():
+            assert entry["wall_s"] > 0
+            assert entry["events"] > 0
+            assert entry["events_per_sec"] > 0
+            assert entry["peak_rss_bytes"] > 0

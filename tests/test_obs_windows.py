@@ -1,0 +1,121 @@
+"""Windowed metrics registry: event-time windows, dense series."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import WindowedMetrics
+
+
+class TestInstruments:
+    def test_counter_bins_by_event_time(self):
+        m = WindowedMetrics(1.0)
+        m.inc("arrivals", 0.1)
+        m.inc("arrivals", 0.9)
+        m.inc("arrivals", 2.5)
+        windows = m.series()["windows"]
+        assert [w["counters"]["arrivals"] for w in windows] == [2.0, 0.0, 1.0]
+
+    def test_counter_custom_increment(self):
+        m = WindowedMetrics(1.0)
+        m.inc("bytes", 0.5, 100.0)
+        m.inc("bytes", 0.6, 50.0)
+        (window,) = m.series()["windows"]
+        assert window["counters"]["bytes"] == 150.0
+
+    def test_gauge_reduces_to_mean_max(self):
+        m = WindowedMetrics(1.0)
+        for value in (1.0, 3.0, 5.0):
+            m.sample("depth", 0.5, value)
+        (window,) = m.series()["windows"]
+        gauge = window["gauges"]["depth"]
+        assert gauge == {"mean": 3.0, "max": 5.0, "count": 3.0}
+
+    def test_histogram_percentiles(self):
+        m = WindowedMetrics(1.0)
+        for value in range(1, 101):
+            m.observe("latency", 0.5, float(value))
+        (window,) = m.series()["windows"]
+        hist = window["histograms"]["latency"]
+        assert hist["count"] == 100
+        assert hist["mean"] == pytest.approx(50.5)
+        assert hist["p50"] == pytest.approx(50.5)
+        assert hist["p99"] == pytest.approx(99.01)
+        assert hist["max"] == 100.0
+
+    def test_interval_apportioned_across_windows(self):
+        m = WindowedMetrics(1.0)
+        m.add_interval("shard0", 0.5, 2.25)
+        windows = m.series()["windows"]
+        assert [w["busy_s"]["shard0"] for w in windows] == pytest.approx(
+            [0.5, 1.0, 0.25]
+        )
+        assert [w["utilization"]["shard0"] for w in windows] == pytest.approx(
+            [0.5, 1.0, 0.25]
+        )
+
+    def test_interval_total_is_preserved(self):
+        m = WindowedMetrics(0.3)
+        m.add_interval("d", 0.05, 2.71)
+        total = sum(w["busy_s"]["d"] for w in m.series()["windows"])
+        assert total == pytest.approx(2.66)
+
+    def test_empty_interval_ignored(self):
+        m = WindowedMetrics(1.0)
+        m.add_interval("d", 1.0, 1.0)
+        assert m.series()["windows"] == []
+
+
+class TestValidation:
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            WindowedMetrics(0.0)
+        with pytest.raises(ValueError):
+            WindowedMetrics(float("nan"))
+
+    def test_rejects_negative_time(self):
+        m = WindowedMetrics(1.0)
+        with pytest.raises(ValueError):
+            m.inc("x", -0.1)
+
+    def test_rejects_backwards_interval(self):
+        m = WindowedMetrics(1.0)
+        with pytest.raises(ValueError):
+            m.add_interval("d", 2.0, 1.0)
+
+
+class TestSeries:
+    def test_empty_registry(self):
+        assert WindowedMetrics(1.0).series() == {
+            "window_s": 1.0,
+            "windows": [],
+        }
+
+    def test_dense_between_first_and_last_window(self):
+        m = WindowedMetrics(1.0)
+        m.inc("a", 0.5)
+        m.inc("a", 4.5)
+        windows = m.series()["windows"]
+        assert [w["index"] for w in windows] == [0, 1, 2, 3, 4]
+        assert windows[2]["counters"]["a"] == 0.0
+        assert windows[2]["gauges"] == {}
+        assert windows[1]["start_s"] == 1.0
+        assert windows[1]["end_s"] == 2.0
+
+    def test_series_is_json_safe(self):
+        m = WindowedMetrics(0.5)
+        m.inc("arrivals", 0.1)
+        m.sample("depth", 0.2, 4.0)
+        m.observe("latency", 0.3, 1e-3)
+        m.add_interval("shard0", 0.0, 0.4)
+        payload = json.dumps(m.series())
+        assert json.loads(payload)["window_s"] == 0.5
+
+    def test_mixed_instruments_share_the_span(self):
+        m = WindowedMetrics(1.0)
+        m.observe("latency", 0.5, 1.0)   # window 0
+        m.add_interval("d", 3.0, 3.5)    # window 3
+        windows = m.series()["windows"]
+        assert [w["index"] for w in windows] == [0, 1, 2, 3]

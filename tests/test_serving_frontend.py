@@ -382,3 +382,50 @@ class TestMixedK:
         requests[1].result_ids[:] = -99
         fresh = frontend.cache.lookup(requests[0].query_id, 5)
         assert fresh is not None and (fresh[0] != -99).all()
+
+class TestReportSerialization:
+    """ServingReport.to_dict / from_dict round-trip (the JSON surface
+    the CLI's --report-json and the bench sweep artifacts persist)."""
+
+    def _report(self, small_vectors, pool, config, **extra):
+        router = build_router(small_vectors, num_shards=2, config=config)
+        frontend = ServingFrontend(
+            router,
+            ServingConfig(
+                policy=BatchPolicy(max_batch_size=8, max_wait_s=2e-3),
+                **extra,
+            ),
+        )
+        return frontend.run(make_stream(pool), pool)
+
+    def test_to_dict_is_json_safe(self, small_vectors, pool, config):
+        import json
+
+        report = self._report(
+            small_vectors, pool, config, metrics_window_s=1e-3
+        )
+        payload = report.to_dict()
+        text = json.dumps(payload, sort_keys=True)
+        assert json.loads(text) == json.loads(text)
+        # Derived conveniences ride along for consumers.
+        assert payload["served"] == report.served
+        assert payload["counters"]["loop_events_total"] > 0
+        assert payload["timeseries"]["windows"]
+
+    def test_round_trip_restores_the_report(
+        self, small_vectors, pool, config
+    ):
+        import json
+
+        from repro.serving.metrics import ServingReport
+
+        report = self._report(
+            small_vectors, pool, config, metrics_window_s=1e-3
+        )
+        wire = json.loads(json.dumps(report.to_dict()))
+        restored = ServingReport.from_dict(wire)
+        assert restored == report
+        assert restored.to_dict() == report.to_dict()
+        # Restored reports still compute and format.
+        assert restored.served == report.served
+        assert restored.format()

@@ -106,14 +106,6 @@ def _stream(arrivals, zipf=0.0, priorities=(0,), weights=None, slo=None):
     ).generate()
 
 
-def _frontend(router, policy, **config_kwargs):
-    config_kwargs.setdefault("cache_capacity", 0)
-    config_kwargs.setdefault("coalesce", False)
-    return ServingFrontend(
-        router, ServingConfig(policy=policy, **config_kwargs)
-    )
-
-
 def _digest(report, requests) -> str:
     h = hashlib.sha256()
     for r in requests:
@@ -178,8 +170,24 @@ _SLO_KWARGS = dict(
 )
 
 
-def _run_case(name, routers, pool):
-    """Build and run one pinned configuration; returns (report, requests)."""
+def _run_case(name, routers, pool, tracer=None, metrics_window_s=None):
+    """Build and run one pinned configuration; returns (report, requests).
+
+    ``tracer`` / ``metrics_window_s`` attach the :mod:`repro.obs`
+    instrumentation — which must never change a digest (the hooks are
+    observe-only; that is the invariant the traced parametrization of
+    the parity test proves).
+    """
+
+    def _frontend(router, policy, **config_kwargs):
+        config_kwargs.setdefault("cache_capacity", 0)
+        config_kwargs.setdefault("coalesce", False)
+        config_kwargs.setdefault("metrics_window_s", metrics_window_s)
+        return ServingFrontend(
+            router, ServingConfig(policy=policy, **config_kwargs),
+            tracer=tracer,
+        )
+
     batch = BatchPolicy(max_batch_size=32, max_wait_s=2e-3)
     if name == "batch-x1-hi":
         requests = _stream(PoissonArrivals(20000.0))
@@ -287,9 +295,10 @@ def case_routers(routers, corpus_and_pool):
     return out
 
 
+@pytest.mark.parametrize("traced", (False, True), ids=("plain", "traced"))
 @pytest.mark.parametrize("name", CASES)
 def test_event_kernel_reproduces_legacy_loop(
-    name, case_routers, corpus_and_pool
+    name, traced, case_routers, corpus_and_pool
 ):
     vectors, pool = corpus_and_pool
     routers = dict(case_routers)
@@ -299,9 +308,28 @@ def test_event_kernel_reproduces_legacy_loop(
         routers["overload"] = build_router(
             vectors, num_shards=1, config=NDSearchConfig.scaled()
         )
-    report, requests = _run_case(name, routers, pool)
+    # The traced leg attaches the full repro.obs instrumentation (span
+    # tracer + windowed metrics) and must reproduce the same pinned
+    # digests: observability is observe-only by construction, and this
+    # is where that construction is held to account.
+    tracer = None
+    if traced:
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+    report, requests = _run_case(
+        name, routers, pool,
+        tracer=tracer,
+        metrics_window_s=1e-3 if traced else None,
+    )
     got = _digest(report, requests)
+    if traced:
+        assert len(tracer) > 0, "traced run recorded no span events"
+        assert report.timeseries is not None
+        assert report.counters["loop_events_total"] > 0
     if _WRITE_PATH:
+        if traced:
+            return  # the plain leg records the digests
         _WRITTEN[name] = got
         with open(_WRITE_PATH, "w") as fh:
             json.dump(_WRITTEN, fh, indent=2, sort_keys=True)
@@ -309,4 +337,5 @@ def test_event_kernel_reproduces_legacy_loop(
     assert got == GOLDEN[name], (
         f"serving behavior diverged from the pinned legacy-loop report "
         f"for {name!r}"
+        + (" with repro.obs instrumentation attached" if traced else "")
     )

@@ -181,3 +181,39 @@ class TestSubscriptions:
             loop.schedule(Arrival(time=float(i)))
         assert loop.run() == 5
         assert loop.processed == 5
+
+class TestTelemetry:
+    def test_counts_per_event_type(self):
+        loop = EventLoop()
+        loop.subscribe(Arrival, lambda e: None)
+        loop.subscribe(Completion, lambda e: None)
+        for i in range(3):
+            loop.schedule(Arrival(time=float(i)))
+        loop.schedule(Completion(time=1.5))
+        loop.run()
+        assert loop.counts == {"Arrival": 3, "Completion": 1}
+
+    def test_counts_accumulate_across_runs(self):
+        loop = EventLoop()
+        loop.subscribe(Arrival, lambda e: None)
+        loop.schedule(Arrival(time=0.0))
+        loop.run(until=0.5)
+        loop.schedule(Arrival(time=1.0))
+        loop.run()
+        assert loop.counts == {"Arrival": 2}
+
+    def test_observer_sees_events_before_handlers(self):
+        loop, log = EventLoop(), []
+        loop.observer = lambda e: log.append(("observed", type(e).__name__))
+        loop.subscribe(Arrival, lambda e: log.append(("handled", "Arrival")))
+        loop.schedule(Arrival(time=0.0))
+        loop.run()
+        assert log == [("observed", "Arrival"), ("handled", "Arrival")]
+
+    def test_observer_sees_current_clock(self):
+        loop, seen = EventLoop(), []
+        loop.observer = lambda e: seen.append(loop.now)
+        loop.subscribe(Arrival, lambda e: None)
+        loop.schedule(Arrival(time=2.5))
+        loop.run()
+        assert seen == [2.5]
