@@ -39,6 +39,8 @@ sweep).
 from __future__ import annotations
 
 from dataclasses import replace
+from functools import lru_cache
+from pathlib import Path
 
 import numpy as np
 
@@ -59,6 +61,7 @@ from repro.serving import (
     build_router,
 )
 from repro.serving.sharding import PARTITIONED
+from repro.sim.pool import run_rows
 
 POLICIES = ("batch", "greedy")
 SHARDS = (1, 4)
@@ -138,169 +141,191 @@ def _run_cell(
     return frontend.run(stream.generate(), pool)
 
 
-def collect(
-    slo: bool = False, autoscale: bool = False, rebalance: bool = False
-) -> dict:
+# ---- per-process warm state (shared by serial and pooled rows) ---------
+# Every sweep row is a pure function of its spec: the corpus, query
+# pool and routers are deterministic builds from pinned seeds, and the
+# router build cache (repro.serving.sharding) makes repeated builds of
+# the same spec nearly free — so a warm worker that owns a config
+# family reuses its indexes across all the rows keyed to it.
+
+
+@lru_cache(maxsize=1)
+def _dataset():
     vectors = clustered_gaussian(CORPUS, DIM, seed=31)
     pool = split_queries(vectors, POOL, seed=32)
-    config = NDSearchConfig.scaled()
-    routers = {
-        shards: build_router(vectors, num_shards=shards, config=config)
-        for shards in SHARDS
-    }
+    return vectors, pool
 
-    # ---- policy x shards x rate (replicated NDSearch pool) --------------
-    sweep = []
-    for policy_mode in POLICIES:
-        for shards in SHARDS:
-            for rate in RATES:
-                report = _run_cell(
-                    routers[shards],
-                    pool,
-                    arrivals=PoissonArrivals(rate),
-                    policy=BatchPolicy(
-                        max_batch_size=32, max_wait_s=2e-3, mode=policy_mode
-                    ),
-                    pipelined=True,
-                    coalesce=False,  # uniform pool: nothing to coalesce
-                )
-                sweep.append(
-                    {
-                        "policy": policy_mode,
-                        "shards": shards,
-                        "rate": rate,
-                        "qps": report.qps,
-                        "p50_ms": report.latency_p50_s * 1e3,
-                        "p99_ms": report.latency_p99_s * 1e3,
-                        "mean_batch": report.mean_batch_size,
-                        "util": float(np.mean(report.shard_utilization)),
-                    }
-                )
 
-    # ---- pipelined vs blocking devices under bursty arrivals ------------
+def _replicated_router(shards: int):
+    vectors, _ = _dataset()
+    return build_router(
+        vectors, num_shards=shards, config=NDSearchConfig.scaled()
+    )
+
+
+def _partitioned_router(clusters_per_shard: int | None = None):
+    vectors, _ = _dataset()
+    kwargs = {}
+    if clusters_per_shard is not None:
+        kwargs["clusters_per_shard"] = clusters_per_shard
+    return build_router(
+        vectors,
+        num_shards=PARTITION_SHARDS,
+        config=NDSearchConfig.scaled(),
+        mode=PARTITIONED,
+        seed=35,
+        **kwargs,
+    )
+
+
+def _cpu_spill_router():
     # The CPU host with a spilling DRAM (the billion-scale analogue:
     # the corpus does not fit, every access reads the SSD) has the
-    # fattest front stage, so it shows the overlap most clearly; the
-    # NDSearch pool is included to confirm "never worse".
+    # fattest front stage, so it shows the pipeline overlap most
+    # clearly.
+    vectors, _ = _dataset()
+    config = NDSearchConfig.scaled()
     spill_config = replace(
         config, host=replace(config.host, dram_capacity_bytes=16 * 1024)
     )
-    pipeline_routers = {
-        "cpu": build_router(
-            vectors, num_shards=2, config=spill_config, platform="cpu"
-        ),
-        "ndsearch": routers[1],
-    }
-    pipeline = []
-    for platform, router in pipeline_routers.items():
-        for rate in PIPELINE_RATES:
-            cells = {}
-            for mode, pipelined in (("blocking", False), ("pipelined", True)):
-                report = _run_cell(
-                    router,
-                    pool,
-                    arrivals=MMPPArrivals(rate),
-                    policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3),
-                    pipelined=pipelined,
-                    coalesce=False,
-                )
-                cells[mode] = report
-            pipeline.append(
-                {
-                    "platform": platform,
-                    "arrivals": "mmpp",
-                    "rate": rate,
-                    "qps_blocking": cells["blocking"].qps,
-                    "qps_pipelined": cells["pipelined"].qps,
-                    "p99_ms_blocking": cells["blocking"].latency_p99_s * 1e3,
-                    "p99_ms_pipelined": cells["pipelined"].latency_p99_s * 1e3,
-                    "qps_gain": (
-                        cells["pipelined"].qps / cells["blocking"].qps - 1.0
-                        if cells["blocking"].qps > 0
-                        else 0.0
-                    ),
-                }
-            )
+    return build_router(
+        vectors, num_shards=2, config=spill_config, platform="cpu"
+    )
 
-    # ---- partitioned mode: broadcast vs selective shard probing ---------
+
+@lru_cache(maxsize=1)
+def _partition_reference():
+    """Exact ground truth + the replicated pool's offline results (the
+    "no partitioning" reference a deployment would compare to)."""
+    vectors, pool = _dataset()
+    gt, _ = BruteForceIndex(vectors).search_batch(pool, K)
+    replicated_ids, _, _ = _replicated_router(1).search_all(pool, K)
+    return gt, replicated_ids, recall_at_k(replicated_ids, gt, K)
+
+
+# ---- sweep rows: one pure function per cell family ---------------------
+
+
+def _sweep_row(policy: str, shards: int, rate: float) -> dict:
+    _, pool = _dataset()
+    report = _run_cell(
+        _replicated_router(shards),
+        pool,
+        arrivals=PoissonArrivals(rate),
+        policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3, mode=policy),
+        pipelined=True,
+        coalesce=False,  # uniform pool: nothing to coalesce
+    )
+    return {
+        "policy": policy,
+        "shards": shards,
+        "rate": rate,
+        "qps": report.qps,
+        "p50_ms": report.latency_p50_s * 1e3,
+        "p99_ms": report.latency_p99_s * 1e3,
+        "mean_batch": report.mean_batch_size,
+        "util": float(np.mean(report.shard_utilization)),
+    }
+
+
+def _pipeline_row(platform: str, rate: float) -> dict:
+    _, pool = _dataset()
+    router = (
+        _cpu_spill_router() if platform == "cpu" else _replicated_router(1)
+    )
+    cells = {}
+    for mode, pipelined in (("blocking", False), ("pipelined", True)):
+        cells[mode] = _run_cell(
+            router,
+            pool,
+            arrivals=MMPPArrivals(rate),
+            policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3),
+            pipelined=pipelined,
+            coalesce=False,
+        )
+    return {
+        "platform": platform,
+        "arrivals": "mmpp",
+        "rate": rate,
+        "qps_blocking": cells["blocking"].qps,
+        "qps_pipelined": cells["pipelined"].qps,
+        "p99_ms_blocking": cells["blocking"].latency_p99_s * 1e3,
+        "p99_ms_pipelined": cells["pipelined"].latency_p99_s * 1e3,
+        "qps_gain": (
+            cells["pipelined"].qps / cells["blocking"].qps - 1.0
+            if cells["blocking"].qps > 0
+            else 0.0
+        ),
+    }
+
+
+def _partitioned_row(nprobe: int | None) -> dict:
     # IVF nprobe lifted to the device pool: each query fans out only to
     # the nprobe shards whose k-means centroids are nearest.  Recall is
     # measured offline on the query pool, against exact ground truth
-    # and against the replicated pool's results (the "no partitioning"
-    # reference a deployment would compare to).
-    part_router = build_router(
-        vectors,
-        num_shards=PARTITION_SHARDS,
-        config=config,
-        mode=PARTITIONED,
-        seed=35,
+    # and against the replicated pool's results.
+    _, pool = _dataset()
+    part_router = _partitioned_router()
+    gt, replicated_ids, recall_replicated = _partition_reference()
+    if nprobe is None:
+        ids, _, _ = part_router.search_all(pool, K)
+    else:
+        ids, _, _ = part_router.search_probed(pool, K, nprobe)
+    report = _run_cell(
+        part_router,
+        pool,
+        arrivals=PoissonArrivals(PARTITION_RATE),
+        policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3),
+        pipelined=True,
+        coalesce=False,
+        nprobe=nprobe,
     )
-    gt, _ = BruteForceIndex(vectors).search_batch(pool, K)
-    replicated_ids, _, _ = routers[1].search_all(pool, K)
-    recall_replicated = recall_at_k(replicated_ids, gt, K)
-    partition_rows = []
-    for nprobe in (None, 1, 2, PARTITION_SHARDS):
-        if nprobe is None:
-            ids, _, _ = part_router.search_all(pool, K)
-        else:
-            ids, _, _ = part_router.search_probed(pool, K, nprobe)
-        report = _run_cell(
-            part_router,
-            pool,
-            arrivals=PoissonArrivals(PARTITION_RATE),
-            policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3),
-            pipelined=True,
-            coalesce=False,
-            nprobe=nprobe,
-        )
-        partition_rows.append(
-            {
-                "routing": "broadcast" if nprobe is None else f"nprobe={nprobe}",
-                "nprobe": PARTITION_SHARDS if nprobe is None else nprobe,
-                "qps": report.qps,
-                "p50_ms": report.latency_p50_s * 1e3,
-                "p99_ms": report.latency_p99_s * 1e3,
-                "probes_per_query": report.mean_probes_per_query,
-                "shard_probes": list(report.shard_probe_counts),
-                "energy_j": report.energy_j,
-                "recall": recall_at_k(ids, gt, K),
-                "recall_vs_replicated": recall_at_k(ids, replicated_ids, K),
-                "recall_replicated_baseline": recall_replicated,
-            }
-        )
+    return {
+        "routing": "broadcast" if nprobe is None else f"nprobe={nprobe}",
+        "nprobe": PARTITION_SHARDS if nprobe is None else nprobe,
+        "qps": report.qps,
+        "p50_ms": report.latency_p50_s * 1e3,
+        "p99_ms": report.latency_p99_s * 1e3,
+        "probes_per_query": report.mean_probes_per_query,
+        "shard_probes": list(report.shard_probe_counts),
+        "energy_j": report.energy_j,
+        "recall": recall_at_k(ids, gt, K),
+        "recall_vs_replicated": recall_at_k(ids, replicated_ids, K),
+        "recall_replicated_baseline": recall_replicated,
+    }
 
-    # ---- request coalescing on a skewed bursty stream -------------------
-    coalesce_rows = []
-    for coalesce in (False, True):
-        report = _run_cell(
-            routers[1],
-            pool,
-            arrivals=MMPPArrivals(20000.0),
-            policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3),
-            pipelined=True,
-            coalesce=coalesce,
-            zipf=1.1,
-        )
-        coalesce_rows.append(
-            {
-                "coalesce": coalesce,
-                "searched": report.completed,
-                "coalesced": report.coalesced,
-                "qps": report.qps,
-                "p99_ms": report.latency_p99_s * 1e3,
-            }
-        )
 
-    # ---- observability: traced + windowed rerun of one sweep cell -------
+def _coalesce_row(coalesce: bool) -> dict:
+    _, pool = _dataset()
+    report = _run_cell(
+        _replicated_router(1),
+        pool,
+        arrivals=MMPPArrivals(20000.0),
+        policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3),
+        pipelined=True,
+        coalesce=coalesce,
+        zipf=1.1,
+    )
+    return {
+        "coalesce": coalesce,
+        "searched": report.completed,
+        "coalesced": report.coalesced,
+        "qps": report.qps,
+        "p99_ms": report.latency_p99_s * 1e3,
+    }
+
+
+def _observability_row() -> dict:
     # The (batch, 1 shard, high-rate) cell again, now with the span
     # tracer and event-time metrics windows attached.  The hooks are
     # observe-only, so every outcome must match the untraced cell
-    # exactly (asserted below); the full report travels through
-    # :meth:`ServingReport.to_dict` and the Chrome trace is persisted
-    # as a separate CI artifact by the bench test.
+    # exactly (asserted in the bench test); the full report travels
+    # through :meth:`ServingReport.to_dict` and the Chrome trace is
+    # persisted as a separate CI artifact by the bench test.
+    _, pool = _dataset()
     tracer = SpanTracer()
     obs_report = _run_cell(
-        routers[1],
+        _replicated_router(1),
         pool,
         arrivals=PoissonArrivals(RATES[-1]),
         policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3, mode="batch"),
@@ -309,157 +334,221 @@ def collect(
         metrics_window_s=OBS_WINDOW_S,
         tracer=tracer,
     )
-
-    results = {
-        "sweep": sweep,
-        "pipeline": pipeline,
-        "partitioned": partition_rows,
-        "coalescing": coalesce_rows,
-        "observability": {
-            "report": obs_report.to_dict(),
-            "trace": tracer.to_json(),
-            "trace_events": len(tracer),
-        },
+    return {
+        "report": obs_report.to_dict(),
+        "trace": tracer.to_json(),
+        "trace_events": len(tracer),
     }
 
-    # ---- SLO sweep: deadline-driven closes vs a fixed max-wait ----------
+
+def _slo_row(deadline_ms: float) -> dict:
     # Two priority classes share the stream (the high class carries the
     # tight deadline, the best-effort class 4x the budget); each
     # deadline runs under the slo policy (drain-time-predicted closes)
     # and under the classic max-wait policy, same stream and pool.
-    if slo:
-        slo_rows = []
-        for deadline_ms in SLO_DEADLINES_MS:
-            slo_spec = {1: deadline_ms * 1e-3, 0: 4 * deadline_ms * 1e-3}
-            cells = {}
-            for mode in ("slo", "batch"):
-                # The margin absorbs service-model error (per-query
-                # trace variance around the affine fit); it only means
-                # anything to the slo policy.
-                report = _run_cell(
-                    routers[1],
-                    pool,
-                    arrivals=PoissonArrivals(SLO_RATE),
-                    policy=BatchPolicy(
-                        max_batch_size=32, max_wait_s=20e-3, mode=mode,
-                        slo_margin_s=SLO_MARGIN_S if mode == "slo" else 0.0,
-                    ),
-                    pipelined=True,
-                    coalesce=False,
-                    priorities=(0, 1),
-                    weights=(1.0 - SLO_HIGH_FRAC, SLO_HIGH_FRAC),
-                    slo=slo_spec,
-                )
-                cells[mode] = report
-            slo_report, batch_report = cells["slo"], cells["batch"]
-            slo_rows.append(
-                {
-                    "deadline_ms": deadline_ms,
-                    "miss_rate_slo": slo_report.deadline_miss_rate,
-                    "miss_rate_max_wait": batch_report.deadline_miss_rate,
-                    "attainment_high_slo":
-                        slo_report.priority_stats[1]["attainment"],
-                    "attainment_high_max_wait":
-                        batch_report.priority_stats[1]["attainment"],
-                    "high_served_slo": slo_report.priority_stats[1]["served"],
-                    "high_shed_slo": slo_report.priority_stats[1]["shed"],
-                    "goodput_slo": slo_report.goodput_qps,
-                    "goodput_max_wait": batch_report.goodput_qps,
-                    "p99_ms_slo": slo_report.latency_p99_s * 1e3,
-                    "p99_ms_max_wait": batch_report.latency_p99_s * 1e3,
-                    "mean_batch_slo": slo_report.mean_batch_size,
-                    "mean_batch_max_wait": batch_report.mean_batch_size,
-                }
-            )
-        results["slo"] = slo_rows
+    _, pool = _dataset()
+    slo_spec = {1: deadline_ms * 1e-3, 0: 4 * deadline_ms * 1e-3}
+    cells = {}
+    for mode in ("slo", "batch"):
+        # The margin absorbs service-model error (per-query trace
+        # variance around the affine fit); it only means anything to
+        # the slo policy.
+        cells[mode] = _run_cell(
+            _replicated_router(1),
+            pool,
+            arrivals=PoissonArrivals(SLO_RATE),
+            policy=BatchPolicy(
+                max_batch_size=32, max_wait_s=20e-3, mode=mode,
+                slo_margin_s=SLO_MARGIN_S if mode == "slo" else 0.0,
+            ),
+            pipelined=True,
+            coalesce=False,
+            priorities=(0, 1),
+            weights=(1.0 - SLO_HIGH_FRAC, SLO_HIGH_FRAC),
+            slo=slo_spec,
+        )
+    slo_report, batch_report = cells["slo"], cells["batch"]
+    return {
+        "deadline_ms": deadline_ms,
+        "miss_rate_slo": slo_report.deadline_miss_rate,
+        "miss_rate_max_wait": batch_report.deadline_miss_rate,
+        "attainment_high_slo": slo_report.priority_stats[1]["attainment"],
+        "attainment_high_max_wait":
+            batch_report.priority_stats[1]["attainment"],
+        "high_served_slo": slo_report.priority_stats[1]["served"],
+        "high_shed_slo": slo_report.priority_stats[1]["shed"],
+        "goodput_slo": slo_report.goodput_qps,
+        "goodput_max_wait": batch_report.goodput_qps,
+        "p99_ms_slo": slo_report.latency_p99_s * 1e3,
+        "p99_ms_max_wait": batch_report.latency_p99_s * 1e3,
+        "mean_batch_slo": slo_report.mean_batch_size,
+        "mean_batch_max_wait": batch_report.mean_batch_size,
+    }
 
-    # ---- autoscaling: static pool vs epoch-scaled pool under overload --
-    if autoscale:
-        autoscale_rows = []
-        for scaled in (False, True):
-            policy = (
-                AutoscalePolicy(
-                    min_replicas=1,
-                    max_replicas=AUTOSCALE_MAX_REPLICAS,
-                    interval_s=2e-3,
-                    high_utilization=0.7,
-                    high_queue_depth=8.0,
-                )
-                if scaled
-                else None
-            )
-            report = _run_cell(
-                build_router(vectors, num_shards=1, config=config),
-                pool,
-                arrivals=PoissonArrivals(AUTOSCALE_RATE),
-                policy=BatchPolicy(max_batch_size=4, max_wait_s=2e-3),
-                pipelined=True,
-                coalesce=False,
-                admission=AUTOSCALE_CAPACITY,
-                autoscale=policy,
-            )
-            autoscale_rows.append(
-                {
-                    "pool": "autoscaled" if scaled else "static",
-                    "qps": report.qps,
-                    "shed": report.shed,
-                    "shed_rate": report.shed_rate,
-                    "p99_ms": report.latency_p99_s * 1e3,
-                    "mean_queue_depth": report.mean_queue_depth,
-                    "scale_events": list(report.scale_events),
-                    "replicas_final": report.replicas_final,
-                }
-            )
-        results["autoscale"] = autoscale_rows
 
-    # ---- rebalancing: static vs migrated partitioned placement ----------
+def _autoscale_row(scaled: bool) -> dict:
+    _, pool = _dataset()
+    policy = (
+        AutoscalePolicy(
+            min_replicas=1,
+            max_replicas=AUTOSCALE_MAX_REPLICAS,
+            interval_s=2e-3,
+            high_utilization=0.7,
+            high_queue_depth=8.0,
+        )
+        if scaled
+        else None
+    )
+    report = _run_cell(
+        _replicated_router(1),
+        pool,
+        arrivals=PoissonArrivals(AUTOSCALE_RATE),
+        policy=BatchPolicy(max_batch_size=4, max_wait_s=2e-3),
+        pipelined=True,
+        coalesce=False,
+        admission=AUTOSCALE_CAPACITY,
+        autoscale=policy,
+    )
+    return {
+        "pool": "autoscaled" if scaled else "static",
+        "qps": report.qps,
+        "shed": report.shed,
+        "shed_rate": report.shed_rate,
+        "p99_ms": report.latency_p99_s * 1e3,
+        "mean_queue_depth": report.mean_queue_depth,
+        "scale_events": list(report.scale_events),
+        "replicas_final": report.replicas_final,
+    }
+
+
+def _rebalance_row(moved: bool) -> dict:
     # A skewed Zipfian stream routed with nprobe=1 piles onto the
     # devices owning the popular clusters; the rebalancer migrates hot
-    # clusters to cold devices (the ROADMAP's partitioned-autoscaling
-    # item).  Each run builds a fresh pool: migration mutates the
-    # cluster placement.
-    if rebalance:
-        rebalance_rows = []
-        for moved in (False, True):
-            router = build_router(
-                vectors,
-                num_shards=REBALANCE_SHARDS,
-                config=config,
-                mode=PARTITIONED,
-                seed=35,
-                clusters_per_shard=REBALANCE_CLUSTERS_PER_SHARD,
-            )
-            report = _run_cell(
-                router,
-                pool,
-                arrivals=PoissonArrivals(REBALANCE_RATE),
-                policy=BatchPolicy(max_batch_size=16, max_wait_s=2e-3),
-                pipelined=True,
-                coalesce=False,
-                zipf=REBALANCE_ZIPF,
-                nprobe=1,
-                slo=REBALANCE_SLO_S,
-                rebalance=REBALANCE_POLICY if moved else None,
-            )
-            rebalance_rows.append(
-                {
-                    "placement": "rebalanced" if moved else "static",
-                    "qps": report.qps,
-                    "goodput": report.goodput_qps,
-                    "p50_ms": report.latency_p50_s * 1e3,
-                    "p99_ms": report.latency_p99_s * 1e3,
-                    "miss_rate": report.deadline_miss_rate,
-                    "util": list(report.shard_utilization),
-                    "max_util": max(report.shard_utilization),
-                    "migrations": list(report.rebalance_events),
-                    "bytes_moved": sum(
-                        e["bytes"] for e in report.rebalance_events
-                    ),
-                    "cluster_map_final": list(report.cluster_map_final),
-                }
-            )
-        results["rebalance"] = rebalance_rows
+    # clusters to cold devices.  Each run builds a fresh pool:
+    # migration mutates the cluster placement.
+    _, pool = _dataset()
+    router = _partitioned_router(
+        clusters_per_shard=REBALANCE_CLUSTERS_PER_SHARD
+    )
+    report = _run_cell(
+        router,
+        pool,
+        arrivals=PoissonArrivals(REBALANCE_RATE),
+        policy=BatchPolicy(max_batch_size=16, max_wait_s=2e-3),
+        pipelined=True,
+        coalesce=False,
+        zipf=REBALANCE_ZIPF,
+        nprobe=1,
+        slo=REBALANCE_SLO_S,
+        rebalance=REBALANCE_POLICY if moved else None,
+    )
+    return {
+        "placement": "rebalanced" if moved else "static",
+        "qps": report.qps,
+        "goodput": report.goodput_qps,
+        "p50_ms": report.latency_p50_s * 1e3,
+        "p99_ms": report.latency_p99_s * 1e3,
+        "miss_rate": report.deadline_miss_rate,
+        "util": list(report.shard_utilization),
+        "max_util": max(report.shard_utilization),
+        "migrations": list(report.rebalance_events),
+        "bytes_moved": sum(e["bytes"] for e in report.rebalance_events),
+        "cluster_map_final": list(report.cluster_map_final),
+    }
 
+
+_SECTION_ROWS = {
+    "sweep": _sweep_row,
+    "pipeline": _pipeline_row,
+    "partitioned": _partitioned_row,
+    "coalescing": _coalesce_row,
+    "observability": _observability_row,
+    "slo": _slo_row,
+    "autoscale": _autoscale_row,
+    "rebalance": _rebalance_row,
+}
+
+
+def bench_row(section: str, spec: dict) -> dict:
+    """Pool task: run one sweep row (a pure function of its spec)."""
+    return _SECTION_ROWS[section](**spec)
+
+
+def _row_specs(
+    slo: bool, autoscale: bool, rebalance: bool
+) -> list[tuple[str, str, dict]]:
+    """The sweep matrix as ``(affinity_key, section, spec)`` rows, in
+    the order the sections assemble.
+
+    The affinity key names the router family a row needs, so a warm
+    worker that owns e.g. the partitioned indexes serves every row
+    built on them.
+    """
+    rows: list[tuple[str, str, dict]] = []
+    for policy_mode in POLICIES:
+        for shards in SHARDS:
+            for rate in RATES:
+                rows.append((
+                    f"replicated-x{shards}", "sweep",
+                    {"policy": policy_mode, "shards": shards, "rate": rate},
+                ))
+    for platform in ("cpu", "ndsearch"):
+        key = "cpu-spill" if platform == "cpu" else "replicated-x1"
+        for rate in PIPELINE_RATES:
+            rows.append(
+                (key, "pipeline", {"platform": platform, "rate": rate})
+            )
+    for nprobe in (None, 1, 2, PARTITION_SHARDS):
+        rows.append(("partitioned", "partitioned", {"nprobe": nprobe}))
+    for coalesce in (False, True):
+        rows.append(("replicated-x1", "coalescing", {"coalesce": coalesce}))
+    rows.append(("replicated-x1", "observability", {}))
+    if slo:
+        for deadline_ms in SLO_DEADLINES_MS:
+            rows.append(
+                ("replicated-x1", "slo", {"deadline_ms": deadline_ms})
+            )
+    if autoscale:
+        for scaled in (False, True):
+            rows.append(("replicated-x1", "autoscale", {"scaled": scaled}))
+    if rebalance:
+        for moved in (False, True):
+            rows.append(("partitioned", "rebalance", {"moved": moved}))
+    return rows
+
+
+def collect(
+    slo: bool = False, autoscale: bool = False, rebalance: bool = False,
+    workers: int = 0,
+) -> dict:
+    """Run the sweep matrix; pooled over ``workers`` warm subprocesses
+    when positive, serially in-process otherwise.
+
+    Either way the rows are the same pure functions of the same specs
+    and the results merge in row order, so the pooled payload is
+    byte-identical to the serial one.
+    """
+    specs = _row_specs(slo, autoscale, rebalance)
+    outputs = run_rows(
+        [
+            (key, "bench_serving:bench_row", {"section": section, "spec": spec})
+            for key, section, spec in specs
+        ],
+        workers,
+        path=[Path(__file__).resolve().parent],
+    )
+    results: dict = {
+        "sweep": [],
+        "pipeline": [],
+        "partitioned": [],
+        "coalescing": [],
+        "observability": None,
+    }
+    for (_, section, _spec), output in zip(specs, outputs):
+        if section == "observability":
+            results["observability"] = output
+        else:
+            results.setdefault(section, []).append(output)
     return results
 
 
@@ -605,8 +694,12 @@ def test_bench_serving(benchmark, record_table, record_json, request):
     slo = request.config.getoption("--slo")
     autoscale = request.config.getoption("--autoscale")
     rebalance = request.config.getoption("--rebalance")
+    workers = request.config.getoption("--workers")
     results = benchmark.pedantic(
-        lambda: collect(slo=slo, autoscale=autoscale, rebalance=rebalance),
+        lambda: collect(
+            slo=slo, autoscale=autoscale, rebalance=rebalance,
+            workers=workers,
+        ),
         rounds=1, iterations=1,
     )
     # The Chrome trace goes to its own artifact (it is a standalone

@@ -45,6 +45,15 @@ def pytest_addoption(parser):
         help="include the static-vs-rebalanced partitioned sweep "
              "in bench_serving",
     )
+    from repro.sim.pool import workers_from_env
+
+    parser.addoption(
+        "--workers", type=int, default=workers_from_env(),
+        help="fan bench_serving's sweep rows over this many warm "
+             "worker subprocesses (default $REPRO_POOL_WORKERS, "
+             "0 = serial in-process); pooled output is byte-identical "
+             "to serial",
+    )
 
 
 @pytest.fixture(scope="session")

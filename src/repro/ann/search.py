@@ -60,9 +60,14 @@ def greedy_beam_search(
     if not entry_points:
         raise ValueError("need at least one entry point")
 
-    visited: set[int] = set(int(e) for e in entry_points)
-    entry_array = np.fromiter(visited, dtype=np.int64, count=len(visited))
+    entry_set = set(int(e) for e in entry_points)
+    entry_array = np.fromiter(entry_set, dtype=np.int64, count=len(entry_set))
     entry_dists = distances_to_query(vectors[entry_array], query, metric)
+    # Visited bookkeeping as a dense bool mask: the per-expansion
+    # "which neighbors are new" filter becomes one vectorized gather
+    # instead of a per-edge Python set probe.
+    visited = np.zeros(vectors.shape[0], dtype=bool)
+    visited[entry_array] = True
 
     # candidates: min-heap by distance; results: max-heap (negated).
     candidates: list[tuple[float, int]] = []
@@ -88,13 +93,15 @@ def greedy_beam_search(
         neigh = np.asarray(neighbors_of(vertex))
         if neighbor_filter is not None and neigh.size:
             neigh = np.asarray(neighbor_filter(vertex, neigh))
-        fresh = [int(u) for u in neigh if int(u) not in visited]
+        if neigh.size:
+            fresh_arr = neigh[~visited[neigh]].astype(np.int64)
+        else:
+            fresh_arr = neigh.astype(np.int64)
         if recorder is not None:
-            recorder.record_iteration(vertex, fresh)
-        if not fresh:
+            recorder.record_iteration(vertex, fresh_arr)
+        if fresh_arr.size == 0:
             continue
-        visited.update(fresh)
-        fresh_arr = np.asarray(fresh, dtype=np.int64)
+        visited[fresh_arr] = True
         dists = distances_to_query(vectors[fresh_arr], query, metric)
         worst = -results[0][0]
         for d, u in zip(dists, fresh_arr):
@@ -149,21 +156,36 @@ def merge_topk(
     )
     if ids.shape != dists.shape:
         raise ValueError("id and distance shapes differ")
-    batch = ids.shape[0]
+    batch, m = ids.shape
     out_ids = np.full((batch, k), -1, dtype=np.int64)
     out_dists = np.full((batch, k), np.inf, dtype=np.float64)
-    for row in range(batch):
-        order = np.argsort(dists[row], kind="stable")
-        seen: set[int] = set()
-        filled = 0
-        for pos in order:
-            vid = int(ids[row, pos])
-            if vid < 0 or not np.isfinite(dists[row, pos]) or vid in seen:
-                continue
-            seen.add(vid)
-            out_ids[row, filled] = vid
-            out_dists[row, filled] = dists[row, pos]
-            filled += 1
-            if filled == k:
-                break
+    # Rank candidates per row by distance (stable: ties keep shard
+    # order then rank, matching the concatenation order).
+    order = np.argsort(dists, axis=1, kind="stable")
+    sid = np.take_along_axis(ids, order, axis=1)
+    sdist = np.take_along_axis(dists, order, axis=1)
+    valid = (sid >= 0) & np.isfinite(sdist)
+    # First-occurrence dedup across the whole batch at once: group the
+    # flattened candidates by (row, id) with rank as the tie-break;
+    # the group head is the nearest valid occurrence of that id.
+    # Invalid entries are collapsed onto id -1 so they never shadow a
+    # valid duplicate, and are dropped by the validity mask below.
+    flat_id = np.where(valid, sid, -1).ravel()
+    flat_row = np.repeat(np.arange(batch), m)
+    flat_rank = np.tile(np.arange(m), batch)
+    perm = np.lexsort((flat_rank, flat_id, flat_row))
+    head = np.ones(perm.size, dtype=bool)
+    head[1:] = (flat_row[perm][1:] != flat_row[perm][:-1]) | (
+        flat_id[perm][1:] != flat_id[perm][:-1]
+    )
+    keep = np.zeros(batch * m, dtype=bool)
+    keep[perm] = head
+    keep &= valid.ravel()
+    keep = keep.reshape(batch, m)
+    # Scatter the first k kept candidates of each row into the output.
+    dest = np.cumsum(keep, axis=1) - 1
+    take = keep & (dest < k)
+    rows = np.nonzero(take)[0]
+    out_ids[rows, dest[take]] = sid[take]
+    out_dists[rows, dest[take]] = sdist[take]
     return out_ids, out_dists

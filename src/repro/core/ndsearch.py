@@ -94,7 +94,7 @@ class NDSearch:
     new_id: np.ndarray = field(init=False)
     _model: SearSSDModel = field(init=False, repr=False)
     _device: SearSSDDevice | None = field(default=None, init=False, repr=False)
-    _spec_cache: dict = field(default_factory=dict, init=False, repr=False)
+    _trace_cache: dict = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         base = self.index.base_graph()
@@ -167,6 +167,33 @@ class NDSearch:
         )
         return ids, dists, result
 
+    def _resolve_trace(self, trace: SearchTrace):
+        """Remap + speculative sets for one trace, cached by identity.
+
+        Per-query derivations (ID remapping, speculative candidate
+        selection) depend only on the single trace and the immutable
+        graph/config, never on batch composition — so a trace that
+        recurs across batches (the serving layer memoizes per-query
+        searches) resolves once.  The entry pins the trace object, so a
+        keyed id cannot be recycled onto a different object while the
+        entry lives; the ``is`` check makes a stale hit impossible
+        either way.  Returning the *same* remapped trace and spec list
+        on every hit also lets the SearSSD model reuse its compiled
+        replay of the trace.
+        """
+        entry = self._trace_cache.get(id(trace))
+        if entry is None or entry[0] is not trace:
+            remapped = remap_trace(trace, self.new_id)
+            spec = None
+            if self.config.flags.speculative:
+                spec = precompute_speculative_sets(
+                    [remapped], self.graph, self.config.speculative_width
+                )[0]
+            if len(self._trace_cache) >= 8192:
+                self._trace_cache.pop(next(iter(self._trace_cache)))
+            entry = self._trace_cache[id(trace)] = (trace, remapped, spec)
+        return entry
+
     def simulate_traces(
         self,
         traces: list[SearchTrace],
@@ -174,26 +201,11 @@ class NDSearch:
         algorithm: str = "hnsw",
     ) -> SimResult:
         """Replay pre-recorded traces on the SearSSD timing model."""
-        remapped = [remap_trace(t, self.new_id) for t in traces]
-        spec_sets = None
-        if self.config.flags.speculative:
-            # Keyed by the identity of every trace in the batch; the
-            # value pins the traces so no keyed id can be recycled onto
-            # a different object while its entry lives — the key is
-            # therefore unambiguous.  Bounded so streaming callers
-            # (repro.serving) that simulate thousands of distinct
-            # batches don't grow it without bound.
-            cache_key = tuple(map(id, traces))
-            entry = self._spec_cache.get(cache_key)
-            if entry is None:
-                spec_sets = precompute_speculative_sets(
-                    remapped, self.graph, self.config.speculative_width
-                )
-                if len(self._spec_cache) >= 64:
-                    self._spec_cache.pop(next(iter(self._spec_cache)))
-                self._spec_cache[cache_key] = (list(traces), spec_sets)
-            else:
-                spec_sets = entry[1]
+        resolved = [self._resolve_trace(t) for t in traces]
+        remapped = [e[1] for e in resolved]
+        spec_sets = (
+            [e[2] for e in resolved] if self.config.flags.speculative else None
+        )
         result = self._model.run_batch(
             remapped, speculative_sets=spec_sets,
             algorithm=algorithm, dataset=dataset,

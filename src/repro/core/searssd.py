@@ -21,8 +21,6 @@ Two layers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.ann.graph import ProximityGraph
@@ -115,17 +113,32 @@ class SearSSDDevice:
 # =============================================================================
 # Timing simulator
 # =============================================================================
-@dataclass
-class _RoundWork:
-    """Demand work of one iteration round, grouped for the LUN model."""
+class _CompiledTrace:
+    """One trace's replay, pre-resolved to per-round LUN work.
 
-    n_active: int = 0
-    n_pairs: int = 0
-    # lun -> list of page-key arrays; with dynamic alloc there is a
-    # single pooled array per LUN, without it one array per query.
-    lun_page_groups: dict[int, list[np.ndarray]] = field(default_factory=dict)
-    lun_vector_counts: dict[int, int] = field(default_factory=dict)
-    cached_accesses: int = 0
+    Everything about a single query's rounds — speculative hits, cache
+    hits, per-LUN page keys, load/merge counts, the spec-prefetch
+    contribution — is a pure function of the trace content, the
+    speculative sets and the (immutable) model configuration, so it is
+    computed once per trace and reused across every batch the trace
+    appears in.  Only the cross-query aggregation (LUN pooling under
+    dynamic allocation, the ECC fault stream, stage timing) remains
+    batch-coupled and is redone per sub-batch.
+
+    ``rounds[r]`` is ``(had_computed, pairs, hits, n_cached, groups,
+    spec_count, spec_keys, spec_loads, spec_merged)`` where ``groups``
+    is a tuple of ``(lun, raw_count, unique_keys, loads, merged)`` in
+    ascending LUN order.
+    """
+
+    __slots__ = ("trace", "spec", "rounds", "n_rounds", "trace_length")
+
+    def __init__(self, trace, spec, rounds) -> None:
+        self.trace = trace
+        self.spec = spec
+        self.rounds = rounds
+        self.n_rounds = trace.num_iterations
+        self.trace_length = trace.trace_length
 
 
 class SearSSDModel:
@@ -153,6 +166,16 @@ class SearSSDModel:
         g = config.geometry
         self._plane_span = g.blocks_per_plane * g.pages_per_block
         self._lun_span = self._plane_span * g.planes_per_lun
+        self._cached_arr = (
+            np.fromiter(sorted(self.cached), dtype=np.int64, count=len(self.cached))
+            if self.cached
+            else None
+        )
+        # Per-trace compiled replays, keyed by trace identity.  Each
+        # entry pins its trace (and spec list) so a keyed id cannot be
+        # recycled onto a different object while the entry lives; the
+        # `is` checks on lookup make a stale hit impossible either way.
+        self._compiled: dict[int, _CompiledTrace] = {}
 
     # ---- helpers ---------------------------------------------------------------
     def _page_keys(self, vertices: np.ndarray) -> np.ndarray:
@@ -162,13 +185,17 @@ class SearSSDModel:
         return keys // self._lun_span
 
     def _loads_and_merges(self, keys: np.ndarray) -> tuple[int, int]:
-        """Distinct page senses and multi-plane merge count for keys."""
+        """Distinct page senses and multi-plane merge count for keys.
+
+        ``merged`` counts pages folded into another plane's sense of
+        the same (block, page): distinct pages minus distinct
+        plane-stripped pages.
+        """
         unique = np.unique(keys)
         loads = int(unique.size)
         plane = (unique // self._plane_span) % self.config.geometry.planes_per_lun
         without_plane = unique - plane * self._plane_span
-        _, counts = np.unique(without_plane, return_counts=True)
-        merged = int(np.sum(counts - 1))
+        merged = loads - int(np.unique(without_plane).size)
         return loads, merged
 
     # ---- main entry ----------------------------------------------------------------
@@ -189,14 +216,11 @@ class SearSSDModel:
         busy: dict[str, float] = {}
         timeline: list[PhaseSegment] = []
         makespan = 0.0
+        compiled = self._compiled_batch(traces, speculative_sets)
+        spec_enabled = speculative_sets is not None
         for start in range(0, batch, capacity):
-            sub = traces[start : start + capacity]
-            spec = (
-                speculative_sets[start : start + capacity]
-                if speculative_sets is not None
-                else None
-            )
-            t, c, b, segments = self._run_sub_batch(sub, spec)
+            sub = compiled[start : start + capacity]
+            t, c, b, segments = self._run_sub_batch(sub, spec_enabled)
             # Sub-batch segments are relative to the sub-batch's own
             # start; shift them onto the batch clock.
             timeline.extend(
@@ -222,11 +246,97 @@ class SearSSDModel:
         )
         return result
 
-    # ---- one sub-batch ---------------------------------------------------------------
-    def _run_sub_batch(
+    # ---- trace compilation -----------------------------------------------------------
+    def _compiled_batch(
         self,
         traces: list[SearchTrace],
         speculative_sets: list[list[np.ndarray]] | None,
+    ) -> list[_CompiledTrace]:
+        """Resolve every trace to its compiled replay (cached)."""
+        out: list[_CompiledTrace] = []
+        cache = self._compiled
+        for i, trace in enumerate(traces):
+            spec = speculative_sets[i] if speculative_sets is not None else None
+            entry = cache.get(id(trace))
+            if entry is None or entry.trace is not trace or entry.spec is not spec:
+                entry = self._compile_trace(trace, spec)
+                if len(cache) >= 8192:
+                    cache.pop(next(iter(cache)))
+                cache[id(trace)] = entry
+            out.append(entry)
+        return out
+
+    def _compile_trace(
+        self, trace: SearchTrace, spec: list[np.ndarray] | None
+    ) -> _CompiledTrace:
+        """Pre-resolve one trace's rounds to per-LUN demand work."""
+        flags = self.config.flags
+        n_iter = trace.num_iterations
+        rounds = []
+        for r in range(n_iter):
+            computed = np.asarray(trace.iterations[r].computed, dtype=np.int64)
+            had_computed = computed.size > 0
+            hits = 0
+            n_cached = 0
+            if had_computed:
+                # Speculative hits: vertices the previous round's
+                # overlap window already computed.
+                if flags.speculative and spec is not None and r >= 1:
+                    if r - 1 < len(spec) and spec[r - 1].size:
+                        mask = np.isin(computed, spec[r - 1])
+                        hits = int(np.count_nonzero(mask))
+                        if hits:
+                            computed = computed[~mask]
+                # Internal-DRAM cache (DiskANN hot vertices).
+                if self._cached_arr is not None and computed.size:
+                    mask = np.isin(computed, self._cached_arr)
+                    n_cached = int(np.count_nonzero(mask))
+                    if n_cached:
+                        computed = computed[~mask]
+            pairs = int(computed.size)
+            groups: tuple = ()
+            if computed.size:
+                keys = self._page_keys(computed)
+                luns = self._lun_of_keys(keys)
+                group_list = []
+                for lun in np.unique(luns):
+                    lun_keys = keys[luns == lun]
+                    uniq = np.unique(lun_keys)
+                    loads, merged = self._loads_and_merges(uniq)
+                    group_list.append(
+                        (int(lun), int(lun_keys.size), uniq, loads, merged)
+                    )
+                groups = tuple(group_list)
+            # This round's prefetch contribution (overlaps the next
+            # round's scheduling window; nothing on the last round).
+            # spec_loads/spec_merged pre-resolve the common case of a
+            # single query prefetching in a round; multi-query rounds
+            # must still pool the keys at batch time.
+            spec_count = 0
+            spec_keys = None
+            spec_loads = 0
+            spec_merged = 0
+            if (
+                flags.speculative
+                and spec is not None
+                and r < n_iter - 1
+                and r < len(spec)
+                and spec[r].size
+            ):
+                spec_count = int(spec[r].size)
+                spec_keys = self._page_keys(spec[r])
+                spec_loads, spec_merged = self._loads_and_merges(spec_keys)
+            rounds.append(
+                (had_computed, pairs, hits, n_cached, groups,
+                 spec_count, spec_keys, spec_loads, spec_merged)
+            )
+        return _CompiledTrace(trace, spec, tuple(rounds))
+
+    # ---- one sub-batch ---------------------------------------------------------------
+    def _run_sub_batch(
+        self,
+        compiled: list[_CompiledTrace],
+        spec_enabled: bool,
     ):
         timing = self.config.timing
         flags = self.config.flags
@@ -246,7 +356,7 @@ class SearSSDModel:
             "lun_queues_busy": 0.0,
             "ecc_busy": 0.0,
         }
-        batch = len(traces)
+        batch = len(compiled)
         if batch == 0:
             return 0.0, counters, busy, []
 
@@ -270,20 +380,47 @@ class SearSSDModel:
         book("host_in", "host_in", 0.0, t_in)
         makespan = t_in
 
-        max_rounds = max(t.num_iterations for t in traces)
-        prefetched: list[set[int]] = [set() for _ in range(batch)]
+        max_rounds = max(c.n_rounds for c in compiled)
 
         for round_idx in range(max_rounds):
-            work = self._collect_round(
-                traces, round_idx, prefetched, counters
-            )
-            if work.n_active == 0:
+            # Aggregate the batch's compiled per-trace round work.  LUN
+            # accumulators keep first-touch order (query id ascending,
+            # LUN ascending per query) — the ECC fault stream consumes
+            # its draws in exactly this order.
+            n_active = 0
+            n_pairs = 0
+            cached_accesses = 0
+            # lun -> [n_vectors, loads, merged, unique-key arrays]
+            lun_acc: dict[int, list] = {}
+            for comp in compiled:
+                if round_idx >= comp.n_rounds:
+                    continue
+                had, pairs, hits, n_cached, groups = comp.rounds[round_idx][:5]
+                n_active += 1
+                if hits:
+                    counters["speculative_hits"] += hits
+                if n_cached:
+                    counters["cache_hits"] += n_cached
+                    cached_accesses += n_cached
+                if had:
+                    n_pairs += pairs
+                    counters["distance_computations"] += pairs
+                for lun, raw, uniq, loads, merged in groups:
+                    acc = lun_acc.get(lun)
+                    if acc is None:
+                        acc = lun_acc[lun] = [0, 0, 0, []]
+                    acc[0] += raw
+                    acc[1] += loads
+                    if flags.multiplane:
+                        acc[2] += merged
+                    acc[3].append(uniq)
+            if n_active == 0:
                 continue
 
             # Scheduling stage: Vgenerator pipeline + Allocator dispatch.
-            t_vgen = (work.n_active + 2) * timing.vgen_stage_s
-            t_alloc = work.n_pairs * timing.alloc_dispatch_s
-            dram_ops = 3 * work.n_active + 2 * work.n_pairs + work.cached_accesses
+            t_vgen = (n_active + 2) * timing.vgen_stage_s
+            t_alloc = n_pairs * timing.alloc_dispatch_s
+            dram_ops = 3 * n_active + 2 * n_pairs + cached_accesses
             t_dram_sched = dram_ops * timing.dram_access_s
             counters["dram_accesses"] += dram_ops
             t_sched = max(t_vgen + t_alloc, t_dram_sched)
@@ -298,27 +435,24 @@ class SearSSDModel:
             busy["dram"] += t_dram_sched
 
             # Searching stage: every LUN works in parallel (multi-LUN).
-            t_search, search_busy = self._search_stage(work, counters)
+            t_search, search_busy = self._search_stage(lun_acc, counters)
             for key, val in search_busy.items():
                 busy[key] = busy.get(key, 0.0) + val
 
             # Gathering stage: Reduce/Apply on the QPT.
-            gather_ops = work.n_pairs + work.n_active
+            gather_ops = n_pairs + n_active
             t_gather = (
-                work.n_pairs * timing.dram_access_s
-                + work.n_active * timing.embedded_core_op_s
+                n_pairs * timing.dram_access_s
+                + n_active * timing.embedded_core_op_s
             )
             counters["dram_accesses"] += gather_ops
-            busy["embedded_cores"] += work.n_active * timing.embedded_core_op_s
-            busy["dram"] += work.n_pairs * timing.dram_access_s
+            busy["embedded_cores"] += n_active * timing.embedded_core_op_s
+            busy["dram"] += n_pairs * timing.dram_access_s
 
             # Speculative searching overlaps the next round's
             # scheduling window; it only adds NAND activity + counters.
-            if flags.speculative and speculative_sets is not None:
-                self._speculative_stage(
-                    traces, round_idx, speculative_sets, prefetched,
-                    counters, busy,
-                )
+            if flags.speculative and spec_enabled:
+                self._speculative_stage(compiled, round_idx, counters, busy)
 
             book("schedule", "engine", makespan, t_sched)
             book("search", "engine", makespan + t_sched, t_search)
@@ -326,7 +460,7 @@ class SearSSDModel:
             makespan += t_sched + t_search + t_gather
 
         # Sorting stage: result lists to the FPGA, top-k back to host.
-        list_len = int(np.mean([max(t.trace_length, 1) for t in traces]))
+        list_len = int(np.mean([max(c.trace_length, 1) for c in compiled]))
         list_len = min(list_len, 256)
         t_sort = FPGASorter(timing=timing).sort_latency_s(batch, list_len)
         counters["sorted_elements"] += batch * list_len
@@ -340,71 +474,8 @@ class SearSSDModel:
         makespan += t_sort + t_out
         return makespan, counters, busy, segments
 
-    # ---- round decomposition -------------------------------------------------------
-    def _collect_round(
-        self,
-        traces: list[SearchTrace],
-        round_idx: int,
-        prefetched: list[set[int]],
-        counters: Counters,
-    ) -> _RoundWork:
-        flags = self.config.flags
-        work = _RoundWork()
-        pooled: dict[int, list[np.ndarray]] = {}
-        for qid, trace in enumerate(traces):
-            if round_idx >= trace.num_iterations:
-                continue
-            record = trace.iterations[round_idx]
-            work.n_active += 1
-            computed = np.asarray(record.computed, dtype=np.int64)
-            if computed.size == 0:
-                continue
-            # Speculative hits: already computed during the previous
-            # round's overlap window.
-            if flags.speculative and prefetched[qid]:
-                hit_mask = np.fromiter(
-                    (int(v) in prefetched[qid] for v in computed),
-                    dtype=bool,
-                    count=computed.size,
-                )
-                hits = int(hit_mask.sum())
-                if hits:
-                    counters["speculative_hits"] += hits
-                    computed = computed[~hit_mask]
-            # Internal-DRAM cache (DiskANN hot vertices).
-            if self.cached and computed.size:
-                cache_mask = np.fromiter(
-                    (int(v) in self.cached for v in computed),
-                    dtype=bool,
-                    count=computed.size,
-                )
-                n_cached = int(cache_mask.sum())
-                if n_cached:
-                    counters["cache_hits"] += n_cached
-                    work.cached_accesses += n_cached
-                    computed = computed[~cache_mask]
-            work.n_pairs += int(computed.size)
-            counters["distance_computations"] += int(computed.size)
-            if computed.size == 0:
-                continue
-            keys = self._page_keys(computed)
-            luns = self._lun_of_keys(keys)
-            for lun in np.unique(luns):
-                lun_keys = keys[luns == lun]
-                if flags.dynamic_alloc:
-                    pooled.setdefault(int(lun), []).append(lun_keys)
-                else:
-                    work.lun_page_groups.setdefault(int(lun), []).append(lun_keys)
-                work.lun_vector_counts[int(lun)] = (
-                    work.lun_vector_counts.get(int(lun), 0) + lun_keys.size
-                )
-        if flags.dynamic_alloc:
-            for lun, groups in pooled.items():
-                work.lun_page_groups[lun] = [np.concatenate(groups)]
-        return work
-
     # ---- searching stage -------------------------------------------------------------
-    def _search_stage(self, work: _RoundWork, counters: Counters):
+    def _search_stage(self, lun_acc: dict[int, list], counters: Counters):
         timing = self.config.timing
         geometry = self.config.geometry
         flags = self.config.flags
@@ -420,24 +491,57 @@ class SearSSDModel:
         channel_compute: dict[int, float] = {}
         channel_readout: dict[int, float] = {}
         soft_stall = 0.0
-        for lun, groups in work.lun_page_groups.items():
-            loads = 0
-            merged = 0
-            for keys in groups:
-                l, m = self._loads_and_merges(keys)
-                loads += l
-                if flags.multiplane:
-                    merged += m
+        # Dynamic allocation pools each LUN's round demand: one sense
+        # covers every query that needs the page, so loads/merges come
+        # from the *union* of the per-query page sets, not their sum.
+        # A LUN with a single contributing query needs no pooling (its
+        # union is the per-query set, resolved at compile time); the
+        # multi-query LUNs pool in ONE pass — page keys embed the LUN
+        # as their most-significant field, so one global unique yields
+        # every LUN's union size at once.
+        da_loads: dict[int, int] = {}
+        da_merged: dict[int, int] = {}
+        if flags.dynamic_alloc:
+            multi: list[np.ndarray] = []
+            multi_luns: list[int] = []
+            for lun, acc in lun_acc.items():
+                if len(acc[3]) > 1:
+                    multi.extend(acc[3])
+                    multi_luns.append(lun)
+            if multi:
+                uniq = np.unique(np.concatenate(multi))
+                plane = (
+                    uniq // self._plane_span
+                ) % self.config.geometry.planes_per_lun
+                wp = np.unique(uniq - plane * self._plane_span)
+                # Both arrays are sorted with the LUN as the top key
+                # field, so each LUN's slice is found by bisecting its
+                # key range — no per-LUN unique needed.
+                multi_luns.sort()
+                edges = np.empty(len(multi_luns) * 2, dtype=np.int64)
+                edges[0::2] = np.asarray(multi_luns) * self._lun_span
+                edges[1::2] = edges[0::2] + self._lun_span
+                bounds = np.searchsorted(uniq, edges)
+                wp_bounds = np.searchsorted(wp, edges)
+                for i, lid in enumerate(multi_luns):
+                    loads_i = int(bounds[2 * i + 1] - bounds[2 * i])
+                    da_loads[lid] = loads_i
+                    da_merged[lid] = loads_i - int(
+                        wp_bounds[2 * i + 1] - wp_bounds[2 * i]
+                    )
+        for lun, (n_vectors, loads, merged, uniqs) in lun_acc.items():
+            if flags.dynamic_alloc and len(uniqs) > 1:
+                loads = da_loads[lun]
+                merged = da_merged[lun] if flags.multiplane else 0
             effective_ops = loads - merged
             counters["page_reads"] += loads
             counters["multiplane_reads"] += merged
             counters["ecc_hard_decodes"] += loads
-            n_vectors = work.lun_vector_counts.get(lun, 0)
             t_mac = n_vectors * timing.distance_mac_s(self.dim)
             t_nand = effective_ops * (timing.read_page_s + timing.ecc_hard_decode_s)
             # ECC fault injection: failed hard decodes fall back to the
             # soft decoder on the embedded cores and stall this LUN.
-            failures = sum(1 for _ in range(loads) if not self.ldpc.decode_page())
+            failures = self.ldpc.decode_pages(loads)
             if failures:
                 counters["ecc_soft_decodes"] += failures
                 t_soft = failures * timing.ecc_soft_decode_s
@@ -473,32 +577,32 @@ class SearSSDModel:
     # ---- speculative stage ------------------------------------------------------------
     def _speculative_stage(
         self,
-        traces: list[SearchTrace],
+        compiled: list[_CompiledTrace],
         round_idx: int,
-        speculative_sets: list[list[np.ndarray]],
-        prefetched: list[set[int]],
         counters: Counters,
         busy: dict[str, float],
     ) -> None:
         timing = self.config.timing
-        spec_vertices: list[np.ndarray] = []
-        for qid, trace in enumerate(traces):
-            prefetched[qid] = set()
-            if round_idx >= trace.num_iterations - 1:
+        total_vertices = 0
+        keys_list: list[np.ndarray] = []
+        loads = merged = 0
+        for comp in compiled:
+            if round_idx >= comp.n_rounds:
                 continue
-            sets = speculative_sets[qid]
-            if round_idx >= len(sets):
-                continue
-            vertices = sets[round_idx]
-            if vertices.size == 0:
-                continue
-            prefetched[qid] = set(int(v) for v in vertices)
-            spec_vertices.append(vertices)
-        if not spec_vertices:
+            spec_count, spec_keys, spec_loads, spec_merged = (
+                comp.rounds[round_idx][5:9]
+            )
+            if spec_count:
+                total_vertices += spec_count
+                keys_list.append(spec_keys)
+                loads, merged = spec_loads, spec_merged
+        if not keys_list:
             return
-        all_spec = np.concatenate(spec_vertices)
-        keys = self._page_keys(all_spec)
-        loads, merged = self._loads_and_merges(keys)
+        if len(keys_list) > 1:
+            # Cross-query pooling: a page two queries prefetch is
+            # sensed once, so the batch's loads come from the pooled
+            # key set, not the per-query sums.
+            loads, merged = self._loads_and_merges(np.concatenate(keys_list))
         effective = loads - (merged if self.config.flags.multiplane else 0)
         counters["speculative_page_reads"] += loads
         counters["page_reads"] += loads
@@ -506,4 +610,4 @@ class SearSSDModel:
         # Overlapped with the next round's scheduling window: adds NAND
         # busy time (and energy) but not critical-path latency.
         busy["nand_busy"] += effective * timing.read_page_s
-        busy["sin_macs_busy"] += all_spec.size * timing.distance_mac_s(self.dim)
+        busy["sin_macs_busy"] += total_vertices * timing.distance_mac_s(self.dim)

@@ -95,6 +95,23 @@ class LDPCModel:
             return False
         return bool(self._rng.random() >= self.hard_failure_prob)
 
+    def decode_pages(self, n: int) -> int:
+        """Decode ``n`` pages at once; returns the hard-decode failure count.
+
+        Draws ``n`` variates in one vectorized call.  A numpy Generator
+        produces the identical stream for ``rng.random(n)`` and ``n``
+        successive ``rng.random()`` calls, so batches of any size
+        interleave bit-exactly with :meth:`decode_page`.
+        """
+        self._reads += n
+        if n <= 0 or self.hard_failure_prob == 0.0:
+            return 0
+        if self.hard_failure_prob == 1.0:
+            return n
+        return int(
+            np.count_nonzero(self._rng.random(n) < self.hard_failure_prob)
+        )
+
     def expected_failures(self, n_reads: int) -> float:
         return n_reads * self.hard_failure_prob
 

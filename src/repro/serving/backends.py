@@ -63,6 +63,7 @@ class PlatformBackend:
     algorithm: str = "hnsw"
     dataset: str = "synthetic"
     name: str = field(default="")
+    _memo: dict = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -71,7 +72,39 @@ class PlatformBackend:
     def search_batch(
         self, queries: np.ndarray, k: int
     ) -> tuple[np.ndarray, np.ndarray, SimResult]:
-        ids, dists, traces = self.index.search_batch(queries, k, ef=self.ef)
+        # Per-query memo over the functional search.  Every index runs
+        # queries through an independent per-query loop, so a row's
+        # (ids, dists, trace) never depends on which batch it arrived
+        # in — only its vector bytes and k.  Serving workloads draw
+        # from a finite Zipfian query pool, so repeats dominate; the
+        # batch's *timing* is still simulated fresh below because the
+        # makespan does depend on batch composition.  Returning the
+        # same trace object for a repeated query also lets the timing
+        # models reuse their per-trace derivations (remap, speculative
+        # sets, compiled replay).
+        queries = np.ascontiguousarray(queries)
+        n = queries.shape[0]
+        memo = self._memo
+        keys = [(queries[i].tobytes(), k) for i in range(n)]
+        miss = [i for i, key in enumerate(keys) if key not in memo]
+        if miss:
+            sub_ids, sub_dists, sub_traces = self.index.search_batch(
+                np.ascontiguousarray(queries[miss]), k, ef=self.ef
+            )
+            for j, i in enumerate(miss):
+                if len(memo) >= 4096:
+                    memo.pop(next(iter(memo)))
+                memo[keys[i]] = (
+                    sub_ids[j].copy(), sub_dists[j].copy(), sub_traces[j],
+                )
+        ids = np.empty((n, k), dtype=np.int64)
+        dists = np.empty((n, k), dtype=np.float64)
+        traces = []
+        for i, key in enumerate(keys):
+            row_ids, row_dists, trace = memo[key]
+            ids[i] = row_ids
+            dists[i] = row_dists
+            traces.append(trace)
         result = self.model.simulate(
             traces, self.profile, algorithm=self.algorithm, dataset=self.dataset
         )

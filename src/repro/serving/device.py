@@ -62,6 +62,11 @@ class ShardDevice:
         """The whole-device timeline used in blocking mode."""
 
         self._entry_resource: str | None = None
+        self._predict_scratch: dict[str, float] = {}
+        """Persistent scratch for :meth:`predict`'s simulated per-stage
+        frees — cleared (not rebuilt) per call, so the slo policy's
+        every-queue-event dry-runs allocate nothing in steady state."""
+
         self._drain_at = 0.0
         self._occupied_until = 0.0
         self.busy_s = 0.0
@@ -195,11 +200,21 @@ class ShardDevice:
         if not self.pipelined:
             start = max(at, self._drain_at)
             return start, start + sum(d for _, d in chain)
-        free = {name: r.next_free for name, r in self._stages.items()}
+        # Simulated per-stage frees live in a persistent scratch dict
+        # seeded lazily from each touched stage's real FIFO — only the
+        # chain's own resources are consulted, and nothing is rebuilt
+        # per call.
+        free = self._predict_scratch
+        free.clear()
+        stages = self._stages
         t = at
         start: float | None = None
         for resource, duration in chain:
-            stage_start = max(t, free.get(resource, 0.0))
+            stage_free = free.get(resource)
+            if stage_free is None:
+                stage = stages.get(resource)
+                stage_free = 0.0 if stage is None else stage.next_free
+            stage_start = max(t, stage_free)
             stage_end = stage_start + duration
             free[resource] = stage_end
             if start is None:

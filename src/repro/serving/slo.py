@@ -40,6 +40,11 @@ class ServiceModel:
         self._acc: dict[str, list[float]] = {}
         self._chain: list[str] = []
         self.observations = 0
+        # resource -> (a, b) affine coefficients, derived lazily from
+        # the accumulators and invalidated by observe().  The slo
+        # batcher estimates on every queue event but only observes once
+        # per served batch, so the fit is reused many times over.
+        self._fits: dict[str, tuple[float, float]] = {}
 
     @property
     def calibrated(self) -> bool:
@@ -69,21 +74,31 @@ class ServiceModel:
         if len(stages) >= len(self._chain):
             self._chain = [resource for resource, _ in stages]
         self.observations += 1
+        self._fits.clear()
 
     def _estimate_resource(self, resource: str, n: float) -> float:
-        count, sum_n, sum_n2, sum_d, sum_nd = self._acc[resource]
-        var = count * sum_n2 - sum_n * sum_n
-        if var > 1e-12 * max(sum_n2, 1.0):
-            # Affine least squares: duration = a + b * n.
-            b = (count * sum_nd - sum_n * sum_d) / var
-            a = (sum_d - b * sum_n) / count
-            estimate = a + b * n
+        fit = self._fits.get(resource)
+        if fit is None:
+            count, sum_n, sum_n2, sum_d, sum_nd = self._acc[resource]
+            var = count * sum_n2 - sum_n * sum_n
+            if var > 1e-12 * max(sum_n2, 1.0):
+                # Affine least squares: duration = a + b * n.
+                b = (count * sum_nd - sum_n * sum_d) / var
+                a = (sum_d - b * sum_n) / count
+                fit = ("affine", a, b)
+            else:
+                # One distinct size so far: scale the mean per-query
+                # cost.  This over-predicts small batches (the setup
+                # term is amortised as if it were per-query), which
+                # errs toward closing early — the safe side for a
+                # deadline policy.
+                fit = ("scaled", sum_d / count, sum_n / count)
+            self._fits[resource] = fit
+        kind, c1, c2 = fit
+        if kind == "affine":
+            estimate = c1 + c2 * n
         else:
-            # One distinct size so far: scale the mean per-query cost.
-            # This over-predicts small batches (the setup term is
-            # amortised as if it were per-query), which errs toward
-            # closing early — the safe side for a deadline policy.
-            estimate = (sum_d / count) * (n / (sum_n / count))
+            estimate = c1 * (n / c2)
         return max(estimate, 0.0)
 
     def estimate_chain(

@@ -51,7 +51,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, ClassVar
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """One timestamped occurrence on the simulated clock.
 
@@ -63,7 +63,7 @@ class Event:
     RANK: ClassVar[int] = 100
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchDeadline(Event):
     """A batcher's close deadline timer.
 
@@ -76,7 +76,7 @@ class BatchDeadline(Event):
     generation: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Completion(Event):
     """Previously booked work finished (e.g. a dispatched batch's
     results landed); ``payload`` identifies what completed."""
@@ -85,7 +85,7 @@ class Completion(Event):
     payload: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataMovement(Event):
     """A data migration finished moving; ``payload`` carries the
     migration record.  Fires before every other same-instant event —
@@ -97,14 +97,14 @@ class DataMovement(Event):
     payload: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EpochTick(Event):
     """A periodic evaluation boundary (autoscaler / rebalancer)."""
 
     RANK: ClassVar[int] = 30
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Arrival(Event):
     """External work entered the system; ``payload`` is the request."""
 
@@ -112,7 +112,7 @@ class Arrival(Event):
     payload: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamEnd(Event):
     """The arrival stream is exhausted (fires after the last arrival)."""
 

@@ -1,0 +1,388 @@
+"""Warm worker-subprocess pool for sweep fan-out.
+
+The serving benchmarks run a *matrix* of independent configurations —
+sweep cells, profiled configs, parity digests — each a pure function of
+its spec.  Running the matrix serially wastes every core but one, and
+running it under a fresh interpreter per row pays the numpy import and
+router/index build over and over.  This module keeps a small pool of
+**warm** worker subprocesses (the ModelOps pattern: persistent keyed
+processes beat cold starts by an order of magnitude) and fans rows out
+over them:
+
+* **Workers are keyed.**  Every row carries an affinity key (typically
+  a hash or name of the configuration family it needs); all rows with
+  the same key run on the same worker, so per-process warm state —
+  imported modules, the router build cache, index structures — is
+  reused across the rows that share it.  Keys are assigned to workers
+  round-robin in first-appearance order, which depends only on the
+  submitted row list, never on timing.
+* **The protocol is JSON lines.**  One request line per row on the
+  worker's stdin (``{"id", "task", "payload"}``), one response line on
+  its stdout (``{"id", "ok", "result" | "error"}``).  ``task`` names a
+  plain importable function (``"module:function"``) called with the
+  payload dict as keyword arguments; payloads and results must be
+  JSON-serializable.  Workers redirect ``sys.stdout`` to stderr so a
+  stray ``print`` inside a task cannot corrupt the RPC stream.
+* **Results merge deterministically.**  :meth:`WorkerPool.run` returns
+  results in *row order* — the order rows were submitted — regardless
+  of which worker finished first.  Combined with tasks being pure
+  functions of their payload, a pooled sweep is byte-identical to the
+  same sweep run serially (the serial path round-trips results through
+  the same JSON encoding to guarantee it).
+* **Crashes are retried once; errors are not.**  A worker that *dies*
+  mid-row (killed, segfault, ``os._exit``) is respawned and the row is
+  retried once on the fresh process; a second death raises
+  :class:`WorkerCrashError`.  A task that *raises* is deterministic —
+  the traceback comes back over the pipe and surfaces immediately as
+  :class:`PoolTaskError`, with no retry.
+* **Shutdown leaves no orphans.**  ``close()`` (also run via context
+  manager exit and an ``atexit`` hook) asks each worker to exit, then
+  escalates to ``terminate``/``kill`` — after it returns every worker
+  pid is reaped.
+
+The pool size usually comes from the ``REPRO_POOL_WORKERS`` environment
+variable (:func:`workers_from_env`) so CI jobs and the randomized
+property suite can fan out without plumbing flags through every entry
+point; ``0`` (the default) means "run serially in-process".
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import importlib
+import json
+import os
+import subprocess
+import sys
+import threading
+import traceback
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+#: Environment variable naming the default pool size (0 = serial).
+POOL_WORKERS_ENV = "REPRO_POOL_WORKERS"
+
+#: ``src`` directory this package was imported from; always on the
+#: worker's ``PYTHONPATH`` so ``-m repro.sim.pool`` resolves.
+_SRC_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: A row: ``(affinity_key, "module:function", payload_dict)``.
+Row = tuple[str, str, dict]
+
+
+def workers_from_env(default: int = 0) -> int:
+    """Pool size from :data:`POOL_WORKERS_ENV` (``default`` if unset,
+    empty or unparseable; never negative)."""
+    raw = os.environ.get(POOL_WORKERS_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return default
+
+
+def config_key(*parts: Any) -> str:
+    """Stable short hash of ``parts`` — a worker affinity key for rows
+    that share a configuration (and should share a warm worker)."""
+    return hashlib.sha256(repr(parts).encode()).hexdigest()[:16]
+
+
+def call_task(task: str, payload: dict) -> Any:
+    """Resolve ``"module:function"`` and call it with ``payload`` as
+    keyword arguments (the worker-side dispatch, also used by the
+    serial fallback so both paths run the exact same code)."""
+    module_name, _, func_name = task.partition(":")
+    if not module_name or not func_name:
+        raise ValueError(f"task must be 'module:function', got {task!r}")
+    func = getattr(importlib.import_module(module_name), func_name)
+    return func(**payload)
+
+
+def run_rows(
+    rows: Iterable[Row], workers: int = 0, *, path: Sequence[str | Path] = ()
+) -> list:
+    """Run ``(key, task, payload)`` rows; pooled when ``workers > 0``,
+    serially in-process otherwise.
+
+    Results come back in row order either way.  The serial path
+    round-trips each result through JSON so its output is
+    byte-identical to the pooled path's (tuples become lists, dict key
+    order is preserved, floats survive exactly).
+    """
+    rows = list(rows)
+    if workers and workers > 0:
+        with WorkerPool(workers, path=path) as pool:
+            return pool.run(rows)
+    for entry in path:
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+    return [
+        json.loads(json.dumps(call_task(task, payload)))
+        for _, task, payload in rows
+    ]
+
+
+class PoolTaskError(RuntimeError):
+    """A task function raised inside a worker (deterministic failure —
+    the worker survives and the row is *not* retried)."""
+
+
+class WorkerCrashError(RuntimeError):
+    """The same row killed its worker twice (once on a fresh respawn)."""
+
+
+class _Worker:
+    """One warm subprocess and its JSON-line RPC pipe."""
+
+    def __init__(self, index: int, env: dict[str, str]) -> None:
+        self.index = index
+        self._env = env
+        self.proc: subprocess.Popen | None = None
+        self.spawns = 0
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid if self.proc is not None else None
+
+    def _ensure(self) -> subprocess.Popen:
+        if self.proc is None or self.proc.poll() is not None:
+            self.proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.sim.pool"],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                env=self._env,
+                text=True,
+            )
+            self.spawns += 1
+        return self.proc
+
+    def call(self, job: dict) -> dict:
+        """One request/response exchange; raises ``BrokenPipeError`` on
+        any sign the worker died (EOF, closed pipe, garbled stream)."""
+        proc = self._ensure()
+        try:
+            proc.stdin.write(json.dumps(job) + "\n")
+            proc.stdin.flush()
+            line = proc.stdout.readline()
+        except (BrokenPipeError, OSError) as exc:
+            raise BrokenPipeError(str(exc)) from exc
+        if not line:
+            raise BrokenPipeError(
+                f"worker {self.index} (pid {self.pid}) died mid-row"
+            )
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            raise BrokenPipeError(
+                f"worker {self.index} corrupted the RPC stream: {line!r}"
+            ) from exc
+
+    def discard(self) -> None:
+        """Kill and reap the current process (respawn happens lazily)."""
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            self.proc.kill()
+        self.proc.wait()
+        self._close_pipes()
+        self.proc = None
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Graceful exit request, escalating to terminate/kill."""
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            try:
+                self.proc.stdin.write(json.dumps({"cmd": "exit"}) + "\n")
+                self.proc.stdin.flush()
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.terminate()
+                try:
+                    self.proc.wait(timeout=timeout)
+                except subprocess.TimeoutExpired:
+                    self.proc.kill()
+                    self.proc.wait()
+        else:
+            self.proc.wait()
+        self._close_pipes()
+        self.proc = None
+
+    def _close_pipes(self) -> None:
+        for pipe in (self.proc.stdin, self.proc.stdout):
+            if pipe is not None:
+                try:
+                    pipe.close()
+                except OSError:
+                    pass
+
+
+class WorkerPool:
+    """A fixed-size pool of warm, keyed worker subprocesses.
+
+    ``path`` entries are prepended to the workers' ``PYTHONPATH`` (the
+    ``src`` root is always included) so task modules that live outside
+    the installed package — e.g. the ``benchmarks/`` scripts — resolve
+    inside the workers.
+    """
+
+    def __init__(
+        self, workers: int, *, path: Sequence[str | Path] = ()
+    ) -> None:
+        self.workers = max(1, int(workers))
+        env = os.environ.copy()
+        entries = [str(p) for p in path]
+        entries.append(str(_SRC_ROOT))
+        if env.get("PYTHONPATH"):
+            entries.append(env["PYTHONPATH"])
+        env["PYTHONPATH"] = os.pathsep.join(entries)
+        # A task must never recursively fan out its own pool.
+        env[POOL_WORKERS_ENV] = "0"
+        self._workers = [_Worker(i, env) for i in range(self.workers)]
+        self._assignment: dict[str, int] = {}
+        self._closed = False
+        self.respawns = 0
+        """Workers respawned after a mid-row death."""
+        self.retries = 0
+        """Rows retried (each at most once) on a fresh worker."""
+        atexit.register(self.close)
+
+    # -- lifecycle ----------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent, leaves no orphans."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        for worker in self._workers:
+            worker.stop()
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """Pids of the currently live workers (spawned lazily, so this
+        is empty until the first row runs)."""
+        return [w.pid for w in self._workers if w.pid is not None]
+
+    # -- dispatch -----------------------------------------------------
+    def _worker_for(self, key: str) -> int:
+        index = self._assignment.get(key)
+        if index is None:
+            index = len(self._assignment) % self.workers
+            self._assignment[key] = index
+        return index
+
+    def run(self, rows: Iterable[Row]) -> list:
+        """Fan ``(key, task, payload)`` rows out; returns results in
+        row order (never completion order)."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        rows = list(rows)
+        results: list = [None] * len(rows)
+        errors: list[BaseException] = []
+        queues: list[list[tuple[int, str, dict]]] = [
+            [] for _ in self._workers
+        ]
+        for position, (key, task, payload) in enumerate(rows):
+            queues[self._worker_for(key)].append((position, task, payload))
+        threads = []
+        for worker, queue in zip(self._workers, queues):
+            if not queue:
+                continue
+            thread = threading.Thread(
+                target=self._drain,
+                args=(worker, queue, results, errors),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    def _drain(
+        self,
+        worker: _Worker,
+        queue: list[tuple[int, str, dict]],
+        results: list,
+        errors: list[BaseException],
+    ) -> None:
+        for position, task, payload in queue:
+            try:
+                results[position] = self._run_one(
+                    worker, position, task, payload
+                )
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+                return
+
+    def _run_one(
+        self, worker: _Worker, position: int, task: str, payload: dict
+    ) -> Any:
+        job = {"id": position, "task": task, "payload": payload}
+        for attempt in (0, 1):
+            try:
+                response = worker.call(job)
+            except BrokenPipeError as exc:
+                worker.discard()
+                self.respawns += 1
+                if attempt == 0:
+                    self.retries += 1
+                    continue
+                raise WorkerCrashError(
+                    f"row {position} ({task}) killed its worker twice"
+                ) from exc
+            if response.get("ok"):
+                return response.get("result")
+            raise PoolTaskError(
+                f"{task} (row {position}) raised in worker "
+                f"{worker.index}:\n{response.get('error')}"
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _worker_main() -> int:
+    """Worker entry (``python -m repro.sim.pool``): serve JSON-line
+    jobs from stdin until EOF or an explicit exit command."""
+    # The real stdout belongs to the RPC stream; anything a task prints
+    # goes to stderr instead.
+    rpc_out = os.fdopen(os.dup(sys.stdout.fileno()), "w")
+    sys.stdout = sys.stderr
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        message = json.loads(line)
+        if message.get("cmd") == "exit":
+            return 0
+        job_id = message.get("id")
+        try:
+            result = call_task(message["task"], message["payload"])
+            reply = json.dumps({"id": job_id, "ok": True, "result": result})
+        except Exception:
+            reply = json.dumps(
+                {
+                    "id": job_id,
+                    "ok": False,
+                    "error": traceback.format_exc(limit=20),
+                }
+            )
+        rpc_out.write(reply + "\n")
+        rpc_out.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_worker_main())

@@ -1,0 +1,113 @@
+"""Task functions the worker-pool tests fan out.
+
+Pool workers import tasks by name (``"pool_tasks:echo"``), so these
+live in a plain module the tests hand to the pool via its ``path``
+option — not inside a test file pytest may import under a different
+module name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+
+def echo(value):
+    return value
+
+
+def worker_pid() -> int:
+    return os.getpid()
+
+
+def crash_once(marker: str, value):
+    """Die hard (no response, no cleanup) the first time, succeed on
+    the retry — the filesystem marker survives the crash, the process
+    does not."""
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(17)
+    return value
+
+
+def always_crash():
+    """Die hard on every call — the row can never succeed."""
+    os._exit(3)
+
+
+def boom(message: str):
+    raise RuntimeError(message)
+
+
+def serving_digest(policy: str, rate: float) -> dict:
+    """A miniature serving cell reduced to a parity-style digest.
+
+    A pure function of its spec (pinned seeds end to end), so pooled
+    and serial sweeps over the same rows must produce byte-identical
+    results — the determinism contract the pool tests hold it to.
+    """
+    from repro.core.config import NDSearchConfig
+    from repro.data.synthetic import clustered_gaussian, split_queries
+    from repro.serving import (
+        BatchPolicy,
+        PoissonArrivals,
+        QueryStream,
+        ServingConfig,
+        ServingFrontend,
+        build_router,
+    )
+
+    vectors = clustered_gaussian(200, 8, seed=7)
+    pool = split_queries(vectors, 32, seed=9)
+    router = build_router(
+        vectors, num_shards=1, config=NDSearchConfig.scaled()
+    )
+    requests = QueryStream(
+        PoissonArrivals(rate), pool_size=32, n_requests=80, k=5, seed=11
+    ).generate()
+    frontend = ServingFrontend(
+        router,
+        ServingConfig(
+            policy=BatchPolicy(
+                max_batch_size=16, max_wait_s=2e-3, mode=policy
+            ),
+            cache_capacity=0,
+            coalesce=False,
+        ),
+    )
+    report = frontend.run(requests, pool)
+    digest = hashlib.sha256()
+    for request in requests:
+        digest.update(
+            repr(
+                (
+                    request.request_id,
+                    request.outcome,
+                    request.batched_s,
+                    request.start_s,
+                    request.completion_s,
+                )
+            ).encode()
+        )
+        if request.result_ids is not None:
+            digest.update(request.result_ids.tobytes())
+            digest.update(request.result_dists.tobytes())
+    digest.update(
+        repr(
+            (
+                report.completed,
+                report.qps,
+                report.latency_p50_s,
+                report.latency_p99_s,
+                report.mean_batch_size,
+            )
+        ).encode()
+    )
+    return {
+        "policy": policy,
+        "rate": rate,
+        "qps": report.qps,
+        "p99_ms": report.latency_p99_s * 1e3,
+        "digest": digest.hexdigest(),
+    }

@@ -138,6 +138,42 @@ class TestShardDevice:
         with pytest.raises(ValueError):
             ShardDevice().predict([], 0.0)
 
+    def test_predict_steady_state_allocates_nothing(self):
+        """The slo policy dry-runs predict() on every queue event; in
+        the steady state it must not allocate (the per-stage scratch
+        dict is persistent and cleared, never rebuilt).  Transient
+        floats (stage arithmetic, the returned tuple) are freed within
+        the call; what is asserted is zero *net* allocations
+        attributable to the device module."""
+        import tracemalloc
+
+        import repro.serving.device as device_module
+
+        result = _result(
+            [("in", "a", 1.0), ("work", "b", 3.0), ("out", "c", 1.0)]
+        )
+        chain = result.pipeline_stages()
+        device = ShardDevice(pipelined=True)
+        device.serve(result, at=0.0)
+        for _ in range(64):  # warm the scratch, float caches, etc.
+            device.predict(chain, 0.5)
+        only_device = tracemalloc.Filter(True, device_module.__file__)
+        tracemalloc.start(5)
+        try:
+            before = tracemalloc.take_snapshot().filter_traces([only_device])
+            for _ in range(256):
+                device.predict(chain, 0.5)
+            after = tracemalloc.take_snapshot().filter_traces([only_device])
+        finally:
+            tracemalloc.stop()
+        growth = [
+            stat for stat in after.compare_to(before, "lineno")
+            if stat.size_diff > 0
+        ]
+        assert not growth, (
+            f"predict() accumulated allocations over 256 calls: {growth}"
+        )
+
     def test_book_contends_with_batches(self):
         """Non-query work (a migration's data movement) occupies the
         entry-stage FIFO: a batch closed during the booking waits."""
