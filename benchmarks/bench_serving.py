@@ -28,11 +28,16 @@ the replicated device pool and the offered load.  Expected shape:
   saturates the devices owning the popular clusters — migrating hot
   IVF clusters to cold devices (data movement booked on both device
   timelines) holds a lower p99 and a higher goodput than the static
-  placement.
+  placement;
+* with ``--flash``: the same skewed cell served through a live FTL
+  under every device — read disturb accumulates on the Zipfian-hot
+  clusters' blocks, refresh GC pauses inflate p99, relocation writes
+  amplify beyond the host's, and per-cluster erase counts skew with
+  popularity.
 
 Besides the human-readable table, the sweep persists
 ``benchmarks/results/serving_sweep.json`` for the perf-trajectory
-tooling (CI runs with both flags so the artifact carries the full
+tooling (CI runs with every flag so the artifact carries the full
 sweep).
 """
 
@@ -52,6 +57,7 @@ from repro.obs import SpanTracer
 from repro.serving import (
     AutoscalePolicy,
     BatchPolicy,
+    FlashConfig,
     MMPPArrivals,
     PoissonArrivals,
     QueryStream,
@@ -101,6 +107,15 @@ REBALANCE_POLICY = RebalancePolicy(
     interval_s=2e-3, skew_threshold=0.25, migration_gbps=1.0
 )
 
+#: Stateful-flash comparison (--flash): the rebalance sweep's skewed
+#: workload, served with and without a live FTL under every device.
+#: The disturb threshold is scaled down so refreshes fire at benchmark
+#: read volumes the way the real threshold fires at production ones;
+#: the 5% hard-decode failure rate is the paper's mid-late-lifetime
+#: regime (Fig. 18b sweeps up to 30%).
+FLASH_THRESHOLD = 200
+FLASH_ECC_PROB = 0.05
+
 #: Event-time window for the observability rerun's metrics time series.
 OBS_WINDOW_S = 1e-3
 
@@ -110,7 +125,8 @@ CORPUS, DIM, POOL, REQUESTS, K = 800, 16, 128, 400, 10
 def _run_cell(
     router, pool, *, arrivals, policy, pipelined, coalesce, zipf=0.0,
     nprobe=None, priorities=(0,), weights=None, slo=None, admission=None,
-    autoscale=None, rebalance=None, metrics_window_s=None, tracer=None,
+    autoscale=None, rebalance=None, flash=None, metrics_window_s=None,
+    tracer=None,
 ):
     stream = QueryStream(
         arrivals,
@@ -134,6 +150,7 @@ def _run_cell(
             admission_capacity=admission,
             autoscale=autoscale,
             rebalance=rebalance,
+            flash=flash,
             metrics_window_s=metrics_window_s,
         ),
         tracer=tracer,
@@ -457,6 +474,54 @@ def _rebalance_row(moved: bool) -> dict:
     }
 
 
+def _flash_row(enabled: bool) -> dict:
+    # The rebalance sweep's skewed workload again (partitioned pool,
+    # Zipfian stream, nprobe=1), now with a live FTL + ECC under every
+    # device: cluster reads accumulate read disturb, hot blocks cross
+    # the threshold and refresh (a GC pause booked on the device), and
+    # LDPC retry storms jitter individual reads.  The flash-off leg is
+    # the same cell with ``flash=None`` — the parity baseline.
+    _, pool = _dataset()
+    router = _partitioned_router(
+        clusters_per_shard=REBALANCE_CLUSTERS_PER_SHARD
+    )
+    report = _run_cell(
+        router,
+        pool,
+        arrivals=PoissonArrivals(REBALANCE_RATE),
+        policy=BatchPolicy(max_batch_size=16, max_wait_s=2e-3),
+        pipelined=True,
+        coalesce=False,
+        zipf=REBALANCE_ZIPF,
+        nprobe=1,
+        slo=REBALANCE_SLO_S,
+        flash=FlashConfig(
+            read_disturb_threshold=FLASH_THRESHOLD,
+            ecc_hard_failure_prob=FLASH_ECC_PROB,
+        )
+        if enabled
+        else None,
+    )
+    row = {
+        "storage": "flash" if enabled else "ideal",
+        "qps": report.qps,
+        "p50_ms": report.latency_p50_s * 1e3,
+        "p99_ms": report.latency_p99_s * 1e3,
+        "miss_rate": report.deadline_miss_rate,
+    }
+    if report.flash is not None:
+        row.update(
+            page_reads=report.flash["page_reads"],
+            ecc_soft_decodes=report.flash["ecc_soft_decodes"],
+            refreshes=report.flash["refreshes"],
+            total_erases=report.flash["total_erases"],
+            write_amplification=report.flash["write_amplification"],
+            cluster_page_reads=report.flash["cluster_page_reads"],
+            cluster_erases=report.flash["cluster_erases"],
+        )
+    return row
+
+
 _SECTION_ROWS = {
     "sweep": _sweep_row,
     "pipeline": _pipeline_row,
@@ -466,6 +531,7 @@ _SECTION_ROWS = {
     "slo": _slo_row,
     "autoscale": _autoscale_row,
     "rebalance": _rebalance_row,
+    "flash": _flash_row,
 }
 
 
@@ -475,7 +541,7 @@ def bench_row(section: str, spec: dict) -> dict:
 
 
 def _row_specs(
-    slo: bool, autoscale: bool, rebalance: bool
+    slo: bool, autoscale: bool, rebalance: bool, flash: bool
 ) -> list[tuple[str, str, dict]]:
     """The sweep matrix as ``(affinity_key, section, spec)`` rows, in
     the order the sections assemble.
@@ -514,12 +580,15 @@ def _row_specs(
     if rebalance:
         for moved in (False, True):
             rows.append(("partitioned", "rebalance", {"moved": moved}))
+    if flash:
+        for enabled in (False, True):
+            rows.append(("partitioned", "flash", {"enabled": enabled}))
     return rows
 
 
 def collect(
     slo: bool = False, autoscale: bool = False, rebalance: bool = False,
-    workers: int = 0,
+    flash: bool = False, workers: int = 0,
 ) -> dict:
     """Run the sweep matrix; pooled over ``workers`` warm subprocesses
     when positive, serially in-process otherwise.
@@ -528,7 +597,7 @@ def collect(
     and the results merge in row order, so the pooled payload is
     byte-identical to the serial one.
     """
-    specs = _row_specs(slo, autoscale, rebalance)
+    specs = _row_specs(slo, autoscale, rebalance, flash)
     outputs = run_rows(
         [
             (key, "bench_serving:bench_row", {"section": section, "spec": spec})
@@ -662,6 +731,8 @@ def run(results: dict | None = None) -> str:
                 ),
             )
         )
+    if "flash" in results:
+        tables.append(_flash_table(results["flash"]))
     if "autoscale" in results:
         tables.append(
             format_table(
@@ -690,15 +761,69 @@ def run(results: dict | None = None) -> str:
     return "\n\n".join(tables)
 
 
+def _flash_table(rows: list[dict]) -> str:
+    return format_table(
+        ["storage", "QPS", "p50 ms", "p99 ms", "miss", "refresh",
+         "erases", "WA", "ECC soft"],
+        [
+            [
+                r["storage"],
+                f"{r['qps']:,.0f}",
+                f"{r['p50_ms']:.3f}",
+                f"{r['p99_ms']:.3f}",
+                f"{r['miss_rate']:.1%}",
+                r.get("refreshes", "-"),
+                r.get("total_erases", "-"),
+                f"{r['write_amplification']:.2f}"
+                if "write_amplification" in r
+                else "-",
+                r.get("ecc_soft_decodes", "-"),
+            ]
+            for r in rows
+        ],
+        title=(
+            f"ideal vs stateful flash, partitioned "
+            f"x{REBALANCE_SHARDS} @ {REBALANCE_RATE:g} QPS "
+            f"(zipf {REBALANCE_ZIPF:g}, nprobe 1, disturb "
+            f"threshold {FLASH_THRESHOLD})"
+        ),
+    )
+
+
+def check_flash_rows(rows: list[dict]) -> None:
+    """The --flash acceptance assertions, shared by the pytest sweep
+    and the standalone tier-1 runner: the same skewed cell through a
+    live FTL pays for its reads — GC refresh pauses inflate the tail,
+    hot clusters wear their blocks harder than cold ones, and
+    relocation writes amplify beyond the host's."""
+    ideal, stateful = rows
+    assert ideal["storage"] == "ideal"
+    assert stateful["storage"] == "flash"
+    assert "refreshes" not in ideal  # flash-off leg carries no state
+    assert stateful["refreshes"] > 0, stateful
+    assert stateful["p99_ms"] > ideal["p99_ms"], (ideal, stateful)
+    assert stateful["ecc_soft_decodes"] > 0
+    assert stateful["write_amplification"] > 1.0, stateful
+    reads = stateful["cluster_page_reads"]
+    erases = stateful["cluster_erases"]
+    hot = max(reads, key=reads.get)
+    cold = min(reads, key=reads.get)
+    # Zipfian skew shows up as wear skew: the most-read cluster
+    # erased its blocks more than the least-read one.
+    assert reads[hot] > reads[cold]
+    assert erases.get(hot, 0) > erases.get(cold, 0), (reads, erases)
+
+
 def test_bench_serving(benchmark, record_table, record_json, request):
     slo = request.config.getoption("--slo")
     autoscale = request.config.getoption("--autoscale")
     rebalance = request.config.getoption("--rebalance")
+    flash = request.config.getoption("--flash")
     workers = request.config.getoption("--workers")
     results = benchmark.pedantic(
         lambda: collect(
             slo=slo, autoscale=autoscale, rebalance=rebalance,
-            workers=workers,
+            flash=flash, workers=workers,
         ),
         rounds=1, iterations=1,
     )
@@ -836,3 +961,44 @@ def test_bench_serving(benchmark, record_table, record_json, request):
             assert placement[event["cluster"]] == event["source"]
             placement[event["cluster"]] = event["dest"]
         assert placement == moved["cluster_map_final"]
+
+    # Stateful flash (--flash): GC pauses shape the tail, wear skew
+    # follows read skew — the same assertions the standalone tier-1
+    # runner (`python benchmarks/bench_serving.py`) enforces.
+    if "flash" in results:
+        check_flash_rows(results["flash"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone flash sweep for tier-1 CI (no pytest-benchmark
+    needed): run the ideal-vs-stateful-flash rows, assert the
+    acceptance shape (GC-pause p99 inflation, erase skew following
+    read skew, WA > 1) and write the wear/GC stats JSON artifact."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="Run the ideal-vs-stateful-flash serving rows and "
+                    "write the wear/GC stats.",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent / "results" / "flash_wear.json",
+        help="wear/GC stats output path "
+             "(default benchmarks/results/flash_wear.json)",
+    )
+    args = parser.parse_args(argv)
+    rows = [_flash_row(enabled=False), _flash_row(enabled=True)]
+    print(_flash_table(rows))
+    check_flash_rows(rows)
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+    print(f"\nOK: GC pauses inflate p99, erase skew follows read skew; "
+          f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -26,11 +26,12 @@ def pytest_addoption(parser):
 
     ``--slo`` adds the deadline sweep (slo policy vs max-wait across
     loosening deadlines), ``--autoscale`` the static-vs-autoscaled
-    overload comparison and ``--rebalance`` the static-vs-rebalanced
-    partitioned comparison under skewed Zipfian load to
-    ``bench_serving``; all extend ``results/serving_sweep.json``.  CI
-    runs with all three so the uploaded artifact carries the full
-    sweep.
+    overload comparison, ``--rebalance`` the static-vs-rebalanced
+    partitioned comparison under skewed Zipfian load and ``--flash``
+    the ideal-vs-stateful-flash comparison (live FTL + ECC under every
+    device) to ``bench_serving``; all extend
+    ``results/serving_sweep.json``.  CI runs with every flag so the
+    uploaded artifact carries the full sweep.
     """
     parser.addoption(
         "--slo", action="store_true", default=False,
@@ -44,6 +45,11 @@ def pytest_addoption(parser):
         "--rebalance", action="store_true", default=False,
         help="include the static-vs-rebalanced partitioned sweep "
              "in bench_serving",
+    )
+    parser.addoption(
+        "--flash", action="store_true", default=False,
+        help="include the ideal-vs-stateful-flash sweep in "
+             "bench_serving",
     )
     from repro.sim.pool import workers_from_env
 

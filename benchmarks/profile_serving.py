@@ -51,6 +51,7 @@ from repro.obs import RunProfiler, calibrate_events_per_sec  # noqa: E402
 from repro.obs.profile import ProfileRecord  # noqa: E402
 from repro.serving import (  # noqa: E402
     BatchPolicy,
+    FlashConfig,
     PoissonArrivals,
     QueryStream,
     RebalancePolicy,
@@ -77,11 +78,16 @@ CONFIG_NAMES = (
     "replicated-x1-greedy",
     "partitioned-x4-nprobe1",
     "partitioned-x4-rebalance",
+    "partitioned-x4-flash",
 )
+
+#: Stateful-flash config knobs (mirrors bench_serving's --flash cell).
+FLASH_THRESHOLD = 200
+FLASH_ECC_PROB = 0.05
 
 
 def _run(router, pool, *, policy=None, zipf=0.0, nprobe=None, slo=None,
-         rebalance=None):
+         rebalance=None, flash=None):
     stream = QueryStream(
         PoissonArrivals(RATE),
         pool_size=POOL,
@@ -99,6 +105,7 @@ def _run(router, pool, *, policy=None, zipf=0.0, nprobe=None, slo=None,
             coalesce=False,
             nprobe=nprobe,
             rebalance=rebalance,
+            flash=flash,
         ),
     )
     return frontend.run(stream.generate(), pool)
@@ -156,6 +163,27 @@ def _setup(name: str):
                 "slo": 4e-3,
                 "rebalance": RebalancePolicy(
                     interval_s=2e-3, skew_threshold=0.25, migration_gbps=1.0
+                ),
+            },
+        )
+    if name == "partitioned-x4-flash":
+        # The skewed nprobe=1 workload through a live FTL: per-event
+        # cost now includes FTL read accounting, LDPC sampling and
+        # refresh bookkeeping, which is exactly what this trajectory
+        # entry gates.
+        return (
+            lambda: build_router(
+                vectors, num_shards=4, config=config, mode=PARTITIONED,
+                seed=35, clusters_per_shard=2,
+            ),
+            {
+                "policy": BatchPolicy(max_batch_size=16, max_wait_s=2e-3),
+                "zipf": 1.2,
+                "nprobe": 1,
+                "slo": 4e-3,
+                "flash": FlashConfig(
+                    read_disturb_threshold=FLASH_THRESHOLD,
+                    ecc_hard_failure_prob=FLASH_ECC_PROB,
                 ),
             },
         )

@@ -89,6 +89,14 @@ class FlashTranslationLayer:
         self.erase_counts = np.zeros(
             (n_luns, n_planes, geometry.blocks_per_plane), dtype=np.int64
         )
+        self.program_counts = np.zeros(
+            (n_luns, n_planes, geometry.blocks_per_plane), dtype=np.int64
+        )
+        # Write-amplification ledger: host pages are what the layers
+        # above asked to write (migrations, initial placement); NAND
+        # pages add the FTL's own relocation traffic on top.
+        self.host_pages_written = 0
+        self.nand_pages_written = 0
 
     # ---- translation -----------------------------------------------------
     def physical_block(self, lun: int, plane: int, logical_block: int) -> int:
@@ -102,13 +110,26 @@ class FlashTranslationLayer:
         self._subscribers.append(callback)
 
     # ---- refreshing ----------------------------------------------------------
-    def refresh_block(self, lun: int, plane: int, logical_block: int) -> RefreshEvent:
+    def refresh_block(
+        self,
+        lun: int,
+        plane: int,
+        logical_block: int,
+        pages_valid: int | None = None,
+    ) -> RefreshEvent:
         """Relocate one logical block to a free block in the same plane.
 
         The old physical block returns to the plane's free list, so
         refreshes can continue indefinitely.  Raises if the plane has no
         free destination (cannot happen with >= 1 reserved block).
+
+        ``pages_valid`` (default: a full block) is how many pages the
+        relocation rewrites — FTL-internal traffic, charged to
+        ``nand_pages_written`` but never ``host_pages_written``, which
+        is what makes write amplification measurable.
         """
+        if pages_valid is None:
+            pages_valid = self.geometry.pages_per_block
         free = self._free[lun][plane]
         if not free:
             raise RuntimeError(f"plane ({lun},{plane}) has no free refresh block")
@@ -118,11 +139,46 @@ class FlashTranslationLayer:
         free.append(old)
         self.read_counts[lun, plane, logical_block] = 0
         self.erase_counts[lun, plane, old] += 1  # old block is erased
+        self.program_counts[lun, plane, new] += 1
+        self.nand_pages_written += int(pages_valid)
         event = RefreshEvent(lun=lun, plane=plane, old_block=old, new_block=new)
         self.refresh_log.append(event)
         for callback in self._subscribers:
             callback(event)
         return event
+
+    # ---- host writes / erases (migration accounting) ---------------------
+    def program_block(
+        self, lun: int, plane: int, logical_block: int, pages: int | None = None
+    ) -> None:
+        """Account a host program of ``pages`` pages into a logical block.
+
+        Data placement is static (the paper's multi-plane mapping), so
+        programming does not move the block — it only books endurance:
+        the physical block's program count and both sides of the
+        write-amplification ledger (host writes are NAND writes too).
+        """
+        if not 0 <= logical_block < self.usable_blocks:
+            raise ValueError(f"logical block {logical_block} out of range")
+        if pages is None:
+            pages = self.geometry.pages_per_block
+        phys = int(self.block_map[lun, plane, logical_block])
+        self.program_counts[lun, plane, phys] += 1
+        self.host_pages_written += int(pages)
+        self.nand_pages_written += int(pages)
+
+    def erase_block_in_place(self, lun: int, plane: int, logical_block: int) -> None:
+        """Erase a logical block's physical block without relocating it.
+
+        Used when the host frees a block's contents (e.g. a cluster
+        migrated away): the mapping is untouched, the read-disturb
+        counter resets with the cells, and the erase wears the block.
+        """
+        if not 0 <= logical_block < self.usable_blocks:
+            raise ValueError(f"logical block {logical_block} out of range")
+        phys = int(self.block_map[lun, plane, logical_block])
+        self.erase_counts[lun, plane, phys] += 1
+        self.read_counts[lun, plane, logical_block] = 0
 
     # ---- read disturbance (the reason refreshing exists) -------------------
     def record_read(self, lun: int, plane: int, logical_block: int) -> bool:
@@ -142,6 +198,40 @@ class FlashTranslationLayer:
             >= self.read_disturb_threshold
         )
 
+    def record_reads(
+        self,
+        luns: np.ndarray,
+        planes: np.ndarray,
+        blocks: np.ndarray,
+        counts: np.ndarray,
+    ) -> list[tuple[int, int, int]]:
+        """Bulk :meth:`record_read`: accumulate page reads per block.
+
+        The serving loop records thousands of page reads per dispatched
+        batch; looping :meth:`record_read` would dominate the event
+        handler.  ``np.add.at`` handles repeated triples correctly, and
+        the returned list names every ``(lun, plane, logical_block)``
+        that now sits at or above the disturb threshold — in ascending
+        (lun, plane, block) order, so callers scheduling refreshes stay
+        deterministic.
+        """
+        luns = np.asarray(luns, dtype=np.int64)
+        planes = np.asarray(planes, dtype=np.int64)
+        blocks = np.asarray(blocks, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if blocks.size and (blocks.min() < 0 or blocks.max() >= self.usable_blocks):
+            raise ValueError("logical block out of range")
+        np.add.at(self.read_counts, (luns, planes, blocks), counts)
+        touched = self.read_counts[luns, planes, blocks]
+        due = touched >= self.read_disturb_threshold
+        if not due.any():
+            return []
+        triples = {
+            (int(l), int(p), int(b))
+            for l, p, b in zip(luns[due], planes[due], blocks[due])
+        }
+        return sorted(triples)
+
     def wear_summary(self) -> dict[str, float]:
         """Endurance statistics over the physical blocks."""
         erases = self.erase_counts
@@ -149,6 +239,23 @@ class FlashTranslationLayer:
             "total_erases": float(erases.sum()),
             "max_erases": float(erases.max()),
             "mean_erases": float(erases.mean()),
+        }
+
+    def gc_summary(self) -> dict[str, float]:
+        """Garbage-collection / write-amplification statistics.
+
+        Write amplification is NAND pages over host pages — 1.0 when
+        the FTL never relocated anything, growing as read-disturb
+        refreshes rewrite blocks the host only ever read.
+        """
+        host = self.host_pages_written
+        nand = self.nand_pages_written
+        return {
+            "refreshes": float(len(self.refresh_log)),
+            "host_pages_written": float(host),
+            "nand_pages_written": float(nand),
+            "write_amplification": float(nand) / host if host else 0.0,
+            "total_erases": float(self.erase_counts.sum()),
         }
 
     def refresh_random_blocks(self, count: int) -> list[RefreshEvent]:

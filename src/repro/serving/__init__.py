@@ -31,6 +31,10 @@ platform models:
   behind one interface, so serving comparisons are apples-to-apples.
 * :mod:`repro.serving.device` — pipelined shard devices: consecutive
   batches overlap on a device's phase-timeline stages.
+* :mod:`repro.serving.storage` — stateful flash under serving: each
+  device couples to a live FTL + ECC, so reads accumulate disturb,
+  GC refresh pauses inject tail latency and migrations charge
+  program/erase (opt-in via ``ServingConfig.flash``).
 * :mod:`repro.serving.frontend` — composable handlers over the
   discrete-event kernel (:mod:`repro.sim.events`) tying it together,
   including coalescing of identical in-flight queries.
@@ -83,6 +87,7 @@ from repro.serving.rebalance import (
 from repro.serving.request import Request
 from repro.serving.sharding import ShardJob, ShardRouter, build_router
 from repro.serving.slo import ServiceModel
+from repro.serving.storage import FlashBackedStore, FlashConfig
 
 __all__ = [
     "AdmissionController",
@@ -90,6 +95,8 @@ __all__ = [
     "Autoscaler",
     "BatchPolicy",
     "DynamicBatcher",
+    "FlashBackedStore",
+    "FlashConfig",
     "LRUCache",
     "MMPPArrivals",
     "MetricsCollector",

@@ -36,6 +36,7 @@ from repro.serving.batcher import POLICY_MODES, BatchPolicy
 from repro.serving.frontend import ServingConfig, ServingFrontend
 from repro.serving.rebalance import RebalancePolicy
 from repro.serving.sharding import REPLICATED, SHARD_MODES, build_router
+from repro.serving.storage import FlashConfig
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -100,6 +101,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--migration-gbps", type=float, default=1.0,
                         help="cluster data-movement bandwidth in GB/s "
                              "(default 1)")
+    parser.add_argument("--flash", action="store_true",
+                        help="serve through a live FTL + ECC under every "
+                             "device: reads accumulate disturb, GC refresh "
+                             "pauses shape the tail, migrations charge "
+                             "program/erase")
+    parser.add_argument("--flash-threshold", type=int, default=None,
+                        help="read-disturb refresh threshold in page reads "
+                             "per block (default: the FlashConfig default; "
+                             "lower it to see refreshes at demo volumes)")
     parser.add_argument("--backend", default="ndsearch",
                         choices=platform_registry.available(),
                         help="platform behind the frontend (default ndsearch)")
@@ -148,6 +158,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--clusters-per-shard requires --mode partitioned")
     if args.policy == "slo" and args.slo_ms is None and args.tight_slo_ms is None:
         parser.error("--policy slo needs --slo-ms and/or --tight-slo-ms")
+    if args.flash_threshold is not None and not args.flash:
+        parser.error("--flash-threshold requires --flash")
 
     # Priority classes: one best-effort/base class, plus a high class
     # when a tight SLO is requested.
@@ -229,6 +241,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.rebalance
         else None
     )
+    flash = None
+    if args.flash:
+        flash = (
+            FlashConfig(read_disturb_threshold=args.flash_threshold)
+            if args.flash_threshold is not None
+            else FlashConfig()
+        )
     tracer = SpanTracer() if args.trace else None
     frontend = ServingFrontend(
         router,
@@ -242,6 +261,7 @@ def main(argv: list[str] | None = None) -> int:
             priority_admission=args.priority_admission,
             autoscale=autoscale,
             rebalance=rebalance,
+            flash=flash,
             metrics_window_s=(
                 args.metrics_window_ms * 1e-3
                 if args.metrics_window_ms is not None
@@ -320,6 +340,25 @@ def main(argv: list[str] | None = None) -> int:
                 f"{event['dest']} ({event['vectors']} vectors, gap "
                 f"{event['utilization_gap']:.0%}, lands "
                 f"{event['complete_s'] * 1e3:.2f} ms)"
+            )
+
+    if args.flash and report.flash is not None:
+        summary = report.flash
+        print(
+            f"flash: {summary['page_reads']} page reads, "
+            f"{summary['refreshes']} refreshes, "
+            f"{summary['total_erases']:.0f} erases, "
+            f"WA {summary['write_amplification']:.2f} "
+            f"({summary['nand_pages_written']} NAND / "
+            f"{summary['host_pages_written']} host pages), "
+            f"{summary['ecc_soft_decodes']} ECC soft decodes"
+        )
+        reads = summary["cluster_page_reads"]
+        erases = summary["cluster_erases"]
+        for cluster in sorted(reads, key=int):
+            print(
+                f"  cluster {cluster}: {reads[cluster]} page reads, "
+                f"{erases.get(cluster, 0)} erases"
             )
 
     # ---- parity check: sharded vs. unsharded results --------------------

@@ -152,16 +152,24 @@ class ShardDevice:
         return start, t
 
     def book(
-        self, at: float, duration: float, resource: str | None = None
+        self,
+        at: float,
+        duration: float,
+        resource: str | None = None,
+        label: str = "data movement",
+        category: str = "movement",
     ) -> tuple[float, float]:
-        """Occupy one stage FIFO with non-query work (data movement).
+        """Occupy one stage FIFO with non-query work (data movement,
+        flash maintenance).
 
         A cluster migration's read (source device) or write
         (destination device) queues behind — and delays — query batches
         on the named stage; blocking devices serialize it with whole
         batches.  ``resource`` defaults to the device's current entry
         stage (falling back to :data:`MIGRATION_STAGE` on a device that
-        has never served).  Returns the booked ``(start, end)``.
+        has never served).  ``label``/``category`` name the booked span
+        in the trace, so migrations and GC refreshes render as distinct
+        lanes.  Returns the booked ``(start, end)``.
         """
         if duration < 0:
             raise ValueError(f"negative booking duration {duration!r}")
@@ -174,7 +182,7 @@ class ShardDevice:
         if self.tracer.enabled:
             tid = self.tracer.thread(self.trace_pid, name)
             self.tracer.complete(
-                "data movement", "movement", start, end,
+                label, category, start, end,
                 pid=self.trace_pid, tid=tid,
             )
         self._drain_at = max(self._drain_at, end)

@@ -125,6 +125,7 @@ from repro.serving.request import (
 )
 from repro.serving.sharding import PARTITIONED, REPLICATED, ShardRouter
 from repro.serving.slo import ServiceModel
+from repro.serving.storage import FlashBackedStore, FlashConfig
 from repro.sim.events import (
     AFTER_ARRIVALS,
     Arrival,
@@ -133,6 +134,7 @@ from repro.sim.events import (
     DataMovement,
     EpochTick,
     EventLoop,
+    FlashMaintenance,
     StreamEnd,
 )
 
@@ -277,6 +279,17 @@ class ServingConfig:
     :mod:`repro.serving.rebalance`).  ``None`` keeps the placement
     static."""
 
+    flash: FlashConfig | None = None
+    """Serve through stateful NAND: every shard device gets a live
+    :class:`~repro.serving.storage.FlashBackedStore` (FTL + ECC +
+    timing).  Cluster reads accumulate read-disturb and schedule
+    :class:`~repro.sim.events.FlashMaintenance` refreshes whose GC
+    pauses are booked on the device FIFOs, ECC retry storms stretch
+    completions, and rebalance migrations charge program/erase through
+    the FTL.  ``None`` (the default) keeps the stateless analytic
+    storage pricing — runs are byte-identical to the pinned parity
+    digests."""
+
     metrics_window_s: float | None = None
     """Close metrics on simulated event-time windows of this width
     (:class:`~repro.obs.windows.WindowedMetrics`): the report gains a
@@ -331,6 +344,15 @@ class ServingFrontend:
         self.devices = [
             self._make_device(i) for i in range(router.num_shards)
         ]
+        # Stateful flash: one live store per device, frontend-owned
+        # (the router's cached artifacts stay immutable under serving).
+        self.stores: list[FlashBackedStore] | None = None
+        if self.config.flash is not None:
+            self.stores = [
+                FlashBackedStore(self.config.flash, i)
+                for i in range(len(self.devices))
+            ]
+            self._seed_flash_placement()
         self.autoscaler: Autoscaler | None = None
         self._active = router.num_shards
         if self.config.autoscale is not None:
@@ -426,6 +448,9 @@ class ServingFrontend:
         loop.subscribe(Completion, self._on_completion)
         loop.subscribe(EpochTick, self._on_epoch_tick)
         loop.subscribe(DataMovement, self._on_data_movement)
+        # Subscribed unconditionally (harmless: the events are only
+        # ever scheduled when ServingConfig.flash is set).
+        loop.subscribe(FlashMaintenance, self._on_flash_maintenance)
         loop.subscribe(StreamEnd, self._on_stream_end)
         # Chained arrival injection: only the head of the (sorted)
         # stream sits in the heap; each arrival's handler injects its
@@ -458,6 +483,8 @@ class ServingFrontend:
                 [m.to_dict() for m in self.rebalancer.migrations],
                 list(self.router.cluster_shard),
             )
+        if self.stores is not None:
+            self.metrics.set_flash(self._flash_summary())
         return self.metrics.report()
 
     # ---- event handlers --------------------------------------------------
@@ -600,10 +627,41 @@ class ServingFrontend:
         # work on the destination device.
         self.router.reassign_cluster(migration.cluster, migration.dest)
         self.rebalancer.finish(migration)
+        if self.stores is not None:
+            # Flash accounting commits with the routing flip: the
+            # destination hosts the cluster's pages (host programs),
+            # the source frees its blocks (in-place erases).
+            self.stores[migration.dest].program_cluster(
+                migration.cluster, migration.bytes
+            )
+            self.stores[migration.source].release_cluster(migration.cluster)
         if self.tracer.enabled:
             self.tracer.async_end(
                 "migration", "migration", migration.cluster, event.time
             )
+
+    def _on_flash_maintenance(self, event: FlashMaintenance) -> None:
+        """Perform due read-disturb refreshes and book the GC pause.
+
+        The refresh (read + program each valid page, erase the old
+        block) occupies the device's entry-stage FIFO exactly like a
+        migration's data movement: queries dispatched behind it wait it
+        out — this is where GC-pause tail latency comes from.
+        """
+        shard, triples = event.payload
+        store = self.stores[shard]
+        pause = store.perform_refreshes(triples)
+        if pause <= 0.0:
+            return
+        self.devices[shard].book(
+            event.time,
+            pause,
+            resource=self.service_model.entry_resource,
+            label="flash refresh",
+            category="maintenance",
+        )
+        if self.windows is not None:
+            self.windows.inc("flash_refreshes", event.time, len(triples))
 
     def _on_stream_end(self, event: StreamEnd) -> None:
         # End of stream: let a pending deadline close at its real time,
@@ -675,6 +733,9 @@ class ServingFrontend:
                 "source": migration.source,
                 "dest": migration.dest,
             }
+        elif isinstance(event, FlashMaintenance):
+            shard, triples = event.payload
+            args = {"device": shard, "blocks": len(triples)}
         elif isinstance(event, (EpochTick, StreamEnd)):
             args = None
         else:
@@ -719,6 +780,14 @@ class ServingFrontend:
             self.router.add_replica()
         while len(self.devices) < replicas:
             self.devices.append(self._make_device(len(self.devices)))
+            if self.stores is not None:
+                store = FlashBackedStore(
+                    self.config.flash, len(self.stores)
+                )
+                # A grown replica holds a full copy of the corpus; its
+                # placement write is the replica provisioning cost.
+                store.program_cluster(0, self._replica_bytes())
+                self.stores.append(store)
         self.metrics.ensure_shards(len(self.devices))
 
     def _start_migration(self, proposal, now: float) -> None:
@@ -738,8 +807,17 @@ class ServingFrontend:
         _, read_done = self.devices[proposal.source].book(
             now, duration, resource=stage
         )
+        write_duration = duration
+        if self.stores is not None:
+            # NAND programs are slower than the link: the destination
+            # write cannot finish before its pages are programmed.
+            dest_store = self.stores[proposal.dest]
+            write_duration = max(
+                duration,
+                dest_store.program_time_s(dest_store.pages_for(moved_bytes)),
+            )
         _, write_done = self.devices[proposal.dest].book(
-            now, duration, resource=stage
+            now, write_duration, resource=stage
         )
         migration = Migration(
             cluster=proposal.cluster,
@@ -784,6 +862,113 @@ class ServingFrontend:
             else self._pool.shape[1]
         )
         return int(members.size * dim * 4)
+
+    # ---- stateful flash --------------------------------------------------
+    def _replica_bytes(self) -> int:
+        """Corpus footprint one replicated shard holds on flash."""
+        profile = getattr(self.router.backends[0], "profile", None)
+        if profile is not None:
+            return int(profile.footprint_bytes)
+        return self.config.flash.geometry.page_size
+
+    def _seed_flash_placement(self) -> None:
+        """Lay the initial corpus placement onto each device's flash.
+
+        Partitioned pools place each cluster's footprint on its owning
+        device; replicated pools give every replica the full corpus
+        (one whole-corpus "cluster" keyed 0).  The initial programs
+        seed the host side of the write-amplification ledger, so a run
+        that never refreshes reports WA exactly 1.0.
+        """
+        if self.router.mode == PARTITIONED:
+            for cluster, shard in enumerate(self.router.cluster_shard):
+                profile = getattr(
+                    self.router.backends[cluster], "profile", None
+                )
+                nbytes = (
+                    int(profile.footprint_bytes)
+                    if profile is not None
+                    else self.config.flash.geometry.page_size
+                )
+                self.stores[int(shard)].program_cluster(cluster, nbytes)
+        else:
+            nbytes = self._replica_bytes()
+            for store in self.stores:
+                store.program_cluster(0, nbytes)
+
+    def _flash_read(
+        self, shard: int, cluster: int, result, rows: int, done: float
+    ) -> float:
+        """Route one served sub-batch through the shard's flash state.
+
+        The batch's page reads (from the platform model's counters;
+        host-side models report ``ssd_page_reads``, and a model with no
+        page accounting falls back to one page per routed query) heat
+        the cluster's blocks; ECC hard-decode failures book their
+        soft-decode stall on the device and push the sub-batch's
+        completion; blocks crossing the disturb threshold schedule a
+        :class:`~repro.sim.events.FlashMaintenance` at the adjusted
+        completion.  Returns the (possibly later) completion time.
+        """
+        store = self.stores[shard]
+        pages = int(
+            result.counters["page_reads"]
+            or result.counters["ssd_page_reads"]
+            or rows
+        )
+        before = store.ecc_soft_decodes
+        delay = store.ecc_delay_s(cluster, pages)
+        if delay > 0.0:
+            _, done = self.devices[shard].book(
+                done,
+                delay,
+                resource=self.service_model.entry_resource,
+                label="ecc retry",
+                category="flash",
+            )
+            if self.windows is not None:
+                self.windows.inc(
+                    "ecc_soft_decodes", done, store.ecc_soft_decodes - before
+                )
+        due = store.record_reads(cluster, pages)
+        if due:
+            self._loop.schedule(
+                FlashMaintenance(
+                    time=max(done, self._loop.now), payload=(shard, due)
+                )
+            )
+        if self.windows is not None and pages:
+            self.windows.inc("flash_page_reads", done, pages)
+        return done
+
+    def _flash_summary(self) -> dict:
+        """Fleet-wide flash summary for ``ServingReport.flash``."""
+        devices = [store.summary() for store in self.stores]
+        cluster_reads: dict[str, int] = {}
+        cluster_erases: dict[str, int] = {}
+        for summary in devices:
+            for cluster, n in summary["cluster_page_reads"].items():
+                cluster_reads[cluster] = cluster_reads.get(cluster, 0) + n
+            for cluster, n in summary["cluster_erases"].items():
+                cluster_erases[cluster] = cluster_erases.get(cluster, 0) + n
+        host = sum(s["host_pages_written"] for s in devices)
+        nand = sum(s["nand_pages_written"] for s in devices)
+        return {
+            "page_reads": sum(s["page_reads"] for s in devices),
+            "ecc_soft_decodes": sum(s["ecc_soft_decodes"] for s in devices),
+            "refreshes": sum(s["refreshes"] for s in devices),
+            "total_erases": sum(s["total_erases"] for s in devices),
+            "host_pages_written": host,
+            "nand_pages_written": nand,
+            "write_amplification": nand / host if host else 0.0,
+            "cluster_page_reads": dict(
+                sorted(cluster_reads.items(), key=lambda kv: int(kv[0]))
+            ),
+            "cluster_erases": dict(
+                sorted(cluster_erases.items(), key=lambda kv: int(kv[0]))
+            ),
+            "devices": devices,
+        }
 
     # ---- batcher timers --------------------------------------------------
     def _refresh_deadline_timer(self) -> None:
@@ -922,6 +1107,8 @@ class ServingFrontend:
             )
             ids, dists, result = self.router.search_on(shard, queries, k)
             start, completion = self.devices[shard].serve(result, close_time)
+            if self.stores is not None:
+                completion = self._flash_read(shard, 0, result, n, completion)
             self.service_model.observe(n, result.pipeline_stages())
             self.metrics.observe_shard_service(shard, result)
             self.metrics.observe_probes(shard, n)
@@ -943,6 +1130,11 @@ class ServingFrontend:
                 shard_start, shard_done = self.devices[job.shard].serve(
                     job.result, close_time
                 )
+                if self.stores is not None:
+                    shard_done = self._flash_read(
+                        job.shard, job.cluster, job.result,
+                        int(job.rows.size), shard_done,
+                    )
                 self.service_model.observe(
                     int(job.rows.size), job.result.pipeline_stages()
                 )

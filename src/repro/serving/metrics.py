@@ -97,6 +97,13 @@ class ServingReport:
     queue-depth and batch-size gauges, within-window latency
     percentiles (p50/p95/p99) and per-device utilization."""
 
+    flash: dict | None = None
+    """Stateful-flash summary when the run served through
+    ``ServingConfig.flash``: aggregate page reads, ECC soft decodes,
+    refreshes (GC pauses), erase counts, write amplification and the
+    per-device :meth:`~repro.serving.storage.FlashBackedStore.summary`
+    records; ``None`` with flash off."""
+
     @property
     def served(self) -> int:
         """Requests answered (searched, coalesced or from cache)."""
@@ -166,6 +173,7 @@ class ServingReport:
             "rebalance_events": [dict(e) for e in self.rebalance_events],
             "cluster_map_final": [int(s) for s in self.cluster_map_final],
             "timeseries": self.timeseries,
+            "flash": self.flash,
         }
 
     @classmethod
@@ -192,6 +200,7 @@ class ServingReport:
         d["cluster_map_final"] = tuple(
             int(s) for s in d["cluster_map_final"]
         )
+        d.setdefault("flash", None)  # reports predating stateful flash
         return cls(**d)
 
     def format(self, title: str = "serving summary") -> str:
@@ -262,6 +271,16 @@ class ServingReport:
                     f"{moved / 1e6:.2f} MB moved",
                 ]
             )
+        if self.flash is not None:
+            rows.append(
+                [
+                    "flash",
+                    f"{self.flash['refreshes']} refreshes, "
+                    f"{self.flash['total_erases']} erases, "
+                    f"WA {self.flash['write_amplification']:.2f}, "
+                    f"{self.flash['ecc_soft_decodes']} ECC soft decodes",
+                ]
+            )
         return format_table(["metric", "value"], rows, title=title)
 
 
@@ -301,6 +320,7 @@ class MetricsCollector:
         self.replicas_final = num_shards
         self.rebalance_events: list[dict] = []
         self.cluster_map_final: tuple[int, ...] = ()
+        self.flash: dict | None = None
 
     # ---- observations ---------------------------------------------------
     def observe_arrival(self, request: Request, queue_depth: int) -> None:
@@ -395,6 +415,10 @@ class MetricsCollector:
         """Record the rebalancer's migrations and the final placement."""
         self.rebalance_events = list(events)
         self.cluster_map_final = tuple(int(s) for s in cluster_map)
+
+    def set_flash(self, summary: dict) -> None:
+        """Record the flash substrate's end-of-run summary."""
+        self.flash = summary
 
     def set_event_counts(self, counts: dict[str, int]) -> None:
         """Fold the kernel's per-type dispatch counts into the counters.
@@ -516,4 +540,5 @@ class MetricsCollector:
             timeseries=(
                 self.windows.series() if self.windows is not None else None
             ),
+            flash=self.flash,
         )

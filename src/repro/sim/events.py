@@ -98,6 +98,22 @@ class DataMovement(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class FlashMaintenance(Event):
+    """Background flash work became due (read-disturb refresh / GC).
+
+    ``payload`` identifies the device and the blocks to relocate.  The
+    rank places maintenance *after* same-instant completions (the reads
+    that crossed the disturb threshold retire first) but *before* epoch
+    evaluation and new arrivals — the GC pause is booked on the device
+    before the epoch controllers or a same-instant arrival observe its
+    timeline, exactly as a device-internal scheduler would slot it.
+    """
+
+    RANK: ClassVar[int] = 25
+    payload: Any = None
+
+
+@dataclass(frozen=True, slots=True)
 class EpochTick(Event):
     """A periodic evaluation boundary (autoscaler / rebalancer)."""
 

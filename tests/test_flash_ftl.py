@@ -1,5 +1,6 @@
 """Unit tests for the FTL block-refresh mechanism (Section II-B2)."""
 
+import numpy as np
 import pytest
 
 from repro.flash.ftl import FlashTranslationLayer
@@ -74,3 +75,119 @@ class TestRefresh:
         expected = 4 * (timing.read_page_s + timing.program_page_s)
         expected += timing.erase_block_s
         assert latency == pytest.approx(expected)
+
+
+class TestReadAccounting:
+    def test_record_reads_reports_threshold_crossers(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry, read_disturb_threshold=10)
+        luns = np.array([0, 0, 1])
+        planes = np.array([0, 0, 1])
+        blocks = np.array([2, 2, 3])
+        due = ftl.record_reads(luns, planes, blocks, np.array([4, 4, 3]))
+        assert due == []  # 8 and 3 reads: nobody crossed yet
+        due = ftl.record_reads(luns, planes, blocks, np.array([1, 1, 7]))
+        assert due == [(0, 0, 2), (1, 1, 3)]
+
+    def test_record_reads_deduplicates_repeated_triples(self, tiny_geometry):
+        # The same (lun, plane, block) appearing several times in one
+        # bulk call accumulates (np.add.at semantics) and is reported
+        # once, not once per occurrence.
+        ftl = FlashTranslationLayer(tiny_geometry, read_disturb_threshold=5)
+        luns = np.array([1, 1, 1])
+        planes = np.array([0, 0, 0])
+        blocks = np.array([4, 4, 4])
+        due = ftl.record_reads(luns, planes, blocks, np.array([2, 2, 2]))
+        assert due == [(1, 0, 4)]
+        assert ftl.read_counts[1, 0, 4] == 6
+
+    def test_refresh_resets_disturb_counter(self, tiny_geometry):
+        ftl = FlashTranslationLayer(tiny_geometry, read_disturb_threshold=3)
+        one = np.array([0])
+        ftl.record_reads(one, one, np.array([2]), np.array([3]))
+        ftl.refresh_block(0, 0, 2)
+        assert ftl.read_counts[0, 0, 2] == 0
+
+    def test_write_amplification_accounting(self, tiny_geometry):
+        # Host programs charge both counters; refresh relocations only
+        # the NAND one — so WA = nand / host grows past 1.0 with GC.
+        ftl = FlashTranslationLayer(tiny_geometry)
+        ftl.program_block(0, 0, 1)  # full block: pages_per_block pages
+        pages = tiny_geometry.pages_per_block
+        assert ftl.host_pages_written == pages
+        assert ftl.nand_pages_written == pages
+        assert ftl.gc_summary()["write_amplification"] == pytest.approx(1.0)
+        ftl.refresh_block(0, 0, 1)
+        summary = ftl.gc_summary()
+        assert summary["nand_pages_written"] == 2 * pages
+        assert summary["write_amplification"] == pytest.approx(2.0)
+        assert summary["refreshes"] == 1
+        assert summary["total_erases"] == 1
+
+    def test_erase_in_place_counts_wear_without_relocating(
+        self, tiny_geometry
+    ):
+        ftl = FlashTranslationLayer(tiny_geometry)
+        phys = ftl.physical_block(0, 1, 3)
+        ftl.erase_block_in_place(0, 1, 3)
+        assert ftl.physical_block(0, 1, 3) == phys  # mapping untouched
+        assert ftl.erase_counts[0, 1, phys] == 1
+        assert ftl.read_counts[0, 1, 3] == 0
+
+
+class TestRefreshStormProperty:
+    """Satellite property: a mirror that replays the subscription feed
+    reconstructs the FTL's exact mapping — every relocation is
+    published exactly once, in order, and the mapping stays a
+    per-plane bijection through randomized refresh storms."""
+
+    @pytest.mark.parametrize("seed", (3, 17, 91))
+    def test_mirror_reconstructs_mapping(self, tiny_geometry, seed):
+        ftl = FlashTranslationLayer(
+            tiny_geometry, reserved_per_plane=2, seed=seed
+        )
+        # The mirror starts from the identity mapping and applies each
+        # published RefreshEvent; double-delivery or a missed event
+        # would desynchronize it from the FTL immediately.  Events name
+        # physical blocks, so the mirror finds the (unique, by
+        # bijectivity) logical entry currently mapped to the old one.
+        mirror = {
+            (lun, plane, block): block
+            for lun in range(tiny_geometry.total_luns)
+            for plane in range(tiny_geometry.planes_per_lun)
+            for block in range(ftl.usable_blocks)
+        }
+        seen = []
+
+        def apply(event):
+            owners = [
+                key for key, phys in mirror.items()
+                if key[:2] == (event.lun, event.plane)
+                and phys == event.old_block
+            ]
+            assert len(owners) == 1, owners
+            mirror[owners[0]] = event.new_block
+            seen.append(event)
+
+        ftl.subscribe(apply)
+        rng = np.random.default_rng(seed)
+        storms = 0
+        for _ in range(40):
+            # A storm: a burst of reads that pushes a random batch of
+            # blocks over the threshold, then refreshes every one — the
+            # shape FlashBackedStore.perform_refreshes drives online.
+            n = int(rng.integers(1, 6))
+            luns = rng.integers(0, tiny_geometry.total_luns, size=n)
+            planes = rng.integers(0, tiny_geometry.planes_per_lun, size=n)
+            blocks = rng.integers(0, ftl.usable_blocks, size=n)
+            ftl.record_reads(
+                luns, planes, blocks,
+                np.full(n, ftl.read_disturb_threshold),
+            )
+            for lun, plane, block in zip(luns, planes, blocks):
+                ftl.refresh_block(int(lun), int(plane), int(block))
+                storms += 1
+        ftl.check_consistency()
+        assert len(seen) == storms == len(ftl.refresh_log)
+        assert seen == ftl.refresh_log  # same events, same order
+        for (lun, plane, block), phys in mirror.items():
+            assert ftl.physical_block(lun, plane, block) == phys

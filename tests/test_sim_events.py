@@ -13,13 +13,15 @@ from repro.sim.events import (
     EpochTick,
     Event,
     EventLoop,
+    FlashMaintenance,
     StreamEnd,
 )
 
 
 def record_all(loop, log):
     for kind in (
-        Arrival, BatchDeadline, Completion, DataMovement, EpochTick, StreamEnd
+        Arrival, BatchDeadline, Completion, DataMovement, EpochTick,
+        FlashMaintenance, StreamEnd,
     ):
         loop.subscribe(kind, lambda e: log.append(e))
 
@@ -36,23 +38,41 @@ class TestOrdering:
 
     def test_same_instant_rank_order(self):
         """At one timestamp: data movement < deadline < completion <
-        epoch tick < arrival < stream end — the serving invariants
-        (a migration's routing flip commits before a same-instant
-        deadline dispatches)."""
+        flash maintenance < epoch tick < arrival < stream end — the
+        serving invariants (a migration's routing flip commits before a
+        same-instant deadline dispatches; a read-disturb refresh books
+        its GC pause after the read that tripped it retires but before
+        any same-instant arrival dispatches into it)."""
         loop, log = EventLoop(), []
         record_all(loop, log)
         t = 3.0
         loop.schedule(StreamEnd(time=t))
         loop.schedule(Arrival(time=t))
         loop.schedule(EpochTick(time=t))
+        loop.schedule(FlashMaintenance(time=t))
         loop.schedule(Completion(time=t))
         loop.schedule(BatchDeadline(time=t))
         loop.schedule(DataMovement(time=t))
         loop.run()
         assert [type(e) for e in log] == [
-            DataMovement, BatchDeadline, Completion, EpochTick, Arrival,
-            StreamEnd,
+            DataMovement, BatchDeadline, Completion, FlashMaintenance,
+            EpochTick, Arrival, StreamEnd,
         ]
+
+    def test_flash_maintenance_between_completion_and_arrival(self):
+        """The rank a refresh needs in isolation: scheduled at a batch's
+        completion instant it runs after that Completion retires (the
+        reads that crossed the disturb threshold exist) and before the
+        same-instant Arrival (the pause occupies the device before the
+        next dispatch queries it)."""
+        loop, log = EventLoop(), []
+        record_all(loop, log)
+        loop.schedule(Arrival(time=1.0))
+        loop.schedule(FlashMaintenance(time=1.0, payload=(0, [(0, 0, 1)])))
+        loop.schedule(Completion(time=1.0))
+        loop.run()
+        assert [type(e) for e in log] == [Completion, FlashMaintenance, Arrival]
+        assert log[1].payload == (0, [(0, 0, 1)])
 
     def test_after_arrivals_rank_sorts_behind_arrivals(self):
         """A greedy-close timer scheduled with AFTER_ARRIVALS fires
