@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-ndsearch",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "From-scratch reproduction of NDSEARCH: near-data processing for "
         "graph-traversal approximate nearest neighbor search (ISCA 2024)"
@@ -28,6 +28,10 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve = repro.serving.__main__:main",
+            # The static determinism / event-kernel checker; its scan
+            # paths and baseline default from the [repro.lint] block in
+            # pytest.ini, so `repro-lint` from the repo root just works.
+            "repro-lint = repro.lint.__main__:main",
         ],
     },
 )

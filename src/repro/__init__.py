@@ -22,6 +22,9 @@ package layout mirrors the system:
 * :mod:`repro.serving` — the online layer: dynamic batching, shard
   routing, result caching and admission control over the platform
   simulators, reporting QPS and tail latency.
+* :mod:`repro.lint` — static determinism & event-kernel invariant
+  checks over this repo's own sources (``python -m repro.lint``),
+  gating CI on the bug classes that would break bit-reproducibility.
 
 Typical use::
 

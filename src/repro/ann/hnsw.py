@@ -150,7 +150,7 @@ class HNSWIndex:
         adj = self.layers[0]
         n = self.vectors.shape[0]
         seen = np.zeros(n, dtype=bool)
-        stack = list({int(self.entry_point), *self._pivots})
+        stack = sorted({int(self.entry_point), *self._pivots})
         for s in stack:
             seen[s] = True
         while True:

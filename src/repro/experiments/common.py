@@ -258,7 +258,11 @@ def _load_workload(path: Path, dataset: Dataset, algorithm: str) -> Workload:
 # =============================================================================
 # Platform runs
 # =============================================================================
-_run_cache: dict[tuple, SimResult] = {}
+# Entries pin the workload object alongside the result: the key uses
+# id(workload), which the interpreter recycles after GC, so a hit is
+# honoured only if the pinned object is identical (and pinning it keeps
+# its id from being recycled while the entry lives).
+_run_cache: dict[tuple, tuple["Workload", SimResult]] = {}
 
 
 def run_platform(
@@ -280,7 +284,7 @@ def run_platform(
     if flags is not None:
         config = config.with_flags(flags)
     cache_key = (
-        id(workload),
+        id(workload),  # repro-lint: disable=DET001 -- workload pinned in the entry
         platform,
         batch,
         config.flags,
@@ -290,12 +294,12 @@ def run_platform(
         hard_failure_prob,
     )
     cached = _run_cache.get(cache_key)
-    if cached is not None:
-        return cached
+    if cached is not None and cached[0] is workload:
+        return cached[1]
     result = _run_platform_uncached(
         platform, workload, config, batch, reorder_mode, hard_failure_prob
     )
-    _run_cache[cache_key] = result
+    _run_cache[cache_key] = (workload, result)
     return result
 
 

@@ -1,0 +1,83 @@
+"""Grandfathered findings: the committed lint baseline.
+
+The baseline lets a new rule land without forcing every pre-existing
+violation to be fixed in the same PR: known findings are recorded here
+and the CI gate fails only on *new* ones.  Matching is by
+``(rule, path, line content)`` as a multiset — line numbers are stored
+for human orientation but ignored when matching, so unrelated edits
+that shift code do not invalidate the baseline, while editing the
+offending line itself does (the finding then surfaces as new, which is
+the point: touched code must meet the current bar).
+
+The on-disk form is canonical JSON (sorted entries, two-space indent,
+trailing newline): ``load → dumps`` round-trips byte-identically, and
+regenerating via ``python -m repro.lint --write-baseline`` produces no
+diff when nothing changed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered findings."""
+
+    entries: list[Finding] = field(default_factory=list)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(entries=sorted(findings))
+
+    @classmethod
+    def loads(cls, text: str) -> "Baseline":
+        data = json.loads(text)
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        return cls(entries=[Finding.from_dict(d) for d in data["findings"]])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        return cls.loads(Path(path).read_text())
+
+    def dumps(self) -> str:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [f.to_dict() for f in sorted(self.entries)],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.dumps())
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition ``findings`` into (new, grandfathered).
+
+        Each baseline entry forgives at most one finding with the same
+        ``(rule, path, content)`` key, so duplicating a baselined
+        violation on another line still fails the gate.
+        """
+        budget = Counter(e.baseline_key for e in self.entries)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in sorted(findings):
+            if budget.get(f.baseline_key, 0) > 0:
+                budget[f.baseline_key] -= 1
+                old.append(f)
+            else:
+                new.append(f)
+        return new, old

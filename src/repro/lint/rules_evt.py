@@ -1,0 +1,279 @@
+"""Event-kernel invariant rules (EVT001–EVT002).
+
+The discrete-event kernel's determinism contract rests on its events
+being immutable value objects ordered by ``(time, RANK, seq)``:
+
+* a mutable event could change under a handler that runs later at the
+  same instant, making handler order observable;
+* two event types sharing a ``RANK`` fall back to schedule order for
+  their same-instant interleaving, which silently couples unrelated
+  sources (the exact class of bug the documented rank table exists to
+  prevent).
+
+These rules apply wherever ``Event`` subclasses are *defined* — the
+kernel module itself, and any module (tests included) that derives a
+new event type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, register
+
+#: Event types exported by the kernel (``repro.sim.events``).  A class
+#: is event-like if its base chain — within the file — reaches one of
+#: these names or a local class named ``Event``.
+KERNEL_EVENT_NAMES = frozenset(
+    {
+        "Event",
+        "Arrival",
+        "BatchDeadline",
+        "Completion",
+        "DataMovement",
+        "EpochTick",
+        "FlashMaintenance",
+        "StreamEnd",
+    }
+)
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def event_classes(ctx: FileContext) -> list[ast.ClassDef]:
+    """Event subclasses defined in this file (transitive, in-file).
+
+    Seeds from :data:`KERNEL_EVENT_NAMES` (covers both the kernel
+    module and importers) and iterates to a fixpoint so a subclass of a
+    local subclass is still recognised.
+    """
+    classes = [n for n in ast.walk(ctx.tree) if isinstance(n, ast.ClassDef)]
+    event_names = set(KERNEL_EVENT_NAMES)
+    found: dict[str, ast.ClassDef] = {}
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in found:
+                continue
+            # A local class literally named ``Event`` is the root
+            # definition (it owns the default RANK); everything else
+            # qualifies through its base chain.
+            if cls.name == "Event" or any(
+                b in event_names for b in _base_names(cls)
+            ):
+                found[cls.name] = cls
+                event_names.add(cls.name)
+                changed = True
+    # The root ``Event`` definition itself participates (it owns the
+    # default RANK), but only where it is actually defined.
+    return sorted(found.values(), key=lambda c: c.lineno)
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> ast.expr | None:
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator, if any."""
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else None
+        )
+        if name == "dataclass":
+            return dec
+    return None
+
+
+def _rank_value(cls: ast.ClassDef) -> tuple[ast.stmt, int | None] | None:
+    """The ``RANK = <literal>`` statement in the class body, if any."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.target.id == "RANK" and stmt.value is not None:
+                value = stmt.value
+                if isinstance(value, ast.Constant) and isinstance(value.value, int):
+                    return stmt, value.value
+                return stmt, None
+        elif isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name) and t.id == "RANK":
+                    value = stmt.value
+                    if isinstance(value, ast.Constant) and isinstance(
+                        value.value, int
+                    ):
+                        return stmt, value.value
+                    return stmt, None
+    return None
+
+
+@register
+class EventShape(Rule):
+    """Every Event subclass is a frozen, slotted dataclass with its own
+    module-unique ``RANK``."""
+
+    ID = "EVT001"
+    TITLE = "Event subclass must be @dataclass(frozen=True, slots=True) with a unique RANK"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        ranks: dict[int, str] = {}
+        for cls in event_classes(ctx):
+            dec = _dataclass_decorator(cls)
+            if dec is None:
+                yield self.finding(
+                    ctx,
+                    cls,
+                    f"event class {cls.name} is not a dataclass; events must "
+                    "be @dataclass(frozen=True, slots=True) value objects.",
+                )
+            else:
+                keywords = (
+                    {
+                        kw.arg: kw.value
+                        for kw in dec.keywords
+                        if kw.arg is not None
+                    }
+                    if isinstance(dec, ast.Call)
+                    else {}
+                )
+                for flag in ("frozen", "slots"):
+                    value = keywords.get(flag)
+                    if not (
+                        isinstance(value, ast.Constant) and value.value is True
+                    ):
+                        yield self.finding(
+                            ctx,
+                            dec,
+                            f"event class {cls.name} must be declared "
+                            f"@dataclass(frozen=True, slots=True); "
+                            f"{flag}=True is missing.",
+                        )
+            rank = _rank_value(cls)
+            if rank is None:
+                yield self.finding(
+                    ctx,
+                    cls,
+                    f"event class {cls.name} does not define RANK; every "
+                    "event type pins its own same-instant rank (see the "
+                    "rank table in repro.sim.events).",
+                )
+                continue
+            stmt, value = rank
+            if value is None:
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"event class {cls.name}'s RANK must be an integer "
+                    "literal so same-instant order is auditable.",
+                )
+            elif value in ranks:
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"event class {cls.name} reuses RANK={value} already "
+                    f"taken by {ranks[value]}; same-instant order between "
+                    "them would fall back to schedule order.",
+                )
+            else:
+                ranks[value] = cls.name
+
+
+@register
+class EventMutation(Rule):
+    """No attribute assignment to event-typed handler parameters.
+
+    Events are frozen, so a plain assignment raises at runtime — but
+    only on the path that executes it; ``object.__setattr__`` bypasses
+    the freeze silently.  Both are flagged statically.
+    """
+
+    ID = "EVT002"
+    TITLE = "attribute assignment to an event-typed handler parameter"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        event_names = set(KERNEL_EVENT_NAMES) | {
+            c.name for c in event_classes(ctx)
+        }
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = self._event_params(fn, event_names)
+            if not params:
+                continue
+            yield from self._check_body(ctx, fn, params)
+
+    @staticmethod
+    def _event_params(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef, event_names: set[str]
+    ) -> set[str]:
+        params: set[str] = set()
+        all_args = (
+            fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+        )
+        for arg in all_args:
+            ann = arg.annotation
+            name: str | None = None
+            if isinstance(ann, ast.Name):
+                name = ann.id
+            elif isinstance(ann, ast.Attribute):
+                name = ann.attr
+            elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+                name = ann.value.split(".")[-1].strip()
+            if name in event_names:
+                params.add(arg.arg)
+        return params
+
+    def _check_body(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        params: set[str],
+    ) -> Iterator[Finding]:
+        def is_param_attr(node: ast.expr) -> bool:
+            return (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in params
+            )
+
+        for node in ast.walk(fn):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if is_param_attr(target):
+                    yield self.finding(
+                        ctx,
+                        target,
+                        f"assignment to {ast.unparse(target)}: events are "
+                        "immutable; schedule a replacement event instead of "
+                        "mutating one in flight.",
+                    )
+            if isinstance(node, ast.Call):
+                qual = ctx.qualified_name(node.func)
+                if (
+                    qual in {"setattr", "object.__setattr__"}
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in params
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{qual}() on event parameter "
+                        f"'{node.args[0].id}' bypasses the frozen dataclass; "
+                        "events are immutable.",
+                    )

@@ -1007,7 +1007,12 @@ class ServingFrontend:
         nothing is booked on the devices and no metrics are recorded.
         """
         sizes = sorted({1, self.config.policy.max_batch_size})
-        backends = list({id(b): b for b in self.router.backends}.values())
+        # Distinct backend objects, first-occurrence order (replicated
+        # pools alias one backend across shards; probe each just once).
+        backends: list = []
+        for b in self.router.backends:
+            if not any(b is have for have in backends):
+                backends.append(b)
         for size in sizes:
             queries = pool[np.arange(size) % pool.shape[0]]
             for backend in backends:

@@ -29,6 +29,7 @@ def test_serving_all_resolves():
         "repro.core",
         "repro.data",
         "repro.flash",
+        "repro.lint",
         "repro.obs",
         "repro.serving",
         "repro.sim",
