@@ -54,6 +54,8 @@ from repro.ann import BruteForceIndex, recall_at_k
 from repro.core.config import NDSearchConfig
 from repro.data.synthetic import clustered_gaussian, split_queries
 from repro.obs import SpanTracer
+import json
+
 from repro.serving import (
     AutoscalePolicy,
     BatchPolicy,
@@ -64,6 +66,7 @@ from repro.serving import (
     RebalancePolicy,
     ServingConfig,
     ServingFrontend,
+    ServingTwin,
     build_router,
 )
 from repro.serving.sharding import PARTITIONED
@@ -118,6 +121,15 @@ FLASH_ECC_PROB = 0.05
 
 #: Event-time window for the observability rerun's metrics time series.
 OBS_WINDOW_S = 1e-3
+
+#: Checkpoint window for the incremental what-if rows: the broadcast
+#: partitioned cell is fed to a ServingTwin once per process, and all
+#: routing what-ifs fork from its checkpoints instead of re-simulating
+#: the shared warm prefix.  Rows carry only deterministic fields (no
+#: wall clocks), keeping the pooled sweep payload byte-identical to
+#: the serial one; the wall-clock speedup gate lives in
+#: ``profile_serving.py`` (the ``twin-whatif`` trajectory entry).
+TWIN_WINDOW_S = 20e-3
 
 CORPUS, DIM, POOL, REQUESTS, K = 800, 16, 128, 400, 10
 
@@ -522,6 +534,93 @@ def _flash_row(enabled: bool) -> dict:
     return row
 
 
+@lru_cache(maxsize=1)
+def _twin_base():
+    """The shared warm prefix: the broadcast partitioned cell fed to a
+    twin window by window.  Built once per process; every what-if row
+    forks from its checkpoints (warm-worker affinity keys the twin
+    rows to the ``partitioned`` family, so pooled runs share it too).
+    """
+    _, pool = _dataset()
+    twin = ServingTwin(
+        _partitioned_router,
+        ServingConfig(
+            policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3),
+            cache_capacity=0,
+            coalesce=False,
+        ),
+        pool,
+        window_s=TWIN_WINDOW_S,
+        calibrate_k=K,
+    )
+    arrivals = QueryStream(
+        PoissonArrivals(PARTITION_RATE),
+        pool_size=POOL,
+        n_requests=REQUESTS,
+        k=K,
+        zipf_exponent=0.0,
+        seed=33,
+    ).generate()
+    last_arrival = arrivals[-1].arrival_s
+    fed, window = 0, 1
+    while window * TWIN_WINDOW_S <= last_arrival:
+        boundary = window * TWIN_WINDOW_S
+        cut = fed
+        while cut < len(arrivals) and arrivals[cut].arrival_s <= boundary:
+            cut += 1
+        twin.feed(arrivals[fed:cut])
+        fed = cut
+        twin.advance(boundary)
+        window += 1
+    twin.feed(arrivals[fed:])
+    return twin, twin.finish()
+
+
+def _twin_row(nprobe) -> dict:
+    # One what-if fork off the shared warm prefix: re-simulate only
+    # the final window under the routing delta.  The no-delta fork
+    # ("base") is compared byte for byte against a from-scratch run of
+    # the same cell — the determinism contract that makes answering
+    # what-ifs from checkpoints (and caching the answers) honest.
+    twin, base_report = _twin_base()
+    answer = twin.whatif() if nprobe == "keep" else twin.whatif(nprobe=nprobe)
+    row = {
+        "routing": "base" if nprobe == "keep" else f"nprobe={nprobe}",
+        "qps": answer.qps,
+        "p50_ms": answer.latency_p50_s * 1e3,
+        "p99_ms": answer.latency_p99_s * 1e3,
+        "searched": answer.completed,
+        "probes_per_query": answer.mean_probes_per_query,
+        "cache_entries": len(twin.cache),
+        "checkpoints": len(twin.checkpoints),
+    }
+    if nprobe == "keep":
+        _, pool = _dataset()
+        scratch = _run_cell(
+            _partitioned_router(),
+            pool,
+            arrivals=PoissonArrivals(PARTITION_RATE),
+            policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3),
+            pipelined=True,
+            coalesce=False,
+        )
+        row["identical"] = (
+            json.dumps(answer.to_dict(), sort_keys=True)
+            == json.dumps(scratch.to_dict(), sort_keys=True)
+        )
+        row["base_matches_live"] = (
+            json.dumps(
+                {k: v for k, v in base_report.to_dict().items() if k != "twin"},
+                sort_keys=True,
+            )
+            == json.dumps(
+                {k: v for k, v in scratch.to_dict().items() if k != "twin"},
+                sort_keys=True,
+            )
+        )
+    return row
+
+
 _SECTION_ROWS = {
     "sweep": _sweep_row,
     "pipeline": _pipeline_row,
@@ -532,6 +631,7 @@ _SECTION_ROWS = {
     "autoscale": _autoscale_row,
     "rebalance": _rebalance_row,
     "flash": _flash_row,
+    "twin": _twin_row,
 }
 
 
@@ -569,6 +669,8 @@ def _row_specs(
     for coalesce in (False, True):
         rows.append(("replicated-x1", "coalescing", {"coalesce": coalesce}))
     rows.append(("replicated-x1", "observability", {}))
+    for nprobe in ("keep", 1, 2):
+        rows.append(("partitioned", "twin", {"nprobe": nprobe}))
     if slo:
         for deadline_ms in SLO_DEADLINES_MS:
             rows.append(
@@ -612,6 +714,7 @@ def collect(
         "partitioned": [],
         "coalescing": [],
         "observability": None,
+        "twin": [],
     }
     for (_, section, _spec), output in zip(specs, outputs):
         if section == "observability":
@@ -679,6 +782,34 @@ def run(results: dict | None = None) -> str:
         ),
     )
     tables = [sweep_table, pipeline_table, partition_table]
+    if results.get("twin"):
+        tables.append(
+            format_table(
+                ["fork", "QPS", "p50 ms", "p99 ms", "probes/q", "searched",
+                 "note"],
+                [
+                    [
+                        r["routing"],
+                        f"{r['qps']:,.0f}",
+                        f"{r['p50_ms']:.3f}",
+                        f"{r['p99_ms']:.3f}",
+                        f"{r['probes_per_query']:.2f}",
+                        r["searched"],
+                        (
+                            "byte-identical to scratch"
+                            if r.get("identical")
+                            else "final window re-routed"
+                        ),
+                    ]
+                    for r in results["twin"]
+                ],
+                title=(
+                    f"incremental what-if forks off one warm prefix "
+                    f"(twin, {TWIN_WINDOW_S * 1e3:g} ms checkpoints, "
+                    f"{results['twin'][0]['checkpoints']} snapshots)"
+                ),
+            )
+        )
     if "slo" in results:
         tables.append(
             format_table(
@@ -911,6 +1042,24 @@ def test_bench_serving(benchmark, record_table, record_json, request):
     assert trace["traceEvents"], "traced run recorded no events"
     for event in trace["traceEvents"]:
         assert "ph" in event and "name" in event
+
+    # Incremental what-if forks (twin): the no-delta fork off the last
+    # checkpoint reproduces the from-scratch broadcast cell byte for
+    # byte, the base (windowed, checkpointed) run matches the live run
+    # modulo the twin counters, and re-routed forks actually change
+    # the suffix's routing without touching the shared prefix.
+    twin_rows = {r["routing"]: r for r in results["twin"]}
+    assert twin_rows["base"]["identical"], twin_rows["base"]
+    assert twin_rows["base"]["base_matches_live"], twin_rows["base"]
+    assert twin_rows["base"]["checkpoints"] > 1
+    assert (
+        twin_rows["nprobe=1"]["probes_per_query"]
+        < twin_rows["base"]["probes_per_query"]
+    )
+    assert (
+        twin_rows["nprobe=1"]["probes_per_query"]
+        < twin_rows["nprobe=2"]["probes_per_query"]
+    )
 
     # SLO sweep (--slo): loosening the deadline never raises the miss
     # rate, the slo policy keeps >= 95% high-priority attainment, and

@@ -53,9 +53,21 @@ def main(argv: list[str] | None = None) -> int:
     rows, failures = check_regression(
         baseline, current, threshold=args.threshold
     )
+    skipped_new = []
     for row in rows:
-        if row["status"] in ("new", "removed"):
-            print(f"  {row['name']:<26} {row['status']}")
+        if row["status"] == "new":
+            # A config present in the fresh run but absent from the
+            # baseline has no trajectory to gate against: skip it
+            # explicitly (never fail) — it gets a baseline entry at
+            # the next BENCH_serving.json refresh.
+            skipped_new.append(row["name"])
+            print(
+                f"  {row['name']:<26} skipped: not in baseline "
+                f"(gated from the next BENCH refresh on)"
+            )
+            continue
+        if row["status"] == "removed":
+            print(f"  {row['name']:<26} removed (in baseline only)")
             continue
         print(
             f"  {row['name']:<26} {row['status']:<9} "
@@ -73,7 +85,11 @@ def main(argv: list[str] | None = None) -> int:
         for message in failures:
             print(f"  {message}", file=sys.stderr)
         return 1
-    print(f"\nOK: no config regressed more than {args.threshold:.0%}")
+    note = (
+        f" ({len(skipped_new)} new config(s) skipped — not in baseline)"
+        if skipped_new else ""
+    )
+    print(f"\nOK: no config regressed more than {args.threshold:.0%}{note}")
     return 0
 
 

@@ -57,8 +57,10 @@ from repro.serving import (  # noqa: E402
     RebalancePolicy,
     ServingConfig,
     ServingFrontend,
+    ServingTwin,
     build_router,
 )
+from repro.serving.twin import TwinCache  # noqa: E402
 from repro.serving.sharding import PARTITIONED  # noqa: E402
 from repro.sim.pool import run_rows, workers_from_env  # noqa: E402
 
@@ -79,11 +81,26 @@ CONFIG_NAMES = (
     "partitioned-x4-nprobe1",
     "partitioned-x4-rebalance",
     "partitioned-x4-flash",
+    "twin-whatif",
 )
 
 #: Stateful-flash config knobs (mirrors bench_serving's --flash cell).
 FLASH_THRESHOLD = 200
 FLASH_ECC_PROB = 0.05
+
+#: Incremental re-simulation (repro.serving.twin): the twin shadows
+#: the ``partitioned-x4-nprobe1`` run, checkpointing every
+#: TWIN_WINDOW_S, and the ``twin-whatif`` trajectory entry times a
+#: no-delta what-if — restore the last checkpoint, re-simulate only
+#: the final window — whose report must be byte-identical to the
+#: from-scratch run.  ``wall_s`` is the incremental replay's wall
+#: clock while ``events`` is the full run's event count (the replay
+#: *answers for* the whole run), so events/sec is the effective event
+#: rate of incremental replay and the ratio of the two configs'
+#: ``wall_s`` in BENCH_serving.json is the recorded speedup, asserted
+#: >= TWIN_SPEEDUP_MIN at every refresh.
+TWIN_WINDOW_S = 2e-3
+TWIN_SPEEDUP_MIN = 5.0
 
 
 def _run(router, pool, *, policy=None, zipf=0.0, nprobe=None, slo=None,
@@ -199,6 +216,8 @@ ROUNDS = 2
 
 def profile_row(name: str) -> dict:
     """Pool task: measure one named config (best of :data:`ROUNDS`)."""
+    if name == "twin-whatif":
+        return _twin_whatif_record()
     _, pool = _dataset()
     make_router, kwargs = _setup(name)
     scratch = RunProfiler()
@@ -207,6 +226,96 @@ def profile_row(name: str) -> dict:
             report = _run(make_router(), pool, **kwargs)
             probe.events = int(report.counters["loop_events_total"])
     return asdict(max(scratch.records, key=lambda r: r.events_per_sec))
+
+
+def _twin_stream():
+    """The ``partitioned-x4-nprobe1`` stream, regenerated fresh (the
+    twin consumes request objects; a comparator run needs its own)."""
+    return QueryStream(
+        PoissonArrivals(RATE),
+        pool_size=POOL,
+        n_requests=REQUESTS,
+        k=K,
+        zipf_exponent=0.0,
+        seed=33,
+    ).generate()
+
+
+@lru_cache(maxsize=1)
+def _twin_scratch():
+    """Best-of-:data:`ROUNDS` from-scratch run of the twin's base
+    config (identical to the ``partitioned-x4-nprobe1`` cell) — the
+    wall-clock and byte-identity comparator for ``twin-whatif``."""
+    _, pool = _dataset()
+    make_router, kwargs = _setup("partitioned-x4-nprobe1")
+    profiler = RunProfiler()
+    for _ in range(ROUNDS):
+        with profiler.measure("twin-scratch") as probe:
+            report = _run(make_router(), pool, **kwargs)
+            probe.events = int(report.counters["loop_events_total"])
+    return max(profiler.records, key=lambda r: r.events_per_sec), report
+
+
+def _twin_whatif_record() -> dict:
+    """Measure the incremental replay of the final window.
+
+    Builds the twin once (same corpus, stream, config and seeds as
+    ``partitioned-x4-nprobe1``), feeds the stream window by window,
+    then times a no-delta what-if per round with a cleared cache —
+    timing the restore + suffix re-simulation, not the memo lookup.
+    Asserts the acceptance contract: the answer is byte-identical to
+    the from-scratch report and >= :data:`TWIN_SPEEDUP_MIN` x faster.
+    """
+    vectors, pool = _dataset()
+    config = NDSearchConfig.scaled()
+    serving_config = ServingConfig(
+        policy=BatchPolicy(max_batch_size=32, max_wait_s=2e-3),
+        cache_capacity=0,
+        coalesce=False,
+        nprobe=1,
+    )
+    twin = ServingTwin(
+        lambda: build_router(
+            vectors, num_shards=4, config=config, mode=PARTITIONED, seed=35
+        ),
+        serving_config,
+        pool,
+        window_s=TWIN_WINDOW_S,
+        calibrate_k=K,
+    )
+    arrivals = _twin_stream()
+    last_arrival = arrivals[-1].arrival_s
+    fed, window = 0, 1
+    while window * TWIN_WINDOW_S <= last_arrival:
+        boundary = window * TWIN_WINDOW_S
+        cut = fed
+        while cut < len(arrivals) and arrivals[cut].arrival_s <= boundary:
+            cut += 1
+        twin.feed(arrivals[fed:cut])
+        fed = cut
+        twin.advance(boundary)
+        window += 1
+    twin.feed(arrivals[fed:])
+    twin.finish()
+    profiler = RunProfiler()
+    for _ in range(ROUNDS):
+        twin.cache = TwinCache()
+        with profiler.measure("twin-whatif") as probe:
+            answer = twin.whatif()
+            probe.events = int(answer.counters["loop_events_total"])
+    best = max(profiler.records, key=lambda r: r.events_per_sec)
+    scratch_best, scratch_report = _twin_scratch()
+    assert (
+        json.dumps(answer.to_dict(), sort_keys=True)
+        == json.dumps(scratch_report.to_dict(), sort_keys=True)
+    ), "twin-whatif: incremental replay diverged from from-scratch"
+    speedup = scratch_best.wall_s / best.wall_s
+    assert speedup >= TWIN_SPEEDUP_MIN, (
+        f"twin-whatif replay is only {speedup:.1f}x faster than "
+        f"from-scratch (need >= {TWIN_SPEEDUP_MIN:g}x): "
+        f"{best.wall_s:.4f}s vs {scratch_best.wall_s:.4f}s"
+    )
+    return asdict(best)
 
 
 def hotspot_row(name: str, top: int = 20) -> str:

@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-ndsearch",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "From-scratch reproduction of NDSEARCH: near-data processing for "
         "graph-traversal approximate nearest neighbor search (ISCA 2024)"

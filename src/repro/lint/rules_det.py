@@ -1,4 +1,4 @@
-"""Determinism rules (DET001–DET004).
+"""Determinism rules (DET001–DET005).
 
 Each rule encodes a bug class that has actually threatened the repo's
 byte-reproducibility contract (same seed + config → identical report
@@ -332,3 +332,90 @@ class SetIterationOrder(Rule):
                 and _is_set_expr(node.args[0])
             ):
                 yield self.finding(ctx, node.args[0], self.MSG)
+
+
+# Bare constructors and qualified factory callables that build mutable
+# containers.  qualified_name resolves ``from collections import
+# OrderedDict`` style imports to the dotted form.
+_MUTABLE_FACTORY_NAMES = frozenset({"dict", "list", "set", "bytearray"})
+_MUTABLE_FACTORY_QUALS = frozenset(
+    {
+        "collections.defaultdict",
+        "collections.OrderedDict",
+        "collections.deque",
+        "collections.Counter",
+        "collections.ChainMap",
+    }
+)
+
+
+def _is_mutable_container_expr(ctx: FileContext, node: ast.expr) -> bool:
+    """Syntactically a freshly built mutable container."""
+    if isinstance(
+        node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp,
+               ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORY_NAMES
+        ):
+            return True
+        qual = ctx.qualified_name(node.func)
+        if qual in _MUTABLE_FACTORY_QUALS:
+            return True
+    return False
+
+
+@register
+class ModuleLevelMutableState(Rule):
+    """Module-level mutable containers in the serving/simulation trees.
+
+    A dict/list/set bound at module scope outlives every simulation
+    run in the process: state from one run leaks into the next, two
+    frontends in one process couple through it, and snapshot/restore
+    (``repro.sim.snapshot``) cannot capture it — a restored run then
+    diverges from the run it forked, breaking the byte-reproducibility
+    contract the parity suite pins.  Keep per-run state on the objects
+    that own it.  Deliberate content-keyed memo caches (immutable
+    values, explicit bound, no per-run state) carry a same-line
+    ``# repro-lint: disable=DET005`` pragma.
+    """
+
+    ID = "DET005"
+    TITLE = "module-level mutable state in serving/sim code"
+
+    MSG = (
+        "module-level mutable container: state bound at import time "
+        "outlives and couples simulation runs, and snapshot/restore "
+        "cannot capture it. Move it onto the owning object, or pragma "
+        "it if it is a deliberate content-keyed memo of immutable "
+        "build artifacts."
+    )
+
+    _SCOPES = ("repro.serving", "repro.sim")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module is None or not ctx.module.startswith(self._SCOPES):
+            return
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                value = node.value
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value = node.value
+                targets = [node.target]
+            else:
+                continue
+            # Dunder assignments (__all__ = [...]) are interpreter
+            # protocol, not run state.
+            if all(
+                isinstance(t, ast.Name)
+                and t.id.startswith("__")
+                and t.id.endswith("__")
+                for t in targets
+            ):
+                continue
+            if _is_mutable_container_expr(ctx, value):
+                yield self.finding(ctx, value, self.MSG)

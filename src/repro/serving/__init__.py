@@ -38,6 +38,10 @@ platform models:
 * :mod:`repro.serving.frontend` — composable handlers over the
   discrete-event kernel (:mod:`repro.sim.events`) tying it together,
   including coalescing of identical in-flight queries.
+* :mod:`repro.serving.twin` — the digital twin: incremental
+  re-simulation over deterministic window snapshots
+  (:mod:`repro.sim.snapshot`), answering what-if queries by replaying
+  only the changed suffix, memoized in a content-addressed cache.
 
 Typical use::
 
@@ -88,6 +92,7 @@ from repro.serving.request import Request
 from repro.serving.sharding import ShardJob, ShardRouter, build_router
 from repro.serving.slo import ServiceModel
 from repro.serving.storage import FlashBackedStore, FlashConfig
+from repro.serving.twin import ServingTwin, TwinCache
 
 __all__ = [
     "AdmissionController",
@@ -114,10 +119,12 @@ __all__ = [
     "ServingConfig",
     "ServingFrontend",
     "ServingReport",
+    "ServingTwin",
     "ShardDevice",
     "ShardJob",
     "ShardRouter",
     "TraceReplayArrivals",
+    "TwinCache",
     "build_router",
     "make_backend",
 ]

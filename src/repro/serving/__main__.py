@@ -11,6 +11,19 @@ run's request/batch/stage spans as a Chrome trace-event file,
 ``--metrics-window-ms 5`` closes windowed metrics on 5 ms event-time
 windows, and ``--report-json report.json`` dumps the full report.
 
+Digital-twin mode (see :mod:`repro.serving.twin`): ``--emit-arrivals
+trace.jsonl`` writes the generated arrival stream as JSONL, and
+``--follow trace.jsonl`` replays it incrementally — checkpointing
+every ``--window-ms`` — then answers ``--whatif`` queries ("replay the
+last windows with nprobe=1 / +2 replicas / rebalancing on") by
+restoring the newest unaffected checkpoint and re-simulating only the
+changed suffix::
+
+    repro-serve --emit-arrivals trace.jsonl --rate 2000 --requests 400
+    repro-serve --follow trace.jsonl --mode partitioned --window-ms 20 \\
+        --whatif nprobe=1 --whatif nprobe=2 --twin-selftest \\
+        --twin-report twin.json
+
 The run finishes with a parity check: the same query pool is searched
 through the sharded pool and through one unsharded NDSearch system,
 and their recall against exact ground truth is compared (replicated
@@ -35,8 +48,233 @@ from repro.serving.autoscale import AutoscalePolicy
 from repro.serving.batcher import POLICY_MODES, BatchPolicy
 from repro.serving.frontend import ServingConfig, ServingFrontend
 from repro.serving.rebalance import RebalancePolicy
+from repro.serving.request import Request
 from repro.serving.sharding import REPLICATED, SHARD_MODES, build_router
 from repro.serving.storage import FlashConfig
+from repro.serving.twin import ServingTwin
+
+
+# ---- digital-twin helpers ------------------------------------------------
+
+def _write_arrivals(path: str, requests: list[Request]) -> None:
+    """Write an arrival stream as JSONL (the ``--follow`` input)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for request in requests:
+            handle.write(
+                json.dumps(
+                    {
+                        "request_id": request.request_id,
+                        "query_id": request.query_id,
+                        "arrival_s": request.arrival_s,
+                        "k": request.k,
+                        "priority": request.priority,
+                        "deadline_s": request.deadline_s,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+
+
+def _load_arrivals(path: str) -> list[Request]:
+    """Load a JSONL arrival stream into fresh, unserved requests."""
+    requests = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            requests.append(
+                Request(
+                    request_id=int(row["request_id"]),
+                    query_id=int(row["query_id"]),
+                    arrival_s=float(row["arrival_s"]),
+                    k=int(row.get("k", 10)),
+                    priority=int(row.get("priority", 0)),
+                    deadline_s=(
+                        float(row["deadline_s"])
+                        if row.get("deadline_s") is not None
+                        else None
+                    ),
+                )
+            )
+    requests.sort(key=lambda r: r.arrival_s)
+    return requests
+
+
+def _parse_whatif(spec: str) -> dict:
+    """Parse one ``--whatif`` spec into :meth:`ServingTwin.whatif` kwargs.
+
+    Comma-separated ``key=value`` pairs: ``nprobe=<int|broadcast>``,
+    ``add_replicas=<int>``, ``rebalance=on``, ``last_windows=<int>``.
+    """
+    kwargs: dict = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key, value = key.strip(), value.strip()
+        if not sep or not value:
+            raise ValueError(f"--whatif {spec!r}: expected key=value pairs")
+        if key == "nprobe":
+            kwargs["nprobe"] = (
+                None if value in ("none", "broadcast") else int(value)
+            )
+        elif key == "add_replicas":
+            kwargs["add_replicas"] = int(value)
+        elif key == "last_windows":
+            kwargs["last_windows"] = int(value)
+        elif key == "rebalance":
+            if value in ("on", "true", "1"):
+                kwargs["rebalance"] = RebalancePolicy()
+            elif value not in ("off", "false", "0"):
+                raise ValueError(
+                    f"--whatif {spec!r}: rebalance must be on or off"
+                )
+        else:
+            raise ValueError(f"--whatif {spec!r}: unknown key {key!r}")
+    return kwargs
+
+
+def _report_bytes(report) -> bytes:
+    return json.dumps(report.to_dict(), sort_keys=True).encode()
+
+
+def _twin_selftest(
+    twin: ServingTwin,
+    serving_config: ServingConfig,
+    router_factory,
+    pool,
+    arrivals_path: str,
+    whatifs: list[tuple[str, dict]],
+) -> list[str]:
+    """The determinism contract the CI twin step gates on.
+
+    A no-delta what-if must be byte-identical to a from-scratch replay
+    of the whole stream, and repeating every query (the null one
+    included) must hit the content-addressed cache with the identical
+    answer.  Returns the list of violations (empty = pass).
+    """
+    failures: list[str] = []
+    null_answer = twin.whatif()
+    scratch = ServingFrontend(router_factory(), serving_config).run(
+        _load_arrivals(arrivals_path), pool
+    )
+    if _report_bytes(null_answer) != _report_bytes(scratch):
+        failures.append(
+            "no-delta what-if is not byte-identical to a from-scratch "
+            "replay"
+        )
+    for spec, kwargs in [("<no delta>", {})] + whatifs:
+        first = twin.whatif(**kwargs)
+        hits_before = twin.cache.hits
+        second = twin.whatif(**kwargs)
+        if twin.cache.hits != hits_before + 1:
+            failures.append(f"repeating --whatif {spec!r} missed the cache")
+        if _report_bytes(first) != _report_bytes(second):
+            failures.append(
+                f"cached answer for --whatif {spec!r} differs from the "
+                f"simulated one"
+            )
+    return failures
+
+
+def _run_follow(args, parser, serving_config, router_factory, pool, tracer):
+    """``--follow``: incremental ingest, windowed checkpoints, what-ifs."""
+    window_s = args.window_ms * 1e-3
+    if window_s <= 0.0:
+        parser.error("--window-ms must be positive")
+    arrivals = _load_arrivals(args.follow)
+    if not arrivals:
+        parser.error(f"--follow {args.follow}: no arrivals")
+    if max(r.query_id for r in arrivals) >= pool.shape[0]:
+        parser.error(
+            f"--follow {args.follow}: query_id exceeds --pool "
+            f"{pool.shape[0]}"
+        )
+    try:
+        whatifs = [(spec, _parse_whatif(spec)) for spec in args.whatif]
+    except ValueError as exc:
+        parser.error(str(exc))
+    twin = ServingTwin(
+        router_factory,
+        serving_config,
+        pool,
+        window_s=window_s,
+        tracer=tracer,
+        calibrate_k=max(r.k for r in arrivals),
+    )
+    # Feed window by window, as a live follower would; never advance
+    # past the newest observed arrival (run() flushes the final
+    # straggler batch via StreamEnd, and byte-parity with it requires
+    # the clock not to overtake the stream).
+    last_arrival = arrivals[-1].arrival_s
+    fed = 0
+    window = 1
+    while window * window_s <= last_arrival:
+        boundary = window * window_s
+        cut = fed
+        while cut < len(arrivals) and arrivals[cut].arrival_s <= boundary:
+            cut += 1
+        twin.feed(arrivals[fed:cut])
+        fed = cut
+        twin.advance(boundary)
+        window += 1
+    twin.feed(arrivals[fed:])
+    report = twin.finish()
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"trace: {len(tracer)} events -> {args.trace}")
+    print()
+    print(report.format(title=f"twin: followed {args.follow}"))
+    stats = report.twin
+    print(
+        f"\ntwin: {stats['windows_simulated']} windows of "
+        f"{args.window_ms:g} ms, {stats['checkpoints']} checkpoints"
+    )
+    answers = []
+    for spec, kwargs in whatifs:
+        answer = twin.whatif(**kwargs)
+        answers.append((spec, answer))
+        print(
+            f"  whatif {spec:<28} completed {answer.completed:>5}  "
+            f"QPS {answer.qps:>10,.0f}  "
+            f"p99 {answer.latency_p99_s * 1e3:8.3f} ms  "
+            f"shed {answer.shed_rate:.1%}"
+        )
+    exit_code = 0
+    if args.twin_selftest:
+        failures = _twin_selftest(
+            twin, serving_config, router_factory, pool, args.follow,
+            whatifs,
+        )
+        if failures:
+            print(f"\nFAIL: twin self-test ({len(failures)} violation(s)):",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(
+                f"\nOK: twin self-test passed — null what-if byte-identical "
+                f"to from-scratch, {twin.cache.hits} cache hit(s) / "
+                f"{twin.cache.misses} miss(es), {twin.restores} restore(s)"
+            )
+    if args.twin_report:
+        payload = {
+            "base": report.to_dict(),
+            "twin": twin.stats(),
+            "whatifs": [
+                {"spec": spec, "report": answer.to_dict()}
+                for spec, answer in answers
+            ],
+        }
+        with open(args.twin_report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"twin report: {args.twin_report}")
+    return exit_code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -147,7 +385,38 @@ def main(argv: list[str] | None = None) -> int:
                              "report")
     parser.add_argument("--report-json", metavar="PATH", default=None,
                         help="write the full serving report as JSON")
+    parser.add_argument("--emit-arrivals", metavar="PATH", default=None,
+                        help="write the generated arrival stream as JSONL "
+                             "(one request per line) and exit — the input "
+                             "format --follow replays")
+    parser.add_argument("--follow", metavar="PATH", default=None,
+                        help="digital-twin mode: ingest a JSONL arrival "
+                             "stream incrementally, checkpoint the full "
+                             "simulation state every --window-ms, and "
+                             "answer --whatif queries by re-simulating "
+                             "only the changed suffix")
+    parser.add_argument("--window-ms", type=float, default=50.0,
+                        help="twin checkpoint window in ms (default 50)")
+    parser.add_argument("--whatif", action="append", default=[],
+                        metavar="SPEC",
+                        help="what-if query against the twin: comma-"
+                             "separated key=value pairs among nprobe=N|"
+                             "broadcast, add_replicas=N, rebalance=on, "
+                             "last_windows=N (repeatable)")
+    parser.add_argument("--twin-report", metavar="PATH", default=None,
+                        help="write the twin's base report, cache counters "
+                             "and what-if answers as JSON")
+    parser.add_argument("--twin-selftest", action="store_true",
+                        help="assert the twin contract: a no-delta what-if "
+                             "is byte-identical to a from-scratch replay "
+                             "and repeated what-ifs hit the content-"
+                             "addressed cache (exit 1 otherwise)")
     args = parser.parse_args(argv)
+    if args.follow and args.emit_arrivals:
+        parser.error("--follow and --emit-arrivals are mutually exclusive")
+    if (args.whatif or args.twin_report or args.twin_selftest) \
+            and not args.follow:
+        parser.error("--whatif/--twin-report/--twin-selftest need --follow")
     if args.nprobe is not None and args.mode == REPLICATED:
         parser.error("--nprobe requires --mode partitioned")
     if args.autoscale and args.mode != REPLICATED:
@@ -191,17 +460,6 @@ def main(argv: list[str] | None = None) -> int:
     pool = split_queries(vectors, args.pool, seed=args.seed + 1)
     config = NDSearchConfig.scaled()
 
-    print("building shard pool ...")
-    router = build_router(
-        vectors,
-        num_shards=args.shards,
-        config=config,
-        mode=args.mode,
-        platform=args.backend,
-        seed=args.seed,
-        clusters_per_shard=args.clusters_per_shard,
-    )
-
     arrivals = (
         PoissonArrivals(args.rate)
         if args.arrivals == "poisson"
@@ -218,6 +476,26 @@ def main(argv: list[str] | None = None) -> int:
         priority_weights=weights,
         slo_s=slo_s,
     )
+    if args.emit_arrivals:
+        requests = stream.generate()
+        _write_arrivals(args.emit_arrivals, requests)
+        print(f"arrivals: {len(requests)} requests -> {args.emit_arrivals}")
+        return 0
+
+    print("building shard pool ...")
+
+    def router_factory():
+        return build_router(
+            vectors,
+            num_shards=args.shards,
+            config=config,
+            mode=args.mode,
+            platform=args.backend,
+            seed=args.seed,
+            clusters_per_shard=args.clusters_per_shard,
+        )
+
+    router = router_factory()
     policy = BatchPolicy(
         max_batch_size=args.batch_size,
         max_wait_s=args.max_wait_ms * 1e-3,
@@ -249,27 +527,28 @@ def main(argv: list[str] | None = None) -> int:
             else FlashConfig()
         )
     tracer = SpanTracer() if args.trace else None
-    frontend = ServingFrontend(
-        router,
-        ServingConfig(
-            policy=policy,
-            cache_capacity=args.cache,
-            admission_capacity=args.admission,
-            pipelined=not args.blocking_devices,
-            coalesce=not args.no_coalesce,
-            nprobe=args.nprobe,
-            priority_admission=args.priority_admission,
-            autoscale=autoscale,
-            rebalance=rebalance,
-            flash=flash,
-            metrics_window_s=(
-                args.metrics_window_ms * 1e-3
-                if args.metrics_window_ms is not None
-                else None
-            ),
+    serving_config = ServingConfig(
+        policy=policy,
+        cache_capacity=args.cache,
+        admission_capacity=args.admission,
+        pipelined=not args.blocking_devices,
+        coalesce=not args.no_coalesce,
+        nprobe=args.nprobe,
+        priority_admission=args.priority_admission,
+        autoscale=autoscale,
+        rebalance=rebalance,
+        flash=flash,
+        metrics_window_s=(
+            args.metrics_window_ms * 1e-3
+            if args.metrics_window_ms is not None
+            else None
         ),
-        tracer=tracer,
     )
+    if args.follow:
+        return _run_follow(
+            args, parser, serving_config, router_factory, pool, tracer
+        )
+    frontend = ServingFrontend(router, serving_config, tracer=tracer)
     print(
         f"serving {args.requests} requests at {args.rate:g} QPS "
         f"({args.arrivals}, zipf {args.zipf:g}) ..."

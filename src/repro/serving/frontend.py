@@ -137,6 +137,14 @@ from repro.sim.events import (
     FlashMaintenance,
     StreamEnd,
 )
+from repro.sim.snapshot import (
+    SNAPSHOT_VERSION,
+    Snapshot,
+    capture_loop,
+    clone_state,
+    restore_loop,
+    state_digest,
+)
 
 
 class Coalescer:
@@ -386,7 +394,7 @@ class ServingFrontend:
             )
         self._in_service_total = 0
         self.coalescer = Coalescer(self._observe_coalesced)
-        # Per-run event-loop state (populated by run()).
+        # Per-run event-loop state (populated by stream_begin()).
         self._loop: EventLoop | None = None
         self._timer_gen = 0
         self._draining = False
@@ -396,6 +404,9 @@ class ServingFrontend:
         self._kernel_tid = 0
         self._arrival_queue: list[Request] = []
         self._arrival_next = 0
+        self._arrival_pending = False
+        """Whether an Arrival event is in the heap whose handler will
+        chain the rest of ``_arrival_queue`` (see stream_extend)."""
 
     def _make_device(self, index: int) -> ShardDevice:
         """Build shard device ``index`` with its observability taps."""
@@ -426,14 +437,37 @@ class ServingFrontend:
         (deadlines, completions, epochs, migrations) schedules its own
         events as the run unfolds, and the loop drains them in
         deterministic ``(time, rank, seq)`` order.
+
+        ``run`` is the one-shot composition of the streaming primitives
+        (:meth:`stream_begin` → :meth:`stream_extend` →
+        :meth:`stream_finish`); the twin
+        (:mod:`repro.serving.twin`) drives them incrementally instead,
+        with :meth:`stream_step` and :meth:`snapshot` between windows.
+        """
+        calibrate_k = max(r.k for r in requests) if requests else None
+        self.stream_begin(query_pool, calibrate_k=calibrate_k)
+        self.stream_extend(requests)
+        return self.stream_finish()
+
+    # ---- streaming session ----------------------------------------------
+    def stream_begin(
+        self, query_pool: np.ndarray, calibrate_k: int | None = None
+    ) -> None:
+        """Open a streaming session: fresh event loop, subscriptions,
+        tracer wiring and an empty arrival queue.
+
+        ``calibrate_k`` primes the ``slo`` service model before the
+        first arrival (pass the stream's widest ``k``); ``None`` skips
+        calibration — a restored session inherits its snapshot's
+        already-calibrated model.
         """
         self._pool = np.ascontiguousarray(query_pool, dtype=np.float32)
         if (
             self.config.policy.mode == SLO
             and not self.service_model.calibrated
-            and requests
+            and calibrate_k is not None
         ):
-            self._calibrate(self._pool, max(r.k for r in requests))
+            self._calibrate(self._pool, calibrate_k)
         loop = EventLoop()
         self._loop = loop
         self._timer_gen += 1
@@ -452,20 +486,67 @@ class ServingFrontend:
         # ever scheduled when ServingConfig.flash is set).
         loop.subscribe(FlashMaintenance, self._on_flash_maintenance)
         loop.subscribe(StreamEnd, self._on_stream_end)
-        # Chained arrival injection: only the head of the (sorted)
-        # stream sits in the heap; each arrival's handler injects its
-        # successor.  Arrivals are the only rank-40 events, so chaining
-        # preserves their relative order exactly while keeping the heap
-        # at O(in-flight timers) instead of O(total requests) — per-push
-        # sift cost no longer scales with stream length.
-        ordered = sorted(requests, key=lambda r: r.arrival_s)
-        self._arrival_queue = ordered
+        self._arrival_queue = []
         self._arrival_next = 0
-        if ordered:
-            self._arrival_next = 1
-            loop.schedule(Arrival(time=ordered[0].arrival_s, payload=ordered[0]))
-        self._last_arrival_s = ordered[-1].arrival_s if ordered else 0.0
-        loop.schedule(StreamEnd(time=self._last_arrival_s))
+        self._arrival_pending = False
+        self._last_arrival_s = 0.0
+
+    def stream_extend(self, requests: list[Request]) -> None:
+        """Append arrivals to the open session's stream.
+
+        Chained arrival injection: only the head of the (sorted)
+        stream sits in the heap; each arrival's handler injects its
+        successor.  Arrivals are the only rank-40 events, so chaining
+        preserves their relative order exactly while keeping the heap
+        at O(in-flight timers) instead of O(total requests) — per-push
+        sift cost no longer scales with stream length.  If the chain
+        has dried (every queued arrival was delivered), extending
+        re-primes it.
+
+        Arrivals stream forward only: the new batch must not start
+        before the last already-queued arrival, nor before the loop's
+        current clock.
+        """
+        ordered = sorted(requests, key=lambda r: r.arrival_s)
+        if not ordered:
+            return
+        loop = self._loop
+        if (
+            self._arrival_queue
+            and ordered[0].arrival_s < self._arrival_queue[-1].arrival_s
+        ):
+            raise ValueError(
+                f"arrival at {ordered[0].arrival_s!r} precedes the queued "
+                f"stream's last arrival at "
+                f"{self._arrival_queue[-1].arrival_s!r}"
+            )
+        if ordered[0].arrival_s < loop.now:
+            raise ValueError(
+                f"arrival at {ordered[0].arrival_s!r} is in the past: "
+                f"the clock is already at {loop.now!r}"
+            )
+        self._arrival_queue.extend(ordered)
+        self._last_arrival_s = self._arrival_queue[-1].arrival_s
+        if not self._arrival_pending:
+            head = self._arrival_queue[self._arrival_next]
+            self._arrival_next += 1
+            self._arrival_pending = True
+            loop.schedule(Arrival(time=head.arrival_s, payload=head))
+
+    def stream_step(self, until: float) -> int:
+        """Drain events up to simulated time ``until`` (inclusive);
+        returns the number processed.  Events beyond ``until`` stay
+        pending — a window boundary, not an end."""
+        return self._loop.run(until)
+
+    def stream_finish(self) -> ServingReport:
+        """Close the session: flush stragglers via ``StreamEnd``, drain
+        the loop, and fold the final counters into the report."""
+        loop = self._loop
+        # max() covers a session stepped past its last arrival: the
+        # clock may already stand beyond it, and events never travel
+        # into the past.
+        loop.schedule(StreamEnd(time=max(self._last_arrival_s, loop.now)))
         loop.run()
         # Kernel-level observability: per-event-type dispatch counts
         # fold into the report's counters (loop_events_*).
@@ -487,6 +568,217 @@ class ServingFrontend:
             self.metrics.set_flash(self._flash_summary())
         return self.metrics.report()
 
+    @property
+    def stream_requests(self) -> list[Request]:
+        """The session's arrival stream in time order — including every
+        already-delivered request (a restored session holds its own
+        deep copies; digest those, not the originals)."""
+        return list(self._arrival_queue)
+
+    # ---- snapshot / restore ----------------------------------------------
+    # Wiring vs. state: callables (handlers, observers, tracer taps,
+    # the batcher's predictor) close over live objects and are excluded
+    # from capture; restore re-creates them through stream_begin /
+    # _make_device and re-binds the rest.  Immutable build artifacts
+    # (the query pool, backend indexes, global-ID maps, centroids) are
+    # shared by reference — they never change under serving, so copying
+    # them would only burn memory without buying isolation.
+
+    def _snapshot_shared(self) -> list:
+        """Objects referenced, never copied, by snapshot state."""
+        shared: list = [self._pool]
+        shared.extend(self.router.backends)
+        if self.router.global_ids is not None:
+            shared.append(self.router.global_ids)
+        if self.router.centroids is not None:
+            shared.append(self.router.centroids)
+        return shared
+
+    def snapshot(self, kind: str = "window") -> Snapshot:
+        """Freeze the open streaming session's full simulation state.
+
+        Captures the event loop (clock, heap, seq/dispatch counters),
+        every handler's state (batcher queue, coalescer tables, cache,
+        admission ledger, service model, windowed metrics, collector),
+        per-device stage FIFOs and booked work, the router's mutable
+        placement (replica count / cluster→shard map), the opt-in
+        flash stores, and the epoch controllers — one
+        :func:`~repro.sim.snapshot.clone_state` pass, so objects shared
+        across those structures (a request in the batcher *and* in a
+        pending heap event) stay shared in the copy.  The result is
+        immutable and restorable any number of times.
+        """
+        state = {
+            "mode": self.router.mode,
+            "loop": capture_loop(self._loop),
+            "frontend": {
+                "timer_gen": self._timer_gen,
+                "draining": self._draining,
+                "epoch_armed": self._epoch_armed,
+                "last_arrival_s": self._last_arrival_s,
+                "batch_seq": self._batch_seq,
+                "in_service_total": self._in_service_total,
+                "active": self._active,
+                "arrival_queue": self._arrival_queue,
+                "arrival_next": self._arrival_next,
+                "arrival_pending": self._arrival_pending,
+            },
+            "batcher": {
+                key: value
+                for key, value in vars(self.batcher).items()
+                if key != "predictor"
+            },
+            "coalescer": {
+                key: value
+                for key, value in vars(self.coalescer).items()
+                if key != "_observe"
+            },
+            "cache": self.cache,
+            "admission": self.admission,
+            "service_model": self.service_model,
+            "windows": self.windows,
+            "metrics": {
+                key: value
+                for key, value in vars(self.metrics).items()
+                if key != "windows"
+            },
+            "devices": [
+                {
+                    key: value
+                    for key, value in vars(device).items()
+                    if key not in (
+                        "tracer", "busy_observer", "trace_pid",
+                        "_predict_scratch",
+                    )
+                }
+                for device in self.devices
+            ],
+            "router": {
+                "num_backends": len(self.router.backends),
+                "cluster_shard": (
+                    [int(s) for s in self.router.cluster_shard]
+                    if self.router.cluster_shard is not None
+                    else None
+                ),
+            },
+            "stores": self.stores,
+            "autoscaler": self.autoscaler,
+            "rebalancer": self.rebalancer,
+        }
+        state = clone_state(state, shared=self._snapshot_shared())
+        # The batch span counter only advances when a tracer is
+        # attached.  It is captured (a resumed traced session keeps its
+        # span IDs unique) but excluded from the content address, so
+        # attaching observability never changes a snapshot digest — or
+        # a twin cache key derived from one.
+        digest_view = dict(state)
+        digest_view["frontend"] = {
+            key: value
+            for key, value in state["frontend"].items()
+            if key != "batch_seq"
+        }
+        return Snapshot(
+            version=SNAPSHOT_VERSION,
+            kind=kind,
+            time=self._loop.now,
+            state=state,
+            digest=state_digest(digest_view),
+        )
+
+    def restore(self, snapshot: Snapshot, query_pool: np.ndarray) -> None:
+        """Load a :meth:`snapshot` into this frontend and leave the
+        session open (continue with :meth:`stream_extend` /
+        :meth:`stream_step` / :meth:`stream_finish`).
+
+        The frontend must be built over an equivalent deployment: same
+        router mode and cluster count, same flash and metrics-window
+        opt-ins, and the same ``query_pool`` content.  Running the
+        restored session forward is byte-identical to the run the
+        snapshot was taken from — the twin's what-if forks then apply
+        their deltas (config changes only affect *future* decisions)
+        before replaying the suffix.  The snapshot itself is never
+        mutated: restoring deep-copies again, so repeated restores
+        from one checkpoint are independent.
+        """
+        if snapshot.version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {snapshot.version} != "
+                f"supported {SNAPSHOT_VERSION}"
+            )
+        frozen = snapshot.state
+        if frozen["mode"] != self.router.mode:
+            raise ValueError(
+                f"snapshot router mode {frozen['mode']!r} != "
+                f"this router's {self.router.mode!r}"
+            )
+        if (frozen["stores"] is None) != (self.stores is None):
+            raise ValueError(
+                "flash configuration mismatch: snapshot and frontend "
+                "must both (or neither) serve through stateful flash"
+            )
+        if (frozen["windows"] is None) != (self.windows is None):
+            raise ValueError(
+                "metrics-window configuration mismatch: snapshot and "
+                "frontend must agree on ServingConfig.metrics_window_s"
+            )
+        # Fresh loop + subscriptions + tracer wiring, then overwrite
+        # the loop's state with the captured clock/heap/counters.
+        self.stream_begin(query_pool)
+        state = clone_state(frozen, shared=self._snapshot_shared())
+        restore_loop(self._loop, state["loop"])
+        fe = state["frontend"]
+        self._timer_gen = fe["timer_gen"]
+        self._draining = fe["draining"]
+        self._epoch_armed = fe["epoch_armed"]
+        self._last_arrival_s = fe["last_arrival_s"]
+        self._batch_seq = fe["batch_seq"]
+        self._in_service_total = fe["in_service_total"]
+        self._active = fe["active"]
+        self._arrival_queue = fe["arrival_queue"]
+        self._arrival_next = fe["arrival_next"]
+        self._arrival_pending = fe["arrival_pending"]
+        for key, value in state["batcher"].items():
+            setattr(self.batcher, key, value)
+        self.batcher.predictor = self.predict_completion
+        for key, value in state["coalescer"].items():
+            setattr(self.coalescer, key, value)
+        self.cache = state["cache"]
+        self.admission = state["admission"]
+        self.service_model = state["service_model"]
+        if state["windows"] is not None:
+            self.windows = state["windows"]
+        for key, value in state["metrics"].items():
+            setattr(self.metrics, key, value)
+        self.metrics.windows = self.windows
+        # Devices: grow through _make_device so each gets its tracer /
+        # busy-observer wiring, then overwrite the captured state.
+        captured_devices = state["devices"]
+        while len(self.devices) < len(captured_devices):
+            self.devices.append(self._make_device(len(self.devices)))
+        del self.devices[len(captured_devices):]
+        for device, dev_state in zip(self.devices, captured_devices):
+            for key, value in dev_state.items():
+                setattr(device, key, value)
+        self.metrics.ensure_shards(len(self.devices))
+        router_state = state["router"]
+        if self.router.mode == REPLICATED:
+            while len(self.router.backends) < router_state["num_backends"]:
+                self.router.add_replica()
+            while len(self.router.backends) > router_state["num_backends"]:
+                self.router.remove_replica()
+        elif len(self.router.backends) != router_state["num_backends"]:
+            raise ValueError(
+                f"snapshot has {router_state['num_backends']} clusters; "
+                f"this router has {len(self.router.backends)}"
+            )
+        if router_state["cluster_shard"] is not None:
+            for cluster, shard in enumerate(router_state["cluster_shard"]):
+                self.router.cluster_shard[cluster] = shard
+        if state["stores"] is not None:
+            self.stores = state["stores"]
+        self.autoscaler = state["autoscaler"]
+        self.rebalancer = state["rebalancer"]
+
     # ---- event handlers --------------------------------------------------
     def _on_arrival(self, event: Arrival) -> None:
         request: Request = event.payload
@@ -498,6 +790,9 @@ class ServingFrontend:
             self._loop.schedule(
                 Arrival(time=successor.arrival_s, payload=successor)
             )
+        else:
+            # Chain dried: stream_extend must re-prime on new arrivals.
+            self._arrival_pending = False
         if not self._epoch_armed:
             self._arm_epochs(now)
         depth = len(self.batcher) + self._in_service_count()

@@ -104,6 +104,14 @@ class ServingReport:
     per-device :meth:`~repro.serving.storage.FlashBackedStore.summary`
     records; ``None`` with flash off."""
 
+    twin: dict | None = None
+    """Digital-twin bookkeeping when the run was driven by a
+    :class:`~repro.serving.twin.ServingTwin` (window width, windows
+    simulated, checkpoints, what-if cache hits/misses, restores);
+    ``None`` for plain runs.  Attached post-hoc by the twin — what-if
+    fork reports never carry it, so a null what-if stays byte-identical
+    to a from-scratch run."""
+
     @property
     def served(self) -> int:
         """Requests answered (searched, coalesced or from cache)."""
@@ -174,6 +182,7 @@ class ServingReport:
             "cluster_map_final": [int(s) for s in self.cluster_map_final],
             "timeseries": self.timeseries,
             "flash": self.flash,
+            "twin": self.twin,
         }
 
     @classmethod
@@ -201,6 +210,7 @@ class ServingReport:
             int(s) for s in d["cluster_map_final"]
         )
         d.setdefault("flash", None)  # reports predating stateful flash
+        d.setdefault("twin", None)  # reports predating the digital twin
         return cls(**d)
 
     def format(self, title: str = "serving summary") -> str:
@@ -279,6 +289,17 @@ class ServingReport:
                     f"{self.flash['total_erases']} erases, "
                     f"WA {self.flash['write_amplification']:.2f}, "
                     f"{self.flash['ecc_soft_decodes']} ECC soft decodes",
+                ]
+            )
+        if self.twin is not None:
+            rows.append(
+                [
+                    "twin",
+                    f"{self.twin['windows_simulated']} windows, "
+                    f"{self.twin['checkpoints']} checkpoints, "
+                    f"cache {self.twin['cache_hits']}/"
+                    f"{self.twin['cache_hits'] + self.twin['cache_misses']} "
+                    f"hit, {self.twin['restores']} restores",
                 ]
             )
         return format_table(["metric", "value"], rows, title=title)

@@ -335,7 +335,7 @@ class ShardRouter:
 #: backends are already shared across replicas within one router.  The
 #: mutable parts of a router — the backends *list* (add/remove_replica)
 #: and ``cluster_shard`` (reassign_cluster) — are built fresh per call.
-_build_cache: dict[tuple, tuple] = {}
+_build_cache: dict[tuple, tuple] = {}  # repro-lint: disable=DET005
 _BUILD_CACHE_LIMIT = 32
 
 

@@ -61,7 +61,7 @@ PCIE_POWER_BUDGET_W: float = 55.0
 #: device power.  DeepStore variants: same PCIe budget class as
 #: NDSearch but with larger accelerator logic (their dies are 5-7x the
 #: area of SearSSD's, Section VII) and full page movement.
-PLATFORM_POWER_W: dict[str, float] = {
+PLATFORM_POWER_W: dict[str, float] = {  # repro-lint: disable=DET005
     "cpu": 430.0,
     "cpu-t": 560.0,
     "gpu": 320.0,

@@ -39,9 +39,10 @@ def rules_of(source: str, module: str | None = None) -> list[str]:
 # Rule registry
 # =============================================================================
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert set(rule_ids()) >= {
-            "DET001", "DET002", "DET003", "DET004", "EVT001", "EVT002",
+            "DET001", "DET002", "DET003", "DET004", "DET005",
+            "EVT001", "EVT002",
         }
 
     def test_module_name_for(self):
@@ -231,12 +232,83 @@ class TestDet004:
         ) == []
 
     def test_membership_not_flagged(self):
-        assert rules_of(
+        # (module-level list assignment trips DET005, which is not
+        # under test here — only the set-iteration rule's verdict is)
+        assert "DET004" not in rules_of(
             "fresh = [t for t in due if t not in pending]\n", module=self.MOD
-        ) == []
+        )
 
     def test_out_of_package_not_in_scope(self):
         assert rules_of("for x in set(items):\n    emit(x)\n", module=None) == []
+
+
+# =============================================================================
+# DET005 — module-level mutable state in serving/sim code
+# =============================================================================
+class TestDet005:
+    MOD = "repro.serving.frontend"
+
+    def test_module_level_dict_literal_flagged(self):
+        assert "DET005" in rules_of("_cache = {}\n", module=self.MOD)
+
+    def test_module_level_list_call_flagged(self):
+        assert "DET005" in rules_of("_log = list()\n", module=self.MOD)
+
+    def test_annotated_module_level_dict_flagged(self):
+        assert "DET005" in rules_of(
+            "_cache: dict[tuple, tuple] = {}\n", module=self.MOD
+        )
+
+    def test_collections_factories_flagged(self):
+        assert "DET005" in rules_of(
+            "from collections import defaultdict\n"
+            "_counts = defaultdict(int)\n",
+            module="repro.sim.events",
+        )
+        assert "DET005" in rules_of(
+            "from collections import OrderedDict\n"
+            "_lru = OrderedDict()\n",
+            module=self.MOD,
+        )
+
+    def test_comprehensions_flagged(self):
+        assert "DET005" in rules_of(
+            "_by_name = {n: [] for n in NAMES}\n", module=self.MOD
+        )
+
+    def test_immutable_module_constants_not_flagged(self):
+        assert rules_of(
+            "LIMIT = 32\n"
+            "RANKS = (5, 10, 20)\n"
+            "MODES = frozenset({'a', 'b'})\n",
+            module=self.MOD,
+        ) == []
+
+    def test_function_and_class_scope_not_flagged(self):
+        assert rules_of(
+            "def build():\n"
+            "    cache = {}\n"
+            "    return cache\n"
+            "class Router:\n"
+            "    def __init__(self):\n"
+            "        self.table = {}\n",
+            module=self.MOD,
+        ) == []
+
+    def test_dunder_assignments_not_flagged(self):
+        assert rules_of(
+            "__all__ = ['ServingFrontend']\n", module="repro.serving"
+        ) == []
+
+    def test_outside_serving_and_sim_not_in_scope(self):
+        assert rules_of("_cache = {}\n", module="repro.obs.trace") == []
+        assert rules_of("_cache = {}\n", module=None) == []
+
+    def test_pragma_suppresses(self):
+        assert rules_of(
+            "_build_cache: dict = {}  # repro-lint: disable=DET005\n",
+            module="repro.serving.sharding",
+        ) == []
 
 
 # =============================================================================

@@ -163,6 +163,38 @@ class TestGateScripts:
             ["--baseline", str(base), "--current", str(cur)]
         ) == 1
 
+    def test_check_bench_regression_skips_configs_not_in_baseline(
+        self, tmp_path, capsys
+    ):
+        # A config measured by the fresh run but absent from the
+        # committed baseline must be skipped with an explicit note,
+        # never gated (it has no trajectory yet).
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "check_bench_regression.py"
+        )
+        spec = importlib.util.spec_from_file_location("check_bench2", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(_payload({"a": 1000.0})))
+        cur.write_text(
+            json.dumps(_payload({"a": 1000.0, "twin-whatif": 50.0}))
+        )
+        assert module.main(
+            ["--baseline", str(base), "--current", str(cur)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "twin-whatif" in out
+        assert "skipped: not in baseline" in out
+        assert "1 new config(s) skipped" in out
+
     def test_committed_baseline_is_well_formed(self):
         from pathlib import Path
 

@@ -170,13 +170,21 @@ _SLO_KWARGS = dict(
 )
 
 
-def _run_case(name, routers, pool, tracer=None, metrics_window_s=None):
+def _run_case(
+    name, routers, pool, tracer=None, metrics_window_s=None,
+    build_only=False,
+):
     """Build and run one pinned configuration; returns (report, requests).
 
     ``tracer`` / ``metrics_window_s`` attach the :mod:`repro.obs`
     instrumentation — which must never change a digest (the hooks are
     observe-only; that is the invariant the traced parametrization of
     the parity test proves).
+
+    ``build_only`` returns ``(frontend, requests)`` without running —
+    the snapshot/restore parity suite (``test_serving_twin``) drives
+    the same pinned configurations through the streaming session API
+    and must hit the same digests.
     """
 
     def _frontend(router, policy, **config_kwargs):
@@ -259,6 +267,8 @@ def _run_case(name, routers, pool, tracer=None, metrics_window_s=None):
         )
     else:  # pragma: no cover - config table typo
         raise KeyError(name)
+    if build_only:
+        return frontend, requests
     report = frontend.run(requests, pool)
     return report, requests
 
